@@ -1,0 +1,260 @@
+//! Shared baseline interface and token-level lowering.
+//!
+//! Every baseline reduces the workload at **token granularity** (that is
+//! the paper's critique: none of them can exploit sub-token redundancy),
+//! so they share one lowering path: a per-layer retained-token count is
+//! applied to the full-scale GEMM trace, with each design's own DRAM
+//! pattern layered on top.
+
+use focus_sim::{ArchConfig, GemmWork, WorkItem};
+use focus_vlm::accuracy::{AccuracyModel, TokenOutcome};
+use focus_vlm::trace::dense_prefill_macs;
+use focus_vlm::Workload;
+
+/// Result of running a baseline on a workload.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Name of the method.
+    pub name: &'static str,
+    /// Effective MACs at paper scale.
+    pub macs: u128,
+    /// Dense MACs of the same workload.
+    pub dense_macs: u128,
+    /// Work items for the simulation engine.
+    pub work_items: Vec<WorkItem>,
+    /// Per-token outcomes for the accuracy model (measured scale).
+    pub outcomes: Vec<TokenOutcome>,
+    /// Proxy benchmark score.
+    pub accuracy: f64,
+    /// Dense anchor score.
+    pub dense_accuracy: f64,
+    /// Retained-token ratio per layer (image tokens).
+    pub token_ratio: Vec<f64>,
+}
+
+impl BaselineResult {
+    /// Computation sparsity (the Table II metric).
+    pub fn sparsity(&self) -> f64 {
+        if self.dense_macs == 0 {
+            0.0
+        } else {
+            1.0 - self.macs as f64 / self.dense_macs as f64
+        }
+    }
+
+    /// Total DRAM traffic of the lowered trace.
+    pub fn dram_bytes(&self) -> u64 {
+        self.work_items
+            .iter()
+            .map(|w| w.dram_read_bytes + w.dram_write_bytes)
+            .sum()
+    }
+}
+
+/// A token-level concentration baseline.
+pub trait Concentrator {
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the method on a workload against an architecture.
+    fn run(&self, workload: &Workload, arch: &ArchConfig) -> BaselineResult;
+}
+
+/// Design-specific DRAM behaviour applied during lowering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryStyle {
+    /// Activations move at their retained size (ideal token pruning).
+    Compact,
+    /// Outputs are written *uncompressed* and re-read by an off-chip
+    /// condensing unit before the compact version is written back
+    /// (CMC's Fig. 3(a) pattern). The codec scans the staged matrix at
+    /// a limited rate, serially with compute — the paper's §VII-C
+    /// explanation for CMC's modest speedup despite decent sparsity.
+    StageThenCondense {
+        /// Codec scan throughput in bytes per cycle.
+        codec_bytes_per_cycle: u64,
+    },
+    /// Tokens must be transferred uncompressed into the merge unit
+    /// before reduction takes effect (AdapTiV's pattern): inputs of a
+    /// layer are read at the *pre-reduction* count of that layer.
+    UncompressedIngress,
+}
+
+/// Lowers a per-layer retained-token trace to work items.
+///
+/// `tokens_in[l]` is the image-token count *entering* layer `l` (at
+/// measured scale, as a ratio of `m_img_scaled`); `aux_ops_per_row` adds
+/// special-unit energy per produced activation row.
+pub fn lower_token_trace(
+    workload: &Workload,
+    arch: &ArchConfig,
+    token_ratio: &[f64],
+    style: MemoryStyle,
+    aux_ops_per_row: u64,
+) -> Vec<WorkItem> {
+    let model = workload.model();
+    let text = workload.text_tokens();
+    let m_img_full = workload.image_tokens_full();
+    let bytes = arch.bytes_per_elem as u64;
+    let mut items = Vec::new();
+
+    for l in 0..model.layers {
+        let ratio_in = token_ratio[l];
+        let ratio_out = *token_ratio.get(l + 1).unwrap_or(&ratio_in);
+        let seq_in = (ratio_in * m_img_full as f64).round() as usize + text;
+        let seq_out = (ratio_out * m_img_full as f64).round() as usize + text;
+
+        let gemms: [(&str, usize, usize, usize, usize); 7] = [
+            ("qkv", seq_in, model.hidden, model.qkv_out(), 1),
+            ("qk_t", seq_in, model.head_dim, seq_in, model.heads),
+            ("pv", seq_out, seq_in, model.head_dim, model.heads),
+            ("o_proj", seq_out, model.hidden, model.hidden, 1),
+            ("ffn_gate", seq_out, model.hidden, model.ffn_hidden, 1),
+            ("ffn_up", seq_out, model.hidden, model.ffn_hidden, 1),
+            ("ffn_down", seq_out, model.ffn_hidden, model.hidden, 1),
+        ];
+
+        for (label, m, k, n, batch) in gemms {
+            let work = GemmWork::dense(format!("L{l}:{label}"), m, k, n, batch, arch.tile_m);
+            let m_tiles = work.m_tiles() as u64;
+            let weight_rd = (k * n * batch) as u64 * bytes * m_tiles;
+            // Ingress size depends on the memory style.
+            let ingress_rows = match style {
+                MemoryStyle::UncompressedIngress => {
+                    // The merge unit sees the previous layer's
+                    // pre-reduction stream.
+                    ((token_ratio[l.saturating_sub(1)] * m_img_full as f64).round() as usize
+                        + text)
+                        .max(m)
+                }
+                _ => m,
+            };
+            let (input_rd, mut output_wr) = match label {
+                "qk_t" => (2 * (m * k * batch) as u64 * bytes, 0u64),
+                "pv" => (0, (m * n * batch) as u64 * bytes),
+                "ffn_gate" => ((ingress_rows * k) as u64 * bytes, 0),
+                _ => (
+                    (ingress_rows * k) as u64 * bytes,
+                    (m * n) as u64 * bytes,
+                ),
+            };
+            let mut extra_cycles = 0u64;
+            if let MemoryStyle::StageThenCondense {
+                codec_bytes_per_cycle,
+            } = style
+            {
+                // Stage the uncompressed output, run the codec over it
+                // (read staged + motion-search reads of the reference
+                // frame) and write the condensed version back.
+                if output_wr > 0 && label != "qkv" {
+                    let staged = (m * n) as u64 * bytes;
+                    let condensed = (ratio_out * (m * n) as f64) as u64 * bytes;
+                    output_wr += 2 * staged + condensed;
+                    extra_cycles =
+                        (2 * staged + condensed).div_ceil(codec_bytes_per_cycle.max(1));
+                }
+            }
+            let mut item = WorkItem::gemm_only(work, weight_rd + input_rd, output_wr);
+            item.extra_cycles = extra_cycles;
+            item.aux_ops = aux_ops_per_row * (m * batch) as u64;
+            if label == "qk_t" {
+                item.sfu_ops = 2 * (m * n * batch) as u64;
+            }
+            items.push(item);
+        }
+    }
+    items
+}
+
+/// Scores outcomes with the default accuracy model.
+pub fn score_outcomes(workload: &Workload, outcomes: &[TokenOutcome]) -> (f64, f64) {
+    let model = AccuracyModel::default();
+    let acc = model.score(workload.profile(), workload.model().kind, outcomes);
+    let dense = model.dense_score(workload.profile(), workload.model().kind);
+    (acc, dense)
+}
+
+/// Sums effective MACs of a lowered trace.
+pub fn total_macs(items: &[WorkItem], pe_rows: usize) -> u128 {
+    items.iter().map(|i| i.gemm.effective_macs(pe_rows)).sum()
+}
+
+/// Dense MAC count of a workload at paper scale.
+pub fn dense_macs(workload: &Workload) -> u128 {
+    dense_prefill_macs(
+        workload.model(),
+        workload.image_tokens_full() + workload.text_tokens(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_vlm::{DatasetKind, ModelKind, WorkloadScale};
+
+    fn workload() -> Workload {
+        Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            1,
+        )
+    }
+
+    #[test]
+    fn dense_trace_matches_reference_macs() {
+        let wl = workload();
+        let arch = ArchConfig::vanilla();
+        let items = lower_token_trace(&wl, &arch, &vec![1.0; 28], MemoryStyle::Compact, 0);
+        assert_eq!(items.len(), 28 * 7);
+        let macs = total_macs(&items, arch.pe_rows);
+        assert_eq!(macs, dense_macs(&wl));
+    }
+
+    #[test]
+    fn token_reduction_scales_macs_superlinearly_for_attention() {
+        let wl = workload();
+        let arch = ArchConfig::vanilla();
+        let half = lower_token_trace(&wl, &arch, &vec![0.5; 28], MemoryStyle::Compact, 0);
+        let ratio = total_macs(&half, arch.pe_rows) as f64 / dense_macs(&wl) as f64;
+        // Linear layers halve; attention quarters → ratio < 0.52.
+        assert!(ratio < 0.52, "{ratio}");
+        assert!(ratio > 0.40, "{ratio}");
+    }
+
+    #[test]
+    fn stage_then_condense_inflates_traffic_and_latency() {
+        let wl = workload();
+        let arch = ArchConfig::cmc();
+        let compact = lower_token_trace(&wl, &arch, &vec![0.6; 28], MemoryStyle::Compact, 0);
+        let staged = lower_token_trace(
+            &wl,
+            &arch,
+            &vec![0.6; 28],
+            MemoryStyle::StageThenCondense {
+                codec_bytes_per_cycle: 4,
+            },
+            0,
+        );
+        let traffic = |v: &[WorkItem]| -> u64 {
+            v.iter().map(|i| i.dram_read_bytes + i.dram_write_bytes).sum()
+        };
+        assert!(traffic(&staged) > traffic(&compact));
+        assert!(staged.iter().any(|i| i.extra_cycles > 0));
+    }
+
+    #[test]
+    fn uncompressed_ingress_reads_more() {
+        let wl = workload();
+        let arch = ArchConfig::adaptiv();
+        let mut ratios = vec![1.0; 28];
+        for (i, r) in ratios.iter_mut().enumerate() {
+            *r = 1.0 / (1.0 + i as f64 * 0.1);
+        }
+        let compact = lower_token_trace(&wl, &arch, &ratios, MemoryStyle::Compact, 0);
+        let ingress =
+            lower_token_trace(&wl, &arch, &ratios, MemoryStyle::UncompressedIngress, 0);
+        let reads = |v: &[WorkItem]| -> u64 { v.iter().map(|i| i.dram_read_bytes).sum() };
+        assert!(reads(&ingress) > reads(&compact));
+    }
+}

@@ -1,0 +1,64 @@
+//! The vanilla systolic-array baseline: no concentration at all.
+
+use focus_sim::ArchConfig;
+use focus_vlm::accuracy::TokenOutcome;
+use focus_vlm::Workload;
+
+use crate::common::{
+    dense_macs, lower_token_trace, score_outcomes, total_macs, BaselineResult, Concentrator,
+    MemoryStyle,
+};
+
+/// Dense execution (the Fig. 9 "SA" bars and every table's "Ori."
+/// column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DenseBaseline;
+
+impl Concentrator for DenseBaseline {
+    fn name(&self) -> &'static str {
+        "SystolicArray"
+    }
+
+    fn run(&self, workload: &Workload, arch: &ArchConfig) -> BaselineResult {
+        let layers = workload.model().layers;
+        let ratios = vec![1.0; layers];
+        let items = lower_token_trace(workload, arch, &ratios, MemoryStyle::Compact, 0);
+        let macs = total_macs(&items, arch.pe_rows);
+        let outcomes: Vec<TokenOutcome> = workload
+            .relevance()
+            .into_iter()
+            .map(TokenOutcome::dense)
+            .collect();
+        let (accuracy, dense_accuracy) = score_outcomes(workload, &outcomes);
+        BaselineResult {
+            name: self.name(),
+            macs,
+            dense_macs: dense_macs(workload),
+            work_items: items,
+            outcomes,
+            accuracy,
+            dense_accuracy,
+            token_ratio: ratios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_vlm::{DatasetKind, ModelKind, WorkloadScale};
+
+    #[test]
+    fn dense_has_zero_sparsity_and_anchor_accuracy() {
+        let wl = Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            1,
+        );
+        let r = DenseBaseline.run(&wl, &ArchConfig::vanilla());
+        assert!(r.sparsity().abs() < 1e-12);
+        assert_eq!(r.accuracy, r.dense_accuracy);
+        assert_eq!(r.work_items.len(), 28 * 7);
+    }
+}

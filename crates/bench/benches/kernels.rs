@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the hot kernels of the Focus stack:
+//! the similarity matcher path (gather), the streaming top-k sorter,
+//! the importance analyzer, offset coding and the numeric substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use focus_core::sec::{ImportanceAnalyzer, OffsetEncoding, TopKSorter};
+use focus_core::sic::{gather_tile, scatter, ConvLayouter, Fhw, GatherConfig};
+use focus_core::BlockSize;
+use focus_tensor::Matrix;
+
+/// A 1024×32 tile with a realistic (~35 %) duplicate rate over a
+/// 14×14×f grid.
+fn make_tile() -> (Matrix, Vec<Option<Fhw>>) {
+    let rows = 1024;
+    let layouter = ConvLayouter::new(14, 14);
+    let acts = Matrix::from_fn(rows, 32, |r, c| {
+        // Rows of the same frame-position family repeat exactly.
+        let family = if r % 3 == 0 { r % 196 } else { r };
+        ((family * 131 + c * 17) % 257) as f32 - 128.0
+    });
+    let positions: Vec<Option<Fhw>> = (0..rows).map(|t| Some(layouter.position_of(t))).collect();
+    (acts, positions)
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let (acts, positions) = make_tile();
+    let cfg = GatherConfig {
+        threshold: 0.9,
+        block: BlockSize::DEFAULT,
+    };
+    c.bench_function("sic/gather_tile_1024x32", |b| {
+        b.iter(|| gather_tile(&acts, 0, 1024, 0..32, &positions, &cfg))
+    });
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let (acts, positions) = make_tile();
+    let cfg = GatherConfig {
+        threshold: 0.9,
+        block: BlockSize::DEFAULT,
+    };
+    let g = gather_tile(&acts, 0, 1024, 0..32, &positions, &cfg);
+    c.bench_function("sic/scatter_1024x32", |b| {
+        b.iter(|| scatter(&g.compact, &g.map))
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let scores: Vec<f32> = (0..6272)
+        .map(|i| ((i * 2654435761u64 as usize) % 10007) as f32)
+        .collect();
+    let sorter = TopKSorter::new(32);
+    c.bench_function("sec/topk_6272_to_2509", |b| {
+        b.iter(|| sorter.select(&scores, 2509))
+    });
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let heads: Vec<Matrix> = (0..4)
+        .map(|h| Matrix::from_fn(109, 1568, |i, j| ((h * 31 + i * 7 + j) % 100) as f32 / 100.0))
+        .collect();
+    let analyzer = ImportanceAnalyzer::new(32);
+    c.bench_function("sec/importance_4x109x1568", |b| {
+        b.iter(|| analyzer.analyze(&heads))
+    });
+}
+
+fn bench_offset_coding(c: &mut Criterion) {
+    let indices: Vec<usize> = (0..6272).filter(|i| i % 7 != 0).collect();
+    c.bench_function("sec/offset_encode_decode", |b| {
+        b.iter_batched(
+            || indices.clone(),
+            |idx| {
+                let enc = OffsetEncoding::encode(&idx);
+                enc.decode()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_layouter(c: &mut Criterion) {
+    let l = ConvLayouter::new(14, 14);
+    c.bench_function("sic/layouter_address_6272", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in 0..6272 {
+                let a = l.address_of(l.position_of(t));
+                acc = acc.wrapping_add(a.bank * 31 + a.offset);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(256, 256, |r, cc| ((r + cc) % 17) as f32 - 8.0);
+    let bm = Matrix::from_fn(256, 256, |r, cc| ((r * 3 + cc) % 13) as f32 - 6.0);
+    c.bench_function("tensor/matmul_256", |b| b.iter(|| a.matmul(&bm)));
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gather, bench_scatter, bench_topk, bench_importance,
+              bench_offset_coding, bench_layouter, bench_matmul
+}
+criterion_main!(kernels);

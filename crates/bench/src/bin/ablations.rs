@@ -1,0 +1,135 @@
+//! Ablation benches for the design decisions DESIGN.md §4 calls out —
+//! beyond the paper's Fig. 11, these isolate *why* each choice is in
+//! the design:
+//!
+//! * **D1** tile-local vs global similarity gathering;
+//! * **D2** vector vs token granularity (also in `fig02_motivation`);
+//! * **D3** prompt-aware vs static (magnitude-based) importance;
+//! * **D4** conflict-free bank layout vs 8× replication;
+//! * **D5** selection policy: static top-k schedule vs dynamic top-p /
+//!   threshold (§VII-D future work).
+
+use focus_bench::{print_table, workload};
+use focus_core::sec::SelectionPolicy;
+use focus_core::sic::{ConvLayouter, Fhw, SimilarityConcentrator};
+use focus_core::FocusConfig;
+use focus_sim::AreaModel;
+use focus_tensor::ops::{l2_norm, top_k_indices};
+use focus_vlm::embedding::Stage;
+use focus_vlm::{DatasetKind, ModelKind};
+
+fn main() {
+    let wl = workload(ModelKind::LlavaVideo7B, DatasetKind::VideoMme);
+
+    // ---------------- D1: tile-local vs global gather ----------------
+    println!("D1 — tile-local vs global similarity gathering\n");
+    let tokens: Vec<usize> = (0..wl.image_tokens_scaled()).collect();
+    let layouter = ConvLayouter::new(14, 14);
+    let positions: Vec<Option<Fhw>> =
+        tokens.iter().map(|&t| Some(layouter.position_of(t))).collect();
+    let mut syn = wl.activation_synthesizer();
+    let acts = syn.activations(&tokens, 5, Stage::FfnDownOut, wl.scaled_model().hidden);
+    let mut rows = Vec::new();
+    for (label, tile_m, buffer_note) in [
+        ("tile-local (m=1024)", 1024usize, "192 KB on-chip"),
+        ("global (whole matrix)", usize::MAX, "full matrix staged off-chip"),
+    ] {
+        let sic = SimilarityConcentrator {
+            tile_m,
+            ..SimilarityConcentrator::from_config(&FocusConfig::paper())
+        };
+        let stats = sic.gather_matrix(&acts, &positions);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - stats.retained_ratio())),
+            format!("{:.2}x", stats.compression()),
+            buffer_note.to_string(),
+        ]);
+    }
+    print_table(&["scope", "vectors removed", "compression", "cost"], &rows);
+    println!("\ntile-local keeps nearly all of the global match rate while staying streaming\n");
+
+    // ---------------- D3: prompt-aware vs static importance ----------------
+    println!("D3 — prompt-aware vs static (magnitude) importance\n");
+    let att = wl.attention_synthesizer();
+    let relevance = wl.relevance();
+    let k = tokens.len() / 5; // 20 % retention
+    let prompt_imp = att.reference_importance(3, &tokens);
+    let prompt_kept = top_k_indices(&prompt_imp, k);
+    let magnitude: Vec<f32> = tokens.iter().map(|&t| l2_norm(acts.row(t))).collect();
+    let static_kept = top_k_indices(&magnitude, k);
+    let coverage = |kept: &[usize]| -> f64 {
+        let kept_mass: f64 = kept.iter().map(|&t| relevance[t]).sum();
+        let total: f64 = relevance.iter().sum();
+        kept_mass / total
+    };
+    let rows = vec![
+        vec![
+            "prompt-aware (SEC)".to_string(),
+            format!("{:.1}%", 100.0 * coverage(&prompt_kept)),
+        ],
+        vec![
+            "static magnitude".to_string(),
+            format!("{:.1}%", 100.0 * coverage(&static_kept)),
+        ],
+    ];
+    print_table(&["importance metric", "relevance mass kept at 20%"], &rows);
+    println!("\nstatic metrics cannot follow the question (paper Fig. 2(a))\n");
+
+    // ---------------- D4: conflict-free layout vs replication ----------------
+    println!("D4 — conflict-free banking vs data replication\n");
+    let area = AreaModel::n28();
+    let window_vectors = 256; // Table I layouter window
+    let bytes_per_vector = 32 * 2;
+    let conflict_free = window_vectors * bytes_per_vector;
+    let replicated = 8 * conflict_free; // one copy per bank (Eyeriss-style)
+    let rows = vec![
+        vec![
+            "conflict-free (parity banks)".to_string(),
+            format!("{} KB", conflict_free / 1024),
+            format!("{:.3} mm2", area.sram_mm2(conflict_free)),
+            "1 cycle / block".to_string(),
+        ],
+        vec![
+            "8x replication".to_string(),
+            format!("{} KB", replicated / 1024),
+            format!("{:.3} mm2", area.sram_mm2(replicated)),
+            "1 cycle / block".to_string(),
+        ],
+        vec![
+            "single bank, no replication".to_string(),
+            format!("{} KB", conflict_free / 1024),
+            format!("{:.3} mm2", area.sram_mm2(conflict_free)),
+            "8 cycles / block".to_string(),
+        ],
+    ];
+    print_table(&["layout", "buffer", "area", "block access"], &rows);
+    println!("\nthe parity mapping gets single-cycle access at 1/8 of the replicated capacity\n");
+
+    // ---------------- D5: selection policies ----------------
+    println!("D5 — static top-k schedule vs dynamic policies (§VII-D)\n");
+    let imp = att.reference_importance(9, &tokens);
+    let mut rows = Vec::new();
+    for (label, policy) in [
+        ("top-k 20% (Table I)", SelectionPolicy::TopK { ratio: 0.2 }),
+        ("top-p 0.80", SelectionPolicy::TopP { p: 0.80 }),
+        ("top-p 0.90", SelectionPolicy::TopP { p: 0.90 }),
+        ("threshold 0.02", SelectionPolicy::Threshold { min_score: 0.02 }),
+    ] {
+        let out = policy.select(&imp, tokens.len(), 32);
+        let kept_mass: f64 = out.kept.iter().map(|&t| relevance[t]).sum();
+        let total: f64 = relevance.iter().sum();
+        rows.push(vec![
+            label.to_string(),
+            out.kept.len().to_string(),
+            format!("{:.1}%", 100.0 * kept_mass / total),
+            out.cycles.to_string(),
+        ]);
+    }
+    print_table(&["policy", "tokens kept", "relevance mass", "cycles"], &rows);
+    println!("\ntop-p adapts the retained count to attention concentration, at the cost of");
+    println!("input-dependent runtime — the trade-off the paper defers to future work");
+
+    // ---------------- D2 pointer ----------------
+    println!("\nD2 (vector vs token granularity) is covered by fig02_motivation and fig10_dse(b)");
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 12: memory access analysis** — (a) overall DRAM
+//! access and (b) average activation (input matrix) size, normalised to
+//! the dense systolic array, per video model.
+//!
+//! Paper shape: Focus ≈ 0.21× DRAM traffic and ≈ 0.18× activation size;
+//! CMC stays near dense traffic (≈ 0.76) despite ~50 % sparsity because
+//! it stages uncompressed outputs for the codec.
+
+use focus_baselines::{AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline};
+use focus_bench::{print_table, workload};
+use focus_core::pipeline::FocusPipeline;
+use focus_sim::ArchConfig;
+use focus_vlm::{DatasetKind, ModelKind};
+
+fn activation_bytes(items: &[focus_sim::WorkItem], weight_bytes: u64) -> u64 {
+    let total: u64 = items
+        .iter()
+        .map(|w| w.dram_read_bytes + w.dram_write_bytes)
+        .sum();
+    total.saturating_sub(weight_bytes)
+}
+
+fn main() {
+    println!("Fig. 12 — memory access analysis (normalised to dense SA)\n");
+    let mut dram_rows = Vec::new();
+    let mut act_rows = Vec::new();
+    let mut sums = [[0.0f64; 4]; 2];
+
+    for model in ModelKind::VIDEO_MODELS {
+        let wl = workload(model, DatasetKind::VideoMme);
+        let dense = DenseBaseline.run(&wl, &ArchConfig::vanilla());
+        let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
+        let cmc = CmcBaseline::default().run(&wl, &ArchConfig::cmc());
+        let ours = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
+
+        let dense_dram = dense.dram_bytes() as f64;
+        let dram = [
+            1.0,
+            ada.dram_bytes() as f64 / dense_dram,
+            cmc.dram_bytes() as f64 / dense_dram,
+            ours.dram_bytes() as f64 / dense_dram,
+        ];
+        // Activation size: DRAM traffic minus the weight stream. The
+        // Focus pipeline tracks its weight bytes directly; baselines
+        // re-read the same weights per m-tile, estimated the same way.
+        let dense_w: u64 = dense_weight_bytes(&dense);
+        let dense_act = activation_bytes(&dense.work_items, dense_w) as f64;
+        let act = [
+            1.0,
+            activation_bytes(&ada.work_items, dense_weight_bytes_of(&ada)) as f64 / dense_act,
+            activation_bytes(&cmc.work_items, dense_weight_bytes_of(&cmc)) as f64 / dense_act,
+            (ours.activation_read_bytes + ours.activation_write_bytes) as f64 / dense_act,
+        ];
+        for i in 0..4 {
+            sums[0][i] += dram[i];
+            sums[1][i] += act[i];
+        }
+        dram_rows.push(row(model, dram));
+        act_rows.push(row(model, act));
+    }
+    let n = ModelKind::VIDEO_MODELS.len() as f64;
+    dram_rows.push(mean_row(sums[0], n));
+    act_rows.push(mean_row(sums[1], n));
+
+    println!("(a) overall DRAM access\n");
+    print_table(&["Model", "SA", "Adaptiv", "CMC", "Ours"], &dram_rows);
+    println!("\npaper means: SA 1.00, Adaptiv 0.44, CMC 0.76, Ours 0.21");
+
+    println!("\n(b) activation (input matrix) size\n");
+    print_table(&["Model", "SA", "Adaptiv", "CMC", "Ours"], &act_rows);
+    println!("\npaper means: SA 1.00, Adaptiv 0.38, CMC 0.53, Ours 0.18");
+}
+
+fn row(model: ModelKind, vals: [f64; 4]) -> Vec<String> {
+    let mut r = vec![model.to_string()];
+    r.extend(vals.iter().map(|v| format!("{v:.2}")));
+    r
+}
+
+fn mean_row(sums: [f64; 4], n: f64) -> Vec<String> {
+    let mut r = vec!["Mean".to_string()];
+    r.extend(sums.iter().map(|v| format!("{:.2}", v / n)));
+    r
+}
+
+fn dense_weight_bytes(r: &focus_baselines::BaselineResult) -> u64 {
+    dense_weight_bytes_of(r)
+}
+
+/// Weight-stream bytes of a lowered token trace: `k×n×batch × m_tiles`
+/// per GEMM at FP16.
+fn dense_weight_bytes_of(r: &focus_baselines::BaselineResult) -> u64 {
+    r.work_items
+        .iter()
+        .map(|w| {
+            let g = &w.gemm;
+            (g.k * g.n * g.batch) as u64 * 2 * g.m_tiles() as u64
+        })
+        .sum()
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Table I: Focus architecture setup**.
+//!
+//! Prints the shipped configuration constants; the table is a
+//! configuration statement, so reproduction means the constants the
+//! code actually runs with match the paper's.
+
+use focus_bench::print_table;
+use focus_core::FocusConfig;
+use focus_sim::ArchConfig;
+
+fn main() {
+    let arch = ArchConfig::focus();
+    let cfg = FocusConfig::paper();
+
+    println!("Table I — Focus architecture setup\n");
+    let rows = vec![
+        vec![
+            "PE Array".to_string(),
+            format!(
+                "{}x{}; FP16 Mul FP32 Acc; Weight Stationary",
+                arch.pe_rows, arch.pe_cols
+            ),
+        ],
+        vec![
+            "Block Size".to_string(),
+            format!("{}x{}x{}", cfg.block.f, cfg.block.h, cfg.block.w),
+        ],
+        vec!["Vector Length".to_string(), cfg.vector_len.to_string()],
+        vec![
+            "Similarity Threshold".to_string(),
+            format!("{:.1}", cfg.threshold),
+        ],
+        vec!["M Tile Size".to_string(), cfg.tile_m.to_string()],
+        vec![
+            "Semantic schedule".to_string(),
+            cfg.schedule
+                .entries()
+                .iter()
+                .map(|(l, r)| format!("{}%@L{}", (r * 100.0).round(), l))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ],
+        vec![
+            "Input Buffer".to_string(),
+            format!("{} KB", arch.input_buffer / 1024),
+        ],
+        vec![
+            "Weight Buffer".to_string(),
+            format!("{} KB", arch.weight_buffer / 1024),
+        ],
+        vec![
+            "Output Buffer".to_string(),
+            format!("{} KB", arch.output_buffer / 1024),
+        ],
+        vec![
+            "Layouter Buffer".to_string(),
+            format!("{} KB", arch.aux_buffer / 1024),
+        ],
+        vec![
+            "Total Buffer".to_string(),
+            format!("{} KB", arch.total_buffer() / 1024),
+        ],
+        vec![
+            "Off-Chip Memory".to_string(),
+            format!("DDR4, 4 channels, {} GB/s", (arch.dram_bw / 1e9) as u64),
+        ],
+        vec![
+            "Frequency".to_string(),
+            format!("{} MHz", (arch.freq_hz / 1e6) as u64),
+        ],
+        vec![
+            "Scatter Accumulators".to_string(),
+            cfg.scatter_accumulators.to_string(),
+        ],
+    ];
+    print_table(&["Parameter", "Value"], &rows);
+}

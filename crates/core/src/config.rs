@@ -1,0 +1,228 @@
+//! Focus unit configuration (paper Table I).
+
+/// Spatiotemporal block dimensions of the similarity window
+/// (frames × height × width; Table I: 2×2×2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BlockSize {
+    /// Temporal extent in frames.
+    pub f: usize,
+    /// Spatial extent in patch rows.
+    pub h: usize,
+    /// Spatial extent in patch columns.
+    pub w: usize,
+}
+
+impl BlockSize {
+    /// The paper's default 2×2×2 block.
+    pub const DEFAULT: BlockSize = BlockSize { f: 2, h: 2, w: 2 };
+
+    /// Total cells in the block (8 for the default), i.e. one key plus
+    /// `cells() - 1` comparison candidates.
+    pub fn cells(&self) -> usize {
+        self.f * self.h * self.w
+    }
+
+    /// Short "fhw" label used in the Fig. 10(c) sweep (e.g. "222").
+    pub fn label(&self) -> String {
+        format!("{}{}{}", self.f, self.h, self.w)
+    }
+}
+
+impl Default for BlockSize {
+    fn default() -> Self {
+        BlockSize::DEFAULT
+    }
+}
+
+/// Layer-indexed retention schedule of the semantic concentrator.
+///
+/// Table I: retain 40 %/30 %/20 %/15 %/10 % of the *original* image
+/// tokens at layers 3/6/9/18/26; layers before the first entry run
+/// dense.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetentionSchedule {
+    entries: Vec<(usize, f64)>,
+}
+
+impl RetentionSchedule {
+    /// The paper's Table I schedule.
+    pub fn paper() -> Self {
+        RetentionSchedule::new(vec![
+            (3, 0.40),
+            (6, 0.30),
+            (9, 0.20),
+            (18, 0.15),
+            (26, 0.10),
+        ])
+    }
+
+    /// A schedule from `(layer, retention)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layers are not strictly increasing, or retentions are
+    /// not in `(0, 1]` and non-increasing.
+    pub fn new(entries: Vec<(usize, f64)>) -> Self {
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "schedule layers must increase");
+            assert!(w[0].1 >= w[1].1, "retention must not increase with depth");
+        }
+        for &(_, r) in &entries {
+            assert!(r > 0.0 && r <= 1.0, "retention must be in (0, 1]");
+        }
+        RetentionSchedule { entries }
+    }
+
+    /// A dense schedule (no pruning) for ablations.
+    pub fn dense() -> Self {
+        RetentionSchedule { entries: Vec::new() }
+    }
+
+    /// The pruning entries `(layer, retention)`.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Retention ratio in effect *at* `layer` (1.0 before the first
+    /// pruning layer).
+    pub fn retention_at(&self, layer: usize) -> f64 {
+        self.entries
+            .iter()
+            .take_while(|&&(l, _)| l <= layer)
+            .last()
+            .map(|&(_, r)| r)
+            .unwrap_or(1.0)
+    }
+
+    /// Returns the retention ratio if `layer` is a pruning layer.
+    pub fn prune_at(&self, layer: usize) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == layer)
+            .map(|&(_, r)| r)
+    }
+
+    /// Mean retention over `layers` layers — the token-level compute
+    /// ratio of FC layers.
+    pub fn mean_retention(&self, layers: usize) -> f64 {
+        (0..layers).map(|l| self.retention_at(l)).sum::<f64>() / layers.max(1) as f64
+    }
+}
+
+/// Full Focus-unit configuration (Table I defaults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FocusConfig {
+    /// Similarity window (2×2×2).
+    pub block: BlockSize,
+    /// Vector length = GEMM `n`/`k` sub-tile width (32).
+    pub vector_len: usize,
+    /// Cosine similarity threshold (0.9).
+    pub threshold: f32,
+    /// GEMM output-tile height `m` (1024).
+    pub tile_m: usize,
+    /// Semantic retention schedule.
+    pub schedule: RetentionSchedule,
+    /// Parallel max units / sorter ways `a` (32, matching the array
+    /// width).
+    pub analyzer_ways: usize,
+    /// Scatter accumulator lanes (2a = 64).
+    pub scatter_accumulators: usize,
+    /// Enable the semantic concentrator (ablation switch).
+    pub enable_sec: bool,
+    /// Enable the similarity concentrator (ablation switch).
+    pub enable_sic: bool,
+}
+
+impl FocusConfig {
+    /// The paper's Table I configuration.
+    pub fn paper() -> Self {
+        FocusConfig {
+            block: BlockSize::DEFAULT,
+            vector_len: 32,
+            threshold: 0.9,
+            tile_m: 1024,
+            schedule: RetentionSchedule::paper(),
+            analyzer_ways: 32,
+            scatter_accumulators: 64,
+            enable_sec: true,
+            enable_sic: true,
+        }
+    }
+
+    /// SEC-only variant (the Fig. 11 ablation's middle bar).
+    pub fn sec_only() -> Self {
+        FocusConfig {
+            enable_sic: false,
+            ..FocusConfig::paper()
+        }
+    }
+
+    /// Token-wise variant for Fig. 2(c): similarity at full-token
+    /// granularity instead of 32-wide vectors (`vector_len = hidden`
+    /// is substituted by the pipeline at run time).
+    pub fn token_wise() -> Self {
+        FocusConfig {
+            vector_len: usize::MAX,
+            ..FocusConfig::paper()
+        }
+    }
+}
+
+impl Default for FocusConfig {
+    fn default() -> Self {
+        FocusConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_matches_table1() {
+        let s = RetentionSchedule::paper();
+        assert_eq!(s.retention_at(0), 1.0);
+        assert_eq!(s.retention_at(2), 1.0);
+        assert_eq!(s.retention_at(3), 0.40);
+        assert_eq!(s.retention_at(5), 0.40);
+        assert_eq!(s.retention_at(9), 0.20);
+        assert_eq!(s.retention_at(17), 0.20);
+        assert_eq!(s.retention_at(27), 0.10);
+        assert_eq!(s.prune_at(18), Some(0.15));
+        assert_eq!(s.prune_at(19), None);
+    }
+
+    #[test]
+    fn mean_retention_over_28_layers() {
+        // (3·1.0 + 3·0.4 + 3·0.3 + 9·0.2 + 8·0.15 + 2·0.1)/28 ≈ 0.296.
+        let s = RetentionSchedule::paper();
+        let mean = s.mean_retention(28);
+        assert!((mean - 8.3 / 28.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn schedule_rejects_increasing_retention() {
+        RetentionSchedule::new(vec![(3, 0.2), (6, 0.4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn schedule_rejects_unordered_layers() {
+        RetentionSchedule::new(vec![(6, 0.4), (3, 0.2)]);
+    }
+
+    #[test]
+    fn block_size_cells_and_label() {
+        assert_eq!(BlockSize::DEFAULT.cells(), 8);
+        assert_eq!(BlockSize { f: 1, h: 3, w: 3 }.cells(), 9);
+        assert_eq!(BlockSize { f: 3, h: 2, w: 2 }.label(), "322");
+    }
+
+    #[test]
+    fn ablation_configs_toggle_units() {
+        assert!(FocusConfig::paper().enable_sec && FocusConfig::paper().enable_sic);
+        assert!(!FocusConfig::sec_only().enable_sic);
+        assert!(FocusConfig::sec_only().enable_sec);
+    }
+}

@@ -1,0 +1,51 @@
+//! **Focus** — a streaming concentration architecture for efficient
+//! vision-language models (HPCA 2026), reproduced in Rust.
+//!
+//! Focus removes redundancy from VLM inference at three granularities,
+//! entirely on-chip and aligned with GEMM tiling:
+//!
+//! * **Semantic (token) level** — the [`sec`] module prunes visual
+//!   tokens whose cross-modal attention says they are irrelevant to the
+//!   prompt (streaming importance analyzer → top-k bubble sorter →
+//!   offset encoder);
+//! * **Block level** — the [`sic::layout`] convolution-style layouter
+//!   restores pruned tokens' (Frame, Height, Width) positions and maps
+//!   2×2×2 spatiotemporal windows onto 8 SRAM banks conflict-free;
+//! * **Vector level** — the [`sic`] similarity concentrator
+//!   deduplicates 32-element vectors inside each output tile (gather)
+//!   and reconstructs full tiles from concentrated partial sums in the
+//!   next GEMM (scatter).
+//!
+//! [`pipeline::FocusPipeline`] runs the whole stack over a synthetic
+//! [`focus_vlm::Workload`] and lowers the measured concentration ratios
+//! into [`focus_sim`] work items for cycle-accurate evaluation;
+//! [`unit`] carries the hardware inventory (area shares, overlap
+//! guarantees).
+//!
+//! # Examples
+//!
+//! ```
+//! use focus_core::pipeline::FocusPipeline;
+//! use focus_sim::ArchConfig;
+//! use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+//!
+//! let workload = Workload::new(
+//!     ModelKind::LlavaVideo7B,
+//!     DatasetKind::VideoMme,
+//!     WorkloadScale::tiny(),
+//!     7,
+//! );
+//! let result = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+//! assert!(result.sparsity() > 0.5);
+//! ```
+
+pub mod config;
+pub mod pipeline;
+pub mod sec;
+pub mod sic;
+pub mod unit;
+
+pub use crate::config::{BlockSize, FocusConfig, RetentionSchedule};
+pub use crate::pipeline::{FocusPipeline, PipelineResult};
+pub use crate::sec::SemanticConcentrator;
+pub use crate::sic::SimilarityConcentrator;

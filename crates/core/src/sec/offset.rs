@@ -1,0 +1,149 @@
+//! Localized offset encoding (paper §V-C, Fig. 5 ⑤).
+//!
+//! Pruning destroys the spatial structure of the token stream: after
+//! top-k selection the retained tokens are packed densely and their
+//! original (Frame, Height, Width) positions are no longer implied by
+//! their stream position. The offset encoder records, for each retained
+//! token, a small integer offset to the previous retained token; the
+//! convolution-style layouter later decodes these to recover exact
+//! coordinates. Encoding is lossless and streaming (one register of
+//! state).
+//!
+//! Offsets are stored in 8-bit lanes; a gap larger than 254 positions —
+//! possible when pruning is aggressive — is carried by `255`-valued
+//! continuation lanes, mirroring how a hardware stream would escape
+//! wide gaps without a second data path.
+
+/// Lossless, compact encoding of a strictly increasing index sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct OffsetEncoding {
+    lanes: Vec<u8>,
+    count: usize,
+}
+
+/// Continuation marker: adds 255 to the pending gap without finishing a
+/// token.
+const CONTINUE: u8 = u8::MAX;
+
+impl OffsetEncoding {
+    /// Encodes a strictly increasing sequence of token indices.
+    ///
+    /// The first token's "previous" is the virtual index −1, so a
+    /// retained token 0 encodes as gap 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is not strictly increasing.
+    pub fn encode(indices: &[usize]) -> Self {
+        let mut lanes = Vec::with_capacity(indices.len());
+        let mut prev: isize = -1;
+        for &idx in indices {
+            assert!(
+                idx as isize > prev,
+                "indices must be strictly increasing ({idx} after {prev})"
+            );
+            let mut gap = (idx as isize - prev) as usize;
+            while gap >= CONTINUE as usize {
+                lanes.push(CONTINUE);
+                gap -= CONTINUE as usize;
+            }
+            lanes.push(gap as u8);
+            prev = idx as isize;
+        }
+        OffsetEncoding {
+            lanes,
+            count: indices.len(),
+        }
+    }
+
+    /// Decodes back to the original index sequence.
+    pub fn decode(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count);
+        let mut prev: isize = -1;
+        let mut pending: usize = 0;
+        for &lane in &self.lanes {
+            if lane == CONTINUE {
+                pending += CONTINUE as usize;
+            } else {
+                prev += (pending + lane as usize) as isize;
+                pending = 0;
+                out.push(prev as usize);
+            }
+        }
+        out
+    }
+
+    /// Number of encoded tokens.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no tokens are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Storage footprint in bytes (one byte per lane).
+    pub fn storage_bytes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Raw lanes (for hardware-stream modelling).
+    pub fn lanes(&self) -> &[u8] {
+        &self.lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_simple_sequences() {
+        for indices in [
+            vec![],
+            vec![0],
+            vec![0, 1, 2, 3],
+            vec![5, 17, 100, 101],
+            vec![1023],
+        ] {
+            let enc = OffsetEncoding::encode(&indices);
+            assert_eq!(enc.decode(), indices);
+            assert_eq!(enc.len(), indices.len());
+        }
+    }
+
+    #[test]
+    fn wide_gaps_use_continuation_lanes() {
+        let indices = vec![0, 1000];
+        let enc = OffsetEncoding::encode(&indices);
+        assert_eq!(enc.decode(), indices);
+        // gap of 1000 needs ⌊1000/255⌋ = 3 continuation lanes + 1 value.
+        assert_eq!(enc.storage_bytes(), 1 + 4);
+    }
+
+    #[test]
+    fn dense_retention_costs_one_byte_per_token() {
+        let indices: Vec<usize> = (0..512).collect();
+        let enc = OffsetEncoding::encode(&indices);
+        assert_eq!(enc.storage_bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_increasing_input() {
+        OffsetEncoding::encode(&[3, 3]);
+    }
+
+    #[test]
+    fn exact_multiple_of_continuation_is_handled() {
+        // Gap of exactly 255 must not produce a zero-gap token (which
+        // would decode as a duplicate index).
+        let indices = vec![254]; // gap = 255 from the virtual −1
+        let enc = OffsetEncoding::encode(&indices);
+        assert_eq!(enc.decode(), indices);
+        let indices = vec![0, 255]; // inner gap of 255
+        let enc = OffsetEncoding::encode(&indices);
+        assert_eq!(enc.decode(), indices);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dynamic token-selection policies (paper §VII-D, future work).
+//!
+//! The shipped SEC uses a static top-k schedule (Table I). The paper
+//! notes: *"Future work may further enhance this strategy by
+//! dynamically adapting to input contexts, e.g., using a post-softmax
+//! attention threshold or top-p pruning, though such adaptation can
+//! introduce runtime variations across inputs."* This module implements
+//! both options on top of the same streaming machinery:
+//!
+//! * [`SelectionPolicy::TopK`] — the paper's schedule (fixed count);
+//! * [`SelectionPolicy::TopP`] — keep the smallest set of tokens whose
+//!   cumulative importance covers a fraction `p` of the total: the
+//!   sorter keeps extracting `a`-sized batches until the mass target is
+//!   met, so the retained count adapts to how concentrated the
+//!   attention is;
+//! * [`SelectionPolicy::Threshold`] — keep every token whose importance
+//!   exceeds an absolute post-softmax score; a pure streaming filter
+//!   (single pass, no sorting at all).
+//!
+//! The runtime-variation caveat is visible in the cycle model: `TopP`'s
+//! pass count depends on the input.
+
+use crate::sec::topk::TopKSorter;
+
+/// How the SEC chooses which tokens to retain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectionPolicy {
+    /// Keep exactly `ratio × M_original` tokens (Table I behaviour).
+    TopK {
+        /// Retention ratio relative to the original token count.
+        ratio: f64,
+    },
+    /// Keep the smallest prefix of the importance ranking whose mass
+    /// reaches `p` of the total importance.
+    TopP {
+        /// Cumulative importance mass to cover, in `(0, 1]`.
+        p: f64,
+    },
+    /// Keep every token whose importance exceeds `min_score`.
+    Threshold {
+        /// Absolute post-softmax attention score cutoff.
+        min_score: f32,
+    },
+}
+
+/// Result of a policy evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionOutcome {
+    /// Selected candidate indices, ascending.
+    pub kept: Vec<usize>,
+    /// Cycles the selection hardware spent (overlapped with attention).
+    pub cycles: u64,
+}
+
+impl SelectionPolicy {
+    /// Applies the policy to an importance vector. `m_original` is the
+    /// pre-pruning token count the `TopK` ratio refers to; `ways` is
+    /// the sorter chain width.
+    pub fn select(
+        &self,
+        importance: &[f32],
+        m_original: usize,
+        ways: usize,
+    ) -> SelectionOutcome {
+        match *self {
+            SelectionPolicy::TopK { ratio } => {
+                let k = ((ratio * m_original as f64).round() as usize).min(importance.len());
+                let top = TopKSorter::new(ways).select(importance, k);
+                let mut kept = top.indices;
+                kept.sort_unstable();
+                SelectionOutcome {
+                    kept,
+                    cycles: top.cycles,
+                }
+            }
+            SelectionPolicy::TopP { p } => {
+                assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+                let total: f64 = importance.iter().map(|&v| v.max(0.0) as f64).sum();
+                let target = p * total;
+                // The chain extracts `ways` tokens per pass; passes
+                // continue until the running mass covers the target —
+                // the input-dependent runtime the paper warns about.
+                let sorter = TopKSorter::new(ways);
+                let mut k = 0usize;
+                let mut cycles = 0u64;
+                let mut kept: Vec<usize> = Vec::new();
+                let mut mass = 0.0f64;
+                while mass < target && k < importance.len() {
+                    k = (k + ways).min(importance.len());
+                    let top = sorter.select(importance, k);
+                    cycles += importance.len() as u64; // one more pass
+                    mass = top
+                        .indices
+                        .iter()
+                        .map(|&i| importance[i].max(0.0) as f64)
+                        .sum();
+                    kept = top.indices;
+                }
+                kept.sort_unstable();
+                SelectionOutcome { kept, cycles }
+            }
+            SelectionPolicy::Threshold { min_score } => {
+                // Pure streaming filter: one comparator pass.
+                let kept: Vec<usize> = importance
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > min_score)
+                    .map(|(i, _)| i)
+                    .collect();
+                SelectionOutcome {
+                    kept,
+                    cycles: (importance.len() as u64).div_ceil(ways as u64),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn importance() -> Vec<f32> {
+        // Two dominant tokens, a mid band, and a long tail.
+        let mut v = vec![0.01f32; 40];
+        v[3] = 0.9;
+        v[17] = 0.8;
+        v[5] = 0.2;
+        v[29] = 0.15;
+        v
+    }
+
+    #[test]
+    fn top_k_matches_schedule_semantics() {
+        let out = SelectionPolicy::TopK { ratio: 0.1 }.select(&importance(), 40, 4);
+        assert_eq!(out.kept, vec![3, 5, 17, 29]);
+    }
+
+    #[test]
+    fn top_p_adapts_to_concentration() {
+        let imp = importance();
+        // 70 % of the mass sits in the two dominant tokens (1.7 of
+        // ~2.41); p = 0.6 should keep only a handful.
+        let tight = SelectionPolicy::TopP { p: 0.6 }.select(&imp, 40, 4);
+        assert!(tight.kept.len() <= 8, "{:?}", tight.kept);
+        assert!(tight.kept.contains(&3) && tight.kept.contains(&17));
+        // p = 0.99 needs nearly everything.
+        let loose = SelectionPolicy::TopP { p: 0.99 }.select(&imp, 40, 4);
+        assert!(loose.kept.len() > tight.kept.len() * 3);
+    }
+
+    #[test]
+    fn top_p_runtime_varies_with_input() {
+        // The paper's caveat: flat importance needs more passes than
+        // concentrated importance for the same p.
+        let flat = vec![0.1f32; 64];
+        let mut peaky = vec![0.001f32; 64];
+        peaky[0] = 10.0;
+        let flat_out = SelectionPolicy::TopP { p: 0.5 }.select(&flat, 64, 8);
+        let peaky_out = SelectionPolicy::TopP { p: 0.5 }.select(&peaky, 64, 8);
+        assert!(flat_out.cycles > peaky_out.cycles);
+        assert_eq!(peaky_out.kept.len().min(8), peaky_out.kept.len());
+    }
+
+    #[test]
+    fn threshold_is_a_single_pass_filter() {
+        let out = SelectionPolicy::Threshold { min_score: 0.1 }.select(&importance(), 40, 8);
+        assert_eq!(out.kept, vec![3, 5, 17, 29]);
+        assert_eq!(out.cycles, 5); // ⌈40/8⌉
+    }
+
+    #[test]
+    fn top_p_full_mass_keeps_everything_positive() {
+        let imp = importance();
+        let out = SelectionPolicy::TopP { p: 1.0 }.select(&imp, 40, 8);
+        assert_eq!(out.kept.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn top_p_validates_range() {
+        SelectionPolicy::TopP { p: 1.5 }.select(&[1.0], 1, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Streaming top-k bubble sorter (paper §V-B, Fig. 5 ④).
+//!
+//! Chaining the analyzer's `a` max units builds an `a`-way streaming
+//! bubble sorter: one pass over the `M` importance scores pushes the
+//! `a` largest values into the register chain; `⌈k/a⌉` passes refine
+//! the running top-k, for `M·⌈k/a⌉ ≈ M·k/a` total cycles — far cheaper
+//! than a full sort and fully overlapped with the image-attention GEMM
+//! (`(M+T)·h·n / (k·b)` ratio, checked by [`overlap_ratio`]).
+//!
+//! The implementation is hardware-faithful (register chain with
+//! displace-on-greater semantics) and is property-tested against the
+//! sort-based specification [`focus_tensor::ops::top_k_indices`].
+
+/// Result of a top-k selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKResult {
+    /// Indices of the k largest scores, in descending score order
+    /// (ties broken toward the lower index).
+    pub indices: Vec<usize>,
+    /// Cycles consumed: `M` per pass, `⌈k/a⌉` passes.
+    pub cycles: u64,
+    /// Number of chain passes executed.
+    pub passes: usize,
+    /// Compare/exchange operations (energy accounting).
+    pub compare_ops: u64,
+}
+
+/// The `a`-way streaming bubble sorter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopKSorter {
+    /// Chain width `a` (Table I: 32).
+    pub ways: usize,
+}
+
+impl TopKSorter {
+    /// Creates a sorter with an `a`-deep register chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0, "sorter needs at least one stage");
+        TopKSorter { ways }
+    }
+
+    /// Selects the `k` highest-scoring indices from `scores`.
+    ///
+    /// Each pass streams every not-yet-selected candidate through the
+    /// register chain. A candidate entering stage 0 displaces the
+    /// resident value if strictly greater (equal values keep the
+    /// earlier-streamed resident, which yields lower-index-first tie
+    /// breaking); the displaced value continues down the chain.
+    pub fn select(&self, scores: &[f32], k: usize) -> TopKResult {
+        let k = k.min(scores.len());
+        let mut selected: Vec<usize> = Vec::with_capacity(k);
+        let mut taken = vec![false; scores.len()];
+        let mut compare_ops: u64 = 0;
+        let passes = k.div_ceil(self.ways);
+
+        for _ in 0..passes {
+            // Register chain: (score, index), best at the front.
+            let mut chain: Vec<(f32, usize)> = Vec::with_capacity(self.ways);
+            for (idx, &score) in scores.iter().enumerate() {
+                if taken[idx] {
+                    continue;
+                }
+                // Bubble the candidate down the chain.
+                let mut cand = (score, idx);
+                let mut placed = false;
+                for stage in chain.iter_mut() {
+                    compare_ops += 1;
+                    if cand.0 > stage.0 {
+                        core::mem::swap(&mut cand, stage);
+                        placed = true;
+                        // The displaced value keeps bubbling.
+                    }
+                    let _ = placed;
+                }
+                if chain.len() < self.ways {
+                    chain.push(cand);
+                }
+            }
+            for &(_, idx) in &chain {
+                if selected.len() < k {
+                    taken[idx] = true;
+                    selected.push(idx);
+                }
+            }
+            if selected.len() >= k {
+                break;
+            }
+        }
+
+        TopKResult {
+            indices: selected,
+            cycles: scores.len() as u64 * passes as u64,
+            passes,
+            compare_ops,
+        }
+    }
+}
+
+/// Ratio of image-attention GEMM cycles to sorter cycles (paper §V-B):
+/// `(M+T)·h·n / (k·b)`. A ratio above 1 means the sorter finishes
+/// before `QᵢKᵀ` does and stays off the critical path.
+pub fn overlap_ratio(
+    image_tokens: usize,
+    text_tokens: usize,
+    head_dim: usize,
+    heads: usize,
+    k: usize,
+    pe_cols: usize,
+) -> f64 {
+    ((image_tokens + text_tokens) * head_dim * heads) as f64 / (k * pe_cols).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_tensor::ops::top_k_indices;
+
+    #[test]
+    fn matches_sort_based_specification() {
+        let scores = [0.3f32, 0.9, 0.1, 0.9, 0.5, 0.2, 0.9, 0.0];
+        for k in 0..=scores.len() {
+            for ways in [1, 2, 3, 8] {
+                let got = TopKSorter::new(ways).select(&scores, k);
+                assert_eq!(
+                    got.indices,
+                    top_k_indices(&scores, k),
+                    "k={k} ways={ways}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_paper_formula() {
+        // M = 100 candidates, k = 20, a = 8 → ⌈20/8⌉ = 3 passes = 300 cycles.
+        let scores: Vec<f32> = (0..100).map(|i| (i * 37 % 101) as f32).collect();
+        let r = TopKSorter::new(8).select(&scores, 20);
+        assert_eq!(r.passes, 3);
+        assert_eq!(r.cycles, 300);
+        assert_eq!(r.indices.len(), 20);
+    }
+
+    #[test]
+    fn k_larger_than_input_clamps() {
+        let r = TopKSorter::new(4).select(&[1.0, 2.0], 10);
+        assert_eq!(r.indices, vec![1, 0]);
+    }
+
+    #[test]
+    fn k_zero_is_empty_and_free() {
+        let r = TopKSorter::new(4).select(&[1.0, 2.0], 0);
+        assert!(r.indices.is_empty());
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn single_way_degenerates_to_selection_sort() {
+        let scores = [5.0f32, 1.0, 4.0, 2.0, 3.0];
+        let r = TopKSorter::new(1).select(&scores, 5);
+        assert_eq!(r.indices, vec![0, 2, 4, 3, 1]);
+        assert_eq!(r.passes, 5);
+    }
+
+    #[test]
+    fn paper_scale_overlap_holds() {
+        // M=6272, T=109, h=128, n=28 heads, k=2509 (40 %), b=32:
+        // ratio = 6381·128·28/(2509·32) ≈ 285 ≫ 1.
+        let ratio = overlap_ratio(6272, 109, 128, 28, 2509, 32);
+        assert!(ratio > 100.0, "{ratio}");
+    }
+}

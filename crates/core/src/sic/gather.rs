@@ -1,0 +1,295 @@
+//! Similarity Gather (paper §VI-A, Fig. 6).
+//!
+//! Operates on one GEMM output tile (`m` rows × one `vector_len`-wide
+//! column group): every row is a vector; each vector is compared, via
+//! cosine similarity with precomputed L2 norms, against the vectors at
+//! its block-candidate positions **within the same tile** (tile-local
+//! compression is what keeps the unit streaming — the Fig. 10(a)
+//! boundary effect follows directly). Matches reuse their
+//! representative's compact index through the [`SimilarityMap`]; unique
+//! vectors append to the compact buffer.
+
+use core::ops::Range;
+use std::collections::HashMap;
+
+use focus_tensor::ops::{cosine_similarity_with_norms, l2_norm};
+use focus_tensor::Matrix;
+
+use crate::config::BlockSize;
+use crate::sic::block::candidate_positions;
+use crate::sic::layout::Fhw;
+use crate::sic::map::SimilarityMap;
+
+/// Gather parameters (a slice of [`FocusConfig`](crate::FocusConfig)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GatherConfig {
+    /// Cosine similarity threshold (Table I: 0.9).
+    pub threshold: f32,
+    /// Spatiotemporal block (Table I: 2×2×2).
+    pub block: BlockSize,
+}
+
+/// Result of gathering one tile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GatherResult {
+    /// The deduplicated vectors (`p × vector_len`).
+    pub compact: Matrix,
+    /// Row → compact index map.
+    pub map: SimilarityMap,
+    /// Cosine comparisons actually evaluated.
+    pub comparisons: u64,
+    /// Rows that matched a representative.
+    pub matches: u64,
+    /// Per-row reconstruction fidelity: cosine between the row and its
+    /// representative (1.0 for unique rows).
+    pub fidelity: Vec<f32>,
+    /// Matcher cycles: one norm slot plus up to `cells−1` comparison
+    /// slots per row (the paper's `8·m` bound for 2×2×2).
+    pub cycles: u64,
+    /// Multiply ops in the matcher datapath (dots + norms), for energy.
+    pub dot_ops: u64,
+}
+
+impl GatherResult {
+    /// Number of unique vectors retained.
+    pub fn p(&self) -> usize {
+        self.compact.rows()
+    }
+
+    /// Compressed payload bytes: compact vectors (FP16) + the map.
+    pub fn compressed_bytes(&self) -> usize {
+        self.compact.rows() * self.compact.cols() * 2 + self.map.storage_bytes()
+    }
+}
+
+/// Gathers one tile: rows `row_start .. row_start+row_count` of `acts`,
+/// columns `col_range`. `positions[abs_row]` gives each row's decoded
+/// (F,H,W) position; `None` rows (text tokens) are never matched.
+///
+/// # Panics
+///
+/// Panics if the row/column ranges exceed `acts`.
+pub fn gather_tile(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    positions: &[Option<Fhw>],
+    cfg: &GatherConfig,
+) -> GatherResult {
+    assert!(row_start + row_count <= acts.rows(), "row range out of bounds");
+    assert!(col_range.end <= acts.cols(), "column range out of bounds");
+    assert!(positions.len() >= row_start + row_count, "positions too short");
+
+    let width = col_range.len();
+    // Position → tile-local row index, for candidate lookup.
+    let mut pos_to_row: HashMap<Fhw, usize> = HashMap::with_capacity(row_count);
+    for local in 0..row_count {
+        if let Some(p) = positions[row_start + local] {
+            pos_to_row.insert(p, local);
+        }
+    }
+
+    let mut norms = Vec::with_capacity(row_count);
+    let mut map = SimilarityMap::with_capacity(row_count);
+    let mut compact_rows: Vec<f32> = Vec::new();
+    let mut fidelity = vec![1.0f32; row_count];
+    let mut comparisons: u64 = 0;
+    let mut matches: u64 = 0;
+    let mut dot_ops: u64 = 0;
+
+    for local in 0..row_count {
+        let row = &acts.row(row_start + local)[col_range.clone()];
+        let norm = l2_norm(row);
+        norms.push(norm);
+        dot_ops += width as u64; // the norm's squared-sum pass
+
+        let mut best: Option<(usize, f32)> = None;
+        if let Some(p) = positions[row_start + local] {
+            for cand in candidate_positions(p, cfg.block) {
+                let Some(&cand_local) = pos_to_row.get(&cand) else {
+                    continue;
+                };
+                if cand_local >= local {
+                    // Only earlier rows are resident when the key streams in.
+                    continue;
+                }
+                let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
+                let cos =
+                    cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
+                comparisons += 1;
+                dot_ops += width as u64;
+                if cos >= cfg.threshold && best.map_or(true, |(_, b)| cos > b) {
+                    best = Some((cand_local, cos));
+                }
+            }
+        }
+
+        match best {
+            Some((cand_local, _)) => {
+                let rep = map.representative(cand_local);
+                map.push_match(rep);
+                matches += 1;
+                // Fidelity against the representative actually stored.
+                let rep_start = rep as usize * width;
+                let rep_row = &compact_rows[rep_start..rep_start + width];
+                fidelity[local] =
+                    cosine_similarity_with_norms(row, norm, rep_row, l2_norm(rep_row));
+            }
+            None => {
+                map.push_unique();
+                compact_rows.extend_from_slice(row);
+            }
+        }
+    }
+
+    let p = compact_rows.len() / width.max(1);
+    GatherResult {
+        compact: Matrix::from_vec(p, width, compact_rows),
+        map,
+        comparisons,
+        matches,
+        fidelity,
+        cycles: row_count as u64 * cfg.block.cells() as u64,
+        dot_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GatherConfig {
+        GatherConfig {
+            threshold: 0.9,
+            block: BlockSize::DEFAULT,
+        }
+    }
+
+    /// Tokens laid out on a 1-frame 2×2 grid; rows 0..4 in scan order.
+    fn positions_2x2() -> Vec<Option<Fhw>> {
+        vec![
+            Some(Fhw { f: 0, r: 0, c: 0 }),
+            Some(Fhw { f: 0, r: 0, c: 1 }),
+            Some(Fhw { f: 0, r: 1, c: 0 }),
+            Some(Fhw { f: 0, r: 1, c: 1 }),
+        ]
+    }
+
+    #[test]
+    fn identical_neighbours_deduplicate() {
+        let acts = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        ]);
+        let r = gather_tile(&acts, 0, 4, 0..4, &positions_2x2(), &cfg());
+        assert_eq!(r.p(), 2);
+        assert_eq!(r.matches, 2);
+        // Rows 1 and 3 map to row 0's compact slot.
+        assert_eq!(r.map.representative(1), r.map.representative(0));
+        assert_eq!(r.map.representative(3), r.map.representative(0));
+        assert!(r.fidelity.iter().all(|&f| f > 0.999));
+    }
+
+    #[test]
+    fn dissimilar_rows_stay_unique() {
+        let acts = Matrix::identity(4);
+        let r = gather_tile(&acts, 0, 4, 0..4, &positions_2x2(), &cfg());
+        assert_eq!(r.p(), 4);
+        assert_eq!(r.matches, 0);
+        assert!(r.comparisons > 0);
+    }
+
+    #[test]
+    fn text_rows_never_match() {
+        let acts = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let positions = vec![Some(Fhw { f: 0, r: 0, c: 0 }), None];
+        let r = gather_tile(
+            &acts,
+            0,
+            2,
+            0..2,
+            &positions,
+            &GatherConfig {
+                threshold: 0.5,
+                block: BlockSize::DEFAULT,
+            },
+        );
+        assert_eq!(r.p(), 2, "the positionless row must stay unique");
+    }
+
+    #[test]
+    fn representative_chains_resolve_to_roots() {
+        // Row 1 matches row 0; row 3 matches row 1 → must map to row 0's
+        // compact slot (chained reuse, Fig. 6 ④).
+        let v = vec![1.0, 1.0, 0.0, 0.0];
+        let acts = Matrix::from_rows(&[v.clone(), v.clone(), vec![0.0, 0.0, 5.0, 0.0], v]);
+        let r = gather_tile(&acts, 0, 4, 0..4, &positions_2x2(), &cfg());
+        assert_eq!(r.p(), 2);
+        assert_eq!(r.map.representative(3), 0);
+    }
+
+    #[test]
+    fn tile_locality_blocks_cross_tile_matches() {
+        // Rows 2,3 form their own tile: row 2's spatial neighbours are
+        // in tile 0, so nothing matches even though values repeat.
+        let v = vec![2.0, 0.0];
+        let acts = Matrix::from_rows(&[v.clone(), v.clone(), v.clone(), v]);
+        let r = gather_tile(&acts, 2, 2, 0..2, &positions_2x2(), &cfg());
+        // Row 2's only block candidate (0,0) lives in tile 0 → unique;
+        // row 3 matches row 2 inside the tile → one compact vector.
+        assert_eq!(r.matches, 1);
+        assert_eq!(r.p(), 1);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        // cos(a,b) ≈ 0.894 < 0.9 → no match; at 0.85 → match.
+        let a = vec![1.0, 0.0];
+        let b = vec![2.0, 1.0];
+        let acts = Matrix::from_rows(&[a, b]);
+        let positions = vec![
+            Some(Fhw { f: 0, r: 0, c: 0 }),
+            Some(Fhw { f: 0, r: 0, c: 1 }),
+        ];
+        let strict = gather_tile(&acts, 0, 2, 0..2, &positions, &cfg());
+        assert_eq!(strict.matches, 0);
+        let loose = gather_tile(
+            &acts,
+            0,
+            2,
+            0..2,
+            &positions,
+            &GatherConfig {
+                threshold: 0.85,
+                block: BlockSize::DEFAULT,
+            },
+        );
+        assert_eq!(loose.matches, 1);
+        assert!((loose.fidelity[1] - 0.894).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycle_bound_is_eight_m_for_default_block() {
+        let acts = Matrix::zeros(16, 8);
+        let positions: Vec<Option<Fhw>> = (0..16)
+            .map(|i| Some(Fhw { f: 0, r: i / 4, c: i % 4 }))
+            .collect();
+        let r = gather_tile(&acts, 0, 16, 0..8, &positions, &cfg());
+        assert_eq!(r.cycles, 8 * 16);
+    }
+
+    #[test]
+    fn compressed_bytes_account_vectors_and_map() {
+        let acts = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
+        let positions = vec![
+            Some(Fhw { f: 0, r: 0, c: 0 }),
+            Some(Fhw { f: 0, r: 0, c: 1 }),
+        ];
+        let r = gather_tile(&acts, 0, 2, 0..2, &positions, &cfg());
+        // 1 unique vector × 2 elems × 2 B + 2 map entries × 2 B.
+        assert_eq!(r.compressed_bytes(), 4 + 4);
+    }
+}

@@ -1,0 +1,136 @@
+//! The per-tile similarity map (paper §VI-A, Fig. 6 ④).
+//!
+//! For each of the `m` original vectors of a tile, the map records the
+//! index of its representative in the compact buffer. Unique vectors
+//! point at their own compact slot; matched vectors reuse their
+//! representative's. The map is what makes concentration *lossless in
+//! structure*: Similarity Scatter replays partial sums through it to
+//! reconstruct all `m` rows.
+
+/// Mapping from original tile rows to compact-buffer indices.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SimilarityMap {
+    entries: Vec<u32>,
+    compact_len: usize,
+}
+
+impl SimilarityMap {
+    /// Builds a map from raw entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is `>= compact_len` (a dangling
+    /// representative).
+    pub fn new(entries: Vec<u32>, compact_len: usize) -> Self {
+        for (i, &e) in entries.iter().enumerate() {
+            assert!(
+                (e as usize) < compact_len || (compact_len == 0 && entries.is_empty()),
+                "row {i} maps to {e}, beyond compact length {compact_len}"
+            );
+        }
+        SimilarityMap {
+            entries,
+            compact_len,
+        }
+    }
+
+    /// An empty map builder used by the gather loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SimilarityMap {
+            entries: Vec::with_capacity(capacity),
+            compact_len: 0,
+        }
+    }
+
+    /// Appends a row that maps to a *new* compact slot; returns the
+    /// slot index.
+    pub fn push_unique(&mut self) -> u32 {
+        let idx = self.compact_len as u32;
+        self.entries.push(idx);
+        self.compact_len += 1;
+        idx
+    }
+
+    /// Appends a row that reuses `representative`'s compact slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `representative` is not an existing compact slot.
+    pub fn push_match(&mut self, representative: u32) {
+        assert!(
+            (representative as usize) < self.compact_len,
+            "representative {representative} does not exist yet"
+        );
+        self.entries.push(representative);
+    }
+
+    /// The compact index of original row `i`.
+    pub fn representative(&self, i: usize) -> u32 {
+        self.entries[i]
+    }
+
+    /// Number of original rows mapped.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no rows are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of unique (compact) vectors.
+    pub fn compact_len(&self) -> usize {
+        self.compact_len
+    }
+
+    /// Storage bytes of the map when shipped to DRAM: 2 bytes per row
+    /// (compact indices fit in 16 bits for m ≤ 64 Ki).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * 2
+    }
+
+    /// Iterates the raw entries.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_via_pushes() {
+        let mut m = SimilarityMap::with_capacity(4);
+        let a = m.push_unique();
+        let b = m.push_unique();
+        m.push_match(a);
+        m.push_match(b);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.compact_len(), 2);
+        assert_eq!(m.representative(2), a);
+        assert_eq!(m.representative(3), b);
+        assert_eq!(m.storage_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn matches_must_point_backwards() {
+        let mut m = SimilarityMap::with_capacity(2);
+        m.push_match(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond compact length")]
+    fn new_validates_entries() {
+        SimilarityMap::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn identity_map_has_full_compact_length() {
+        let m = SimilarityMap::new(vec![0, 1, 2], 3);
+        assert_eq!(m.compact_len(), 3);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The Focus Unit: hardware inventory and overlap guarantees
+//! (paper §IV, Fig. 9(c), Table III).
+//!
+//! Area comes from a sub-component inventory at 28 nm densities
+//! (`focus_sim::AreaModel`): the SEC is dominated by its 25 KB
+//! importance buffer, the SIC by the 32-lane FP16 dot-product tree and
+//! the widened scatter accumulator. The paper reports SEC ≈ 1.9 % and
+//! SIC ≈ 0.8 % of the 3.21 mm² design — a 2.7 % overhead over the
+//! vanilla array — and our inventory reproduces those shares.
+
+use focus_sim::{AreaModel, AreaReport, ArchConfig};
+
+use crate::config::FocusConfig;
+use crate::sec::overlap_ratio;
+use crate::sic::matcher_overlap_ratio;
+
+/// Area inventory of the Focus unit's two modules, mm².
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FocusUnitArea {
+    /// Semantic Concentrator total.
+    pub sec_mm2: f64,
+    /// Similarity Concentrator total.
+    pub sic_mm2: f64,
+}
+
+impl FocusUnitArea {
+    /// Builds the inventory for a configuration at the given densities.
+    pub fn inventory(cfg: &FocusConfig, area: &AreaModel, max_image_tokens: usize) -> Self {
+        // SEC — importance analyzer, sorter, offset encoder.
+        // 25 KB importance buffer at M = 6272 (FP32 per token).
+        let importance_buffer = area.sram_mm2(max_image_tokens * 4);
+        // `a` FP16 max units (comparator + register ≈ 180 µm² each).
+        let max_units = cfg.analyzer_ways as f64 * 180.0 / 1.0e6;
+        // Sorter chain: `a` stages of (16-bit score + 13-bit index)
+        // registers with compare-exchange ≈ 260 µm² per stage.
+        let sorter = cfg.analyzer_ways as f64 * 260.0 / 1.0e6;
+        // Offset encoder: subtractor + lane FIFO.
+        let offset_encoder = 2.0e-3;
+        let sec_mm2 = importance_buffer + max_units + sorter + offset_encoder;
+
+        // SIC — matcher, norm/map buffers, layouter logic, widened
+        // accumulator.
+        // 32-lane FP16 multiply + adder tree ≈ 420 µm²/lane.
+        let dot_tree = cfg.vector_len.min(64) as f64 * 420.0 / 1.0e6;
+        // One divider + two square-root lanes for the cosine.
+        let cosine_tail = 2.5e-3;
+        // Norm buffer (m × FP16) + similarity map buffer (m × 16 bit).
+        let buffers = area.sram_mm2(cfg.tile_m * 2 + cfg.tile_m * 2);
+        // Layouter address generators (bank/offset arithmetic is a few
+        // adders and muxes per port × 8 banks).
+        let layouter = 1.6e-3;
+        // Scatter accumulator widening: the extra `a` FP32 adder lanes
+        // beyond the baseline accumulation unit (≈ 160 µm²/lane).
+        let extra_acc = (cfg.scatter_accumulators.saturating_sub(32)) as f64 * 160.0 / 1.0e6;
+        let sic_mm2 = dot_tree + cosine_tail + buffers + layouter + extra_acc;
+
+        FocusUnitArea { sec_mm2, sic_mm2 }
+    }
+
+    /// Total Focus-unit area.
+    pub fn total_mm2(&self) -> f64 {
+        self.sec_mm2 + self.sic_mm2
+    }
+}
+
+/// The full-chip area report for a Focus-equipped accelerator
+/// (Fig. 9(c) left pie / Table III row).
+pub fn chip_area_report(arch: &ArchConfig, cfg: &FocusConfig, max_image_tokens: usize) -> AreaReport {
+    let area = AreaModel::n28();
+    let unit = FocusUnitArea::inventory(cfg, &area, max_image_tokens);
+    let mut report = AreaReport::new();
+    report.add("Systolic Array", area.pe_array_mm2(arch.pe_rows, arch.pe_cols));
+    report.add("Buffer", area.sram_mm2(arch.total_buffer()));
+    report.add("SFU", area.sfu_mm2);
+    report.add("SEC", unit.sec_mm2);
+    report.add("SIC", unit.sic_mm2);
+    report
+}
+
+/// Verifies the paper's two overlap inequalities at an operating point,
+/// returning `(sorter_ratio, matcher_ratio)`; both must exceed 1 for
+/// the Focus unit to stay off the critical path.
+pub fn overlap_ratios(
+    cfg: &FocusConfig,
+    image_tokens: usize,
+    text_tokens: usize,
+    head_dim: usize,
+    heads: usize,
+    k_retained: usize,
+    gemm_k: usize,
+    pe: (usize, usize),
+) -> (f64, f64) {
+    let sorter = overlap_ratio(image_tokens, text_tokens, head_dim, heads, k_retained, pe.1);
+    let matcher = matcher_overlap_ratio(gemm_k, pe.0, cfg.block.cells());
+    (sorter, matcher)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_area_matches_paper_shares() {
+        let cfg = FocusConfig::paper();
+        let report = chip_area_report(&ArchConfig::focus(), &cfg, 6272);
+        let total = report.total_mm2();
+        // Table III: 3.21 mm² total, within 5 %.
+        assert!((total - 3.21).abs() < 0.16, "total {total}");
+        // Fig. 9(c): SEC ≈ 1.9 %, SIC ≈ 0.8 %.
+        let sec = report.fraction("SEC");
+        let sic = report.fraction("SIC");
+        assert!((0.012..0.028).contains(&sec), "SEC share {sec}");
+        assert!((0.004..0.014).contains(&sic), "SIC share {sic}");
+    }
+
+    #[test]
+    fn focus_overhead_is_under_4_percent() {
+        // Paper: "only a 2.7 % increase in area … relative to the
+        // systolic array architecture".
+        let cfg = FocusConfig::paper();
+        let area = AreaModel::n28();
+        let unit = FocusUnitArea::inventory(&cfg, &area, 6272);
+        let base = area.pe_array_mm2(32, 32) + area.sram_mm2(734 * 1024) + area.sfu_mm2;
+        let overhead = unit.total_mm2() / base;
+        assert!((0.015..0.04).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn overlap_holds_at_paper_operating_point()
+    {
+        let cfg = FocusConfig::paper();
+        let (sorter, matcher) = overlap_ratios(
+            &cfg,
+            6272,
+            109,
+            128,
+            28,
+            2509, // 40 % of 6272
+            3584,
+            (32, 32),
+        );
+        assert!(sorter > 1.0, "sorter ratio {sorter}");
+        assert!(matcher > 1.0, "matcher ratio {matcher}");
+    }
+
+    #[test]
+    fn shallow_gemm_corner_case_is_flagged() {
+        // K = 128 < 256 (paper §VI-A): a single matcher would bind.
+        let cfg = FocusConfig::paper();
+        let (_, matcher) = overlap_ratios(&cfg, 6272, 109, 128, 28, 2509, 128, (32, 32));
+        assert!(matcher < 1.0);
+    }
+
+    #[test]
+    fn sec_area_is_dominated_by_the_importance_buffer() {
+        let cfg = FocusConfig::paper();
+        let area = AreaModel::n28();
+        let unit = FocusUnitArea::inventory(&cfg, &area, 6272);
+        let buffer = area.sram_mm2(6272 * 4);
+        assert!(buffer > unit.sec_mm2 * 0.5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the simulator: timing-model identities,
+//! monotonicity and conservation.
+
+use focus_sim::{ArchConfig, DramModel, Engine, GemmWork, GpuModel, SystolicModel, WorkItem};
+use proptest::prelude::*;
+
+fn any_gemm() -> impl Strategy<Value = GemmWork> {
+    (1usize..2000, 1usize..512, 1usize..256, 1usize..4, 64usize..2048).prop_map(
+        |(m, k, n, batch, tile_m)| GemmWork::dense("g", m, k, n, batch, tile_m),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense effective MACs equal the arithmetic product for any shape.
+    #[test]
+    fn dense_macs_identity(work in any_gemm()) {
+        prop_assert_eq!(work.effective_macs(32), work.dense_macs());
+    }
+
+    /// Cycles scale exactly linearly with batch.
+    #[test]
+    fn batch_linearity(work in any_gemm()) {
+        let model = SystolicModel::new(32, 32);
+        let mut one = work.clone();
+        one.batch = 1;
+        let t1 = model.time(&one);
+        let tb = model.time(&work);
+        prop_assert_eq!(tb.cycles, t1.cycles * work.batch as u64);
+    }
+
+    /// Utilisation never exceeds 1 and MACs never exceed cycles × PEs.
+    #[test]
+    fn utilization_bound(work in any_gemm()) {
+        let model = SystolicModel::new(32, 32);
+        let t = model.time(&work);
+        prop_assert!(t.utilization <= 1.0 + 1e-12);
+        prop_assert!(t.macs <= t.cycles as u128 * 1024);
+    }
+
+    /// Concentrating rows never increases cycles, MACs, or SRAM bytes.
+    #[test]
+    fn concentration_is_monotone(work in any_gemm(), ratio_pct in 1usize..100) {
+        let model = SystolicModel::new(32, 32);
+        let dense_t = model.time(&work);
+        let mut conc = work.clone();
+        let k_subs = conc.k_subtiles(32);
+        let rows: Vec<usize> = (0..conc.m_tiles() * k_subs)
+            .map(|i| {
+                let h = conc.tile_height(i / k_subs).max(1);
+                (h * ratio_pct / 100).max(1)
+            })
+            .collect();
+        conc.subtile_rows = Some(rows);
+        let conc_t = model.time(&conc);
+        prop_assert!(conc_t.cycles <= dense_t.cycles);
+        prop_assert!(conc_t.macs <= dense_t.macs);
+        prop_assert!(
+            model.sram_traffic_bytes(&conc, 2) <= model.sram_traffic_bytes(&work, 2)
+        );
+    }
+
+    /// More scatter accumulators never slow a tile down, and enough
+    /// lanes recover the stream-bound latency.
+    #[test]
+    fn scatter_lanes_monotone(work in any_gemm()) {
+        let model = SystolicModel::new(32, 32);
+        let mut prev = u64::MAX;
+        let base = model.time(&work).cycles;
+        for lanes in [8usize, 32, 64, 4096] {
+            let mut w = work.clone();
+            w.scatter_accumulators = Some(lanes);
+            let c = model.time(&w).cycles;
+            prop_assert!(c <= prev);
+            prop_assert!(c >= base, "scatter can only add stalls");
+            prev = c;
+        }
+    }
+
+    /// Engine wall time is at least both the compute and the DRAM time.
+    #[test]
+    fn engine_wall_time_lower_bounds(work in any_gemm(), read in 0u64..50_000_000, write in 0u64..50_000_000) {
+        let engine = Engine::new(ArchConfig::focus());
+        let compute = SystolicModel::new(32, 32).time(&work).cycles;
+        let item = WorkItem::gemm_only(work, read, write);
+        let rep = engine.run(&[item]);
+        let dram_cycles = (DramModel::ddr4_2133_x4().transfer_seconds(read + write) * 500.0e6).ceil() as u64;
+        prop_assert!(rep.cycles >= compute);
+        prop_assert!(rep.cycles >= dram_cycles);
+        prop_assert_eq!(rep.cycles, compute.max(dram_cycles));
+    }
+
+    /// Energy is strictly positive for non-empty work and additive
+    /// across items.
+    #[test]
+    fn engine_energy_additive(work in any_gemm()) {
+        let engine = Engine::new(ArchConfig::focus());
+        let item = WorkItem::gemm_only(work, 1000, 1000);
+        let one = engine.run(&[item.clone()]);
+        let two = engine.run(&[item.clone(), item]);
+        prop_assert!(one.energy.total_j() > 0.0);
+        let diff = two.energy.total_j() - 2.0 * one.energy.total_j();
+        prop_assert!(diff.abs() < 1e-12);
+    }
+
+    /// GPU roofline: time is monotone in MACs and bytes.
+    #[test]
+    fn gpu_monotone(macs in 1u128..1_000_000_000_000, bytes in 0u64..100_000_000_000) {
+        let gpu = GpuModel::orin_nano();
+        let base = gpu.run_dense(macs, bytes);
+        let more_compute = gpu.run_dense(macs * 2, bytes);
+        let more_bytes = gpu.run_dense(macs, bytes.saturating_mul(2));
+        prop_assert!(more_compute.seconds >= base.seconds);
+        prop_assert!(more_bytes.seconds >= base.seconds);
+        prop_assert!((base.energy_j - base.seconds * 3.5).abs() < 1e-9);
+    }
+}

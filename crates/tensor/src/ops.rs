@@ -1,0 +1,297 @@
+//! Vector and transformer kernels shared across the workspace.
+//!
+//! The similarity concentrator (paper §VI-A) compares 32-element vectors
+//! with cosine similarity computed from a dot product and two precomputed
+//! L2 norms; the semantic concentrator (paper §V-A) consumes softmax
+//! attention rows. These are the reference implementations both the
+//! algorithm pipeline and the hardware models call.
+
+use crate::matrix::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity between two vectors: `a·b / (‖a‖‖b‖)`.
+///
+/// Two all-zero vectors are defined to be perfectly similar (they carry
+/// identical — null — information, so the concentrator may merge them);
+/// a zero vector against a non-zero vector has similarity 0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use focus_tensor::ops::cosine_similarity;
+///
+/// assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+/// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+/// ```
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine similarity using a caller-supplied precomputed norm for each
+/// operand, mirroring the hardware matcher that buffers L2 norms per
+/// vector (paper §VI-A: "each token can precompute its L2-norm").
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_similarity_with_norms(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Numerically stable softmax over a slice, in place.
+///
+/// An empty slice is left untouched. All-(-inf) rows become uniform.
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Row-wise softmax over a matrix, returning a new matrix.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Row-wise *causal* softmax: entries with column index greater than the
+/// row's `query_offset + row` are masked to zero probability. Used by the
+/// reference attention in the workload generator.
+pub fn causal_softmax_rows(m: &Matrix, query_offset: usize) -> Matrix {
+    let mut out = m.clone();
+    let cols = out.cols();
+    for r in 0..out.rows() {
+        let limit = (query_offset + r + 1).min(cols);
+        let row = out.row_mut(r);
+        for v in row[limit..].iter_mut() {
+            *v = f32::NEG_INFINITY;
+        }
+        softmax_in_place(&mut row[..limit]);
+        row[limit..].fill(0.0);
+    }
+    out
+}
+
+/// RMSNorm (root-mean-square layer normalisation) of a row, in place,
+/// with unit gain: `x ← x / sqrt(mean(x²) + eps)`.
+pub fn rmsnorm_in_place(row: &mut [f32], eps: f32) {
+    if row.is_empty() {
+        return;
+    }
+    let ms = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+    let scale = 1.0 / (ms + eps).sqrt();
+    for v in row.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// SiLU activation `x·σ(x)` applied element-wise in place (the gate
+/// non-linearity of Qwen2-style FFNs, which back all three paper models).
+pub fn silu_in_place(row: &mut [f32]) {
+    for v in row.iter_mut() {
+        *v = *v / (1.0 + (-*v).exp());
+    }
+}
+
+/// Splits a row of length `len` into `ceil(len / vector_len)` vectors,
+/// returning the half-open element ranges. The last vector may be short —
+/// the paper's hidden size 3584 divides evenly by 32, but the sweep in
+/// Fig. 10(b) visits sizes that do not.
+pub fn vector_ranges(len: usize, vector_len: usize) -> Vec<core::ops::Range<usize>> {
+    assert!(vector_len > 0, "vector_len must be positive");
+    (0..len)
+        .step_by(vector_len)
+        .map(|start| start..(start + vector_len).min(len))
+        .collect()
+}
+
+/// Returns the indices of the `k` largest values of `scores`, in
+/// descending score order, with index order breaking ties (lower index
+/// wins). This is the functional specification the streaming top-k bubble
+/// sorter is tested against.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Empirical CDF evaluation: the fraction of `values` that are `<= x`.
+pub fn empirical_cdf(values: &[f32], x: f32) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+/// Geometric mean of a slice of positive values; returns 0 for an empty
+/// slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_norms_matches_direct() {
+        let a = [0.3, -1.2, 4.5, 0.0];
+        let b = [2.0, 0.7, -0.3, 1.1];
+        let direct = cosine_similarity(&a, &b);
+        let precomp = cosine_similarity_with_norms(&a, l2_norm(&a), &b, l2_norm(&b));
+        assert!((direct - precomp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_a_probability_distribution() {
+        let mut row = vec![1.0, 2.0, 3.0, 4.0];
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone in logits");
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![1000.0, 1001.0, 1002.0];
+        let mut b = vec![0.0, 1.0, 2.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn causal_softmax_masks_future() {
+        let m = Matrix::from_fn(2, 4, |_, _| 1.0);
+        let p = causal_softmax_rows(&m, 1);
+        // Row 0 sees columns 0..=1, row 1 sees 0..=2.
+        assert_eq!(p[(0, 2)], 0.0);
+        assert_eq!(p[(0, 3)], 0.0);
+        assert!((p[(0, 0)] - 0.5).abs() < 1e-6);
+        assert_eq!(p[(1, 3)], 0.0);
+        assert!((p[(1, 0)] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_produces_unit_rms() {
+        let mut row = vec![3.0, -4.0, 12.0, 0.0];
+        rmsnorm_in_place(&mut row, 0.0);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        assert!((ms - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silu_fixed_points() {
+        let mut row = vec![0.0, 10.0];
+        silu_in_place(&mut row);
+        assert_eq!(row[0], 0.0);
+        assert!((row[1] - 10.0).abs() < 1e-3, "large x ≈ identity");
+    }
+
+    #[test]
+    fn vector_ranges_partition_exactly() {
+        let ranges = vector_ranges(100, 32);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[3], 96..100);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 100);
+        // Even split.
+        assert_eq!(vector_ranges(3584, 32).len(), 112);
+    }
+
+    #[test]
+    fn top_k_orders_by_score_then_index() {
+        let scores = [0.1, 0.9, 0.9, 0.5];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 2, 3]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&scores, 10).len(), 4, "k clamps to len");
+    }
+
+    #[test]
+    fn cdf_and_geomean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(empirical_cdf(&v, 2.5), 0.5);
+        assert_eq!(empirical_cdf(&[], 0.0), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

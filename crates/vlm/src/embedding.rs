@@ -1,0 +1,457 @@
+//! Token embedding and activation synthesis.
+//!
+//! Expands the [`crate::scene::Scene`]'s content keys into
+//! layer/stage-specific activation rows with a **controlled sub-vector
+//! redundancy structure**:
+//!
+//! * every [`ContentKey`] owns a deterministic latent appearance vector;
+//! * each 8-element *group* of a token's row is either **stable**
+//!   (bit-identical whenever the same content appears, in any frame) or
+//!   **unstable** (fresh Gaussian noise of magnitude `noise_sigma` every
+//!   frame);
+//! * the per-content stable-group fraction is drawn around the dataset's
+//!   [`stable_fraction`](crate::dataset::RedundancyProfile::stable_fraction).
+//!
+//! This reproduces the paper's Fig. 2(b) mechanism exactly: at a
+//! granularity of 8 the fraction of >0.9-cosine vectors approaches the
+//! stable fraction, while full-token cosine is dragged below the 0.9
+//! threshold by the noisy groups (`cos ≈ sf + (1-sf)/(1+σ²)`), so finer
+//! granularity reveals substantially more redundancy.
+
+use std::collections::HashMap;
+
+use focus_tensor::Matrix;
+
+use crate::dataset::RedundancyProfile;
+use crate::scene::{hash_words, ContentKey, Scene};
+
+/// Elements per stability group: the finest granularity at which
+/// redundancy exists (the paper's Fig. 2(b) sweeps down to size 8).
+pub const GROUP: usize = 8;
+
+/// The network stages whose outputs the similarity concentrator gathers
+/// (paper §VI-A footnote: FFN, O-projection and PV outputs) plus the
+/// initial embeddings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Projector output / LLM input embeddings.
+    Embedding,
+    /// Output of the attention PV GEMM (input of the O projection).
+    PvOut,
+    /// Output of the O projection (input, through the residual/norm, of
+    /// the FFN gate/up GEMMs).
+    OProjOut,
+    /// The gated FFN activation (input of the FFN down GEMM); its width
+    /// is `ffn_hidden`, not `hidden`.
+    FfnAct,
+    /// Output of the FFN down GEMM (input of the next layer's QKV).
+    FfnDownOut,
+}
+
+impl Stage {
+    /// All gather points in execution order within a layer.
+    pub const GATHER_POINTS: [Stage; 4] = [
+        Stage::PvOut,
+        Stage::OProjOut,
+        Stage::FfnAct,
+        Stage::FfnDownOut,
+    ];
+
+    fn salt(self) -> u64 {
+        match self {
+            Stage::Embedding => 0x10,
+            Stage::PvOut => 0x20,
+            Stage::OProjOut => 0x30,
+            Stage::FfnAct => 0x40,
+            Stage::FfnDownOut => 0x50,
+        }
+    }
+}
+
+/// SplitMix64: a tiny, fast, high-quality deterministic generator used
+/// to expand hash seeds into value streams.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal sample (Box–Muller, one value per call).
+    #[inline]
+    pub fn next_normal(&mut self) -> f32 {
+        let u1 = self.next_unit().max(1e-12);
+        let u2 = self.next_unit();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()) as f32
+    }
+}
+
+/// Synthesises per-layer, per-stage activation matrices for a scene.
+///
+/// Holds an appearance cache keyed by content; the cache is flushed when
+/// the (layer, stage) context changes, which matches the layer-by-layer
+/// traversal of the pipeline.
+#[derive(Debug)]
+pub struct ActivationSynthesizer<'a> {
+    scene: &'a Scene,
+    redundancy: RedundancyProfile,
+    seed: u64,
+    layers: usize,
+    cache_salt: u64,
+    appearance_cache: HashMap<(ContentKey, usize), Vec<f32>>,
+}
+
+impl<'a> ActivationSynthesizer<'a> {
+    /// Creates a synthesiser for `scene` with the dataset's redundancy
+    /// profile. `layers` is the total layer count (used for the mild
+    /// depth trend in stability).
+    pub fn new(scene: &'a Scene, redundancy: RedundancyProfile, layers: usize, seed: u64) -> Self {
+        ActivationSynthesizer {
+            scene,
+            redundancy,
+            seed,
+            layers,
+            cache_salt: u64::MAX,
+            appearance_cache: HashMap::new(),
+        }
+    }
+
+    /// The scene this synthesiser reads.
+    pub fn scene(&self) -> &Scene {
+        self.scene
+    }
+
+    /// Context salt for a (layer, stage) pair.
+    fn context_salt(&self, layer: usize, stage: Stage) -> u64 {
+        hash_words(self.seed, &[0xCC, layer as u64, stage.salt()])
+    }
+
+    /// Per-content stable-group fraction: the dataset mean plus a
+    /// per-content offset and a mild depth decay.
+    fn stable_fraction_for(&self, key: ContentKey, layer: usize) -> f64 {
+        let z = centered_unit(key.stable_hash(self.seed ^ 0x5F5F));
+        let depth = layer as f64 / self.layers.max(1) as f64;
+        (self.redundancy.stable_fraction + 0.24 * z - 0.05 * depth).clamp(0.02, 0.995)
+    }
+
+    /// Deterministic appearance vector of a content key at the current
+    /// context, memoised.
+    fn appearance(&mut self, key: ContentKey, width: usize, salt: u64) -> &[f32] {
+        self.appearance_cache.entry((key, width)).or_insert_with(|| {
+            let mut rng = SplitMix64(key.stable_hash(salt));
+            (0..width).map(|_| rng.next_normal()).collect()
+        })
+    }
+
+    /// Synthesises the deterministic (noise-free) part of one token row.
+    fn deterministic_row(&mut self, token: usize, width: usize, salt: u64, out: &mut [f32]) {
+        let patch = self.scene.patch_by_index(token).clone();
+        match patch.primary {
+            ContentKey::Background { epoch, .. } => {
+                // sqrt-weighted mix keeps unit variance; the expected
+                // cosine between two background patches is 1 - texture.
+                let texture = self.redundancy.bg_texture_var.clamp(0.0, 1.0);
+                let w_scene = ((1.0 - texture) as f32).sqrt();
+                let w_pos = (texture as f32).sqrt();
+                let scene_app = self
+                    .appearance(ContentKey::Scene { epoch }, width, salt)
+                    .to_vec();
+                let pos_app = self.appearance(patch.primary, width, salt);
+                for i in 0..width {
+                    out[i] = w_scene * scene_app[i] + w_pos * pos_app[i];
+                }
+            }
+            ContentKey::Object { epoch, object, .. } => {
+                // Objects mix a core identity with per-cell texture.
+                const OBJECT_TEXTURE: f32 = 0.7;
+                let w_core = (1.0 - OBJECT_TEXTURE).sqrt();
+                let w_cell = OBJECT_TEXTURE.sqrt();
+                let core_key = ContentKey::Object {
+                    epoch,
+                    object,
+                    lr: i16::MAX,
+                    lc: i16::MAX,
+                };
+                let core = self.appearance(core_key, width, salt).to_vec();
+                let cell = self.appearance(patch.primary, width, salt);
+                for i in 0..width {
+                    out[i] = w_core * core[i] + w_cell * cell[i];
+                }
+            }
+            ContentKey::Scene { .. } => {
+                let app = self.appearance(patch.primary, width, salt).to_vec();
+                out.copy_from_slice(&app);
+            }
+        }
+        // Sub-patch motion blends the neighbouring content. The blend
+        // weight is damped below the raw area overlap: vision-encoder
+        // features are translation-tolerant, so a patch whose content
+        // shifted by φ of a cell moves much less than φ in feature
+        // space (this is precisely the sub-token redundancy Fig. 1(c)
+        // exploits).
+        const MOTION_DAMPING: f32 = 0.5;
+        if let Some((secondary, phi)) = patch.secondary {
+            let phi = MOTION_DAMPING * phi;
+            let sec = self.appearance(secondary, width, salt).to_vec();
+            for i in 0..width {
+                out[i] = (1.0 - phi) * out[i] + phi * sec[i];
+            }
+        }
+    }
+
+    /// Synthesises one activation row for `token` at `(layer, stage)`
+    /// into `out` (whose length sets the width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a positive multiple of [`GROUP`].
+    pub fn token_row(&mut self, token: usize, layer: usize, stage: Stage, out: &mut [f32]) {
+        let width = out.len();
+        assert!(width > 0 && width % GROUP == 0, "width must be a multiple of {GROUP}");
+        let salt = self.context_salt(layer, stage);
+        if salt != self.cache_salt {
+            self.appearance_cache.clear();
+            self.cache_salt = salt;
+        }
+        self.deterministic_row(token, width, salt, out);
+
+        // Hierarchical group stability. Channel stability in real
+        // activations is spatially *clustered*: whole 32-wide feature
+        // blocks freeze for static content, and inside a volatile block
+        // some 8-wide sub-groups still repeat. Two tiers reproduce the
+        // Fig. 2(b) CDF at both ends — the 8-dim >0.9 fraction equals
+        // `sf`, while the 32-dim fraction equals the block-tier
+        // stability `s32 = α·sf` — without the `sf⁴` collapse a flat
+        // i.i.d. model would force on vector-level matching.
+        let patch = self.scene.patch_by_index(token);
+        let key = patch.primary;
+        let sf = self.stable_fraction_for(key, layer);
+        const BLOCK_TIER: f64 = 0.72;
+        let s32 = BLOCK_TIER * sf;
+        let s8 = ((sf - s32) / (1.0 - s32)).clamp(0.0, 1.0);
+        let sigma = self.redundancy.noise_sigma as f32;
+        let stability_seed = key.stable_hash(salt ^ 0xABCD);
+        let groups_per_block = 32 / GROUP;
+        for g in 0..width / GROUP {
+            let block = g / groups_per_block;
+            let block_stable =
+                unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
+            let group_stable = block_stable
+                || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8;
+            if !group_stable {
+                let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
+                for v in out[g * GROUP..(g + 1) * GROUP].iter_mut() {
+                    *v += sigma * rng.next_normal();
+                }
+            }
+        }
+    }
+
+    /// Synthesises the activation matrix of the given tokens at
+    /// `(layer, stage)`. Rows follow the order of `tokens`; image-token
+    /// indices are scene-global (frame-major).
+    pub fn activations(
+        &mut self,
+        tokens: &[usize],
+        layer: usize,
+        stage: Stage,
+        width: usize,
+    ) -> Matrix {
+        let mut m = Matrix::zeros(tokens.len(), width);
+        for (i, &t) in tokens.iter().enumerate() {
+            let row_start = i; // rows are in `tokens` order
+            self.token_row(t, layer, stage, m.row_mut(row_start));
+        }
+        m
+    }
+
+    /// Cosine-similarity samples between temporally adjacent tokens at
+    /// the given vector granularity — the measurement behind Fig. 2(b).
+    ///
+    /// For every token of frames `1..F`, its row is compared with the
+    /// same grid position in the previous frame, slice by slice of
+    /// `granularity` elements; all slice similarities are returned.
+    pub fn temporal_similarity_samples(
+        &mut self,
+        layer: usize,
+        stage: Stage,
+        width: usize,
+        granularity: usize,
+    ) -> Vec<f32> {
+        let cfg = *self.scene.config();
+        let per_frame = cfg.grid_h * cfg.grid_w;
+        let mut samples = Vec::new();
+        let mut prev_row = vec![0.0f32; width];
+        let mut cur_row = vec![0.0f32; width];
+        for f in 1..cfg.frames {
+            for p in 0..per_frame {
+                let cur = f * per_frame + p;
+                let prev = (f - 1) * per_frame + p;
+                self.token_row(prev, layer, stage, &mut prev_row);
+                self.token_row(cur, layer, stage, &mut cur_row);
+                for range in focus_tensor::ops::vector_ranges(width, granularity) {
+                    samples.push(focus_tensor::ops::cosine_similarity(
+                        &cur_row[range.clone()],
+                        &prev_row[range],
+                    ));
+                }
+            }
+        }
+        samples
+    }
+}
+
+/// Uniform in `[0,1)` from a hash.
+fn unit_from(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform in `[-1, 1)` from a hash.
+fn centered_unit(h: u64) -> f64 {
+    unit_from(h) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelKind;
+    use crate::dataset::{DatasetKind, DatasetProfile};
+    use crate::scene::SceneConfig;
+
+    fn make_scene() -> Scene {
+        let profile = DatasetProfile::for_model(DatasetKind::VideoMme, ModelKind::LlavaVideo7B);
+        Scene::synthesize(SceneConfig {
+            frames: 4,
+            grid_h: 14,
+            grid_w: 14,
+            redundancy: profile.redundancy,
+            seed: 99,
+        })
+    }
+
+    fn profile() -> RedundancyProfile {
+        DatasetProfile::for_model(DatasetKind::VideoMme, ModelKind::LlavaVideo7B).redundancy
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let scene = make_scene();
+        let mut a = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut b = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut ra = vec![0.0; 128];
+        let mut rb = vec![0.0; 128];
+        a.token_row(17, 3, Stage::PvOut, &mut ra);
+        b.token_row(17, 3, Stage::PvOut, &mut rb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_layers_decorrelate() {
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut r3 = vec![0.0; 128];
+        let mut r9 = vec![0.0; 128];
+        syn.token_row(17, 3, Stage::PvOut, &mut r3);
+        syn.token_row(17, 9, Stage::PvOut, &mut r9);
+        let cos = focus_tensor::ops::cosine_similarity(&r3, &r9);
+        assert!(cos.abs() < 0.5, "layers must have distinct latents ({cos})");
+    }
+
+    #[test]
+    fn static_background_has_stable_groups_across_frames() {
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        // Find a static-background position in frames 0 and 1.
+        let per_frame = 14 * 14;
+        let (mut t0, mut t1) = (usize::MAX, 0);
+        for p in 0..per_frame {
+            if scene.patch_by_index(p).object.is_none()
+                && scene.patch_by_index(per_frame + p).object.is_none()
+                && scene.epoch_of_frame(0) == scene.epoch_of_frame(1)
+            {
+                t0 = p;
+                t1 = per_frame + p;
+                break;
+            }
+        }
+        assert_ne!(t0, usize::MAX, "scene must contain static background");
+        let mut a = vec![0.0; 256];
+        let mut b = vec![0.0; 256];
+        syn.token_row(t0, 5, Stage::OProjOut, &mut a);
+        syn.token_row(t1, 5, Stage::OProjOut, &mut b);
+        // Some groups identical (stable), some not (noisy).
+        let mut identical = 0;
+        let mut different = 0;
+        for g in 0..256 / GROUP {
+            if a[g * GROUP..(g + 1) * GROUP] == b[g * GROUP..(g + 1) * GROUP] {
+                identical += 1;
+            } else {
+                different += 1;
+            }
+        }
+        assert!(identical >= 256 / GROUP / 3, "stable groups must repeat ({identical})");
+        assert!(different > 0, "unstable groups must differ");
+    }
+
+    #[test]
+    fn fine_granularity_reveals_more_redundancy() {
+        // The Fig. 2(b) ordering: P(sim > 0.9) at granularity 8 must
+        // exceed P(sim > 0.9) at full width.
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let width = 256;
+        let fine = syn.temporal_similarity_samples(4, Stage::FfnDownOut, width, 8);
+        let coarse = syn.temporal_similarity_samples(4, Stage::FfnDownOut, width, width);
+        let frac = |v: &[f32]| v.iter().filter(|&&s| s > 0.9).count() as f64 / v.len() as f64;
+        assert!(
+            frac(&fine) > frac(&coarse) + 0.1,
+            "fine {:.3} vs coarse {:.3}",
+            frac(&fine),
+            frac(&coarse)
+        );
+    }
+
+    #[test]
+    fn activations_matrix_matches_row_synthesis() {
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let tokens = [3usize, 200, 77];
+        let m = syn.activations(&tokens, 2, Stage::FfnAct, 64);
+        let mut row = vec![0.0; 64];
+        syn.token_row(200, 2, Stage::FfnAct, &mut row);
+        assert_eq!(m.row(1), &row[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn width_must_be_group_aligned() {
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut row = vec![0.0; 13];
+        syn.token_row(0, 0, Stage::Embedding, &mut row);
+    }
+
+    #[test]
+    fn splitmix_is_reproducible_and_normalish() {
+        let mut rng = SplitMix64(42);
+        let first = rng.next_u64();
+        assert_eq!(SplitMix64(42).next_u64(), first);
+        let mut rng = SplitMix64(7);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| rng.next_normal() as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.08, "mean {mean}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Layer-wise GEMM trace enumeration.
+//!
+//! The simulator and the concentration pipelines agree on the exact set
+//! of GEMMs a prefill pass executes. Per transformer layer over a
+//! sequence of `S` tokens:
+//!
+//! | kind     | m | k          | n          | batch    |
+//! |----------|---|------------|------------|----------|
+//! | QKV      | S | hidden     | q+2·kv     | 1        |
+//! | QKᵀ      | S | head_dim   | S          | heads    |
+//! | PV       | S | S          | head_dim   | heads    |
+//! | O-proj   | S | hidden     | hidden     | 1        |
+//! | FFN gate | S | hidden     | ffn_hidden | 1        |
+//! | FFN up   | S | hidden     | ffn_hidden | 1        |
+//! | FFN down | S | ffn_hidden | hidden     | 1        |
+//!
+//! Decode is ignored: on the paper's video workloads prefill dominates
+//! by orders of magnitude (6 381 tokens in, tens of tokens out).
+
+use crate::config::ModelConfig;
+
+/// The role a GEMM plays inside a transformer layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GemmKind {
+    /// Fused query/key/value projection.
+    Qkv,
+    /// Attention score computation `QKᵀ` (per head).
+    QkT,
+    /// Attention-weighted value aggregation `P·V` (per head).
+    Pv,
+    /// Attention output projection.
+    OProj,
+    /// FFN gate projection.
+    FfnGate,
+    /// FFN up projection.
+    FfnUp,
+    /// FFN down projection.
+    FfnDown,
+}
+
+impl GemmKind {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmKind::Qkv => "qkv",
+            GemmKind::QkT => "qk_t",
+            GemmKind::Pv => "pv",
+            GemmKind::OProj => "o_proj",
+            GemmKind::FfnGate => "ffn_gate",
+            GemmKind::FfnUp => "ffn_up",
+            GemmKind::FfnDown => "ffn_down",
+        }
+    }
+
+    /// Whether this GEMM's *input rows* are token activations that the
+    /// similarity concentrator can compact (attention score/value GEMMs
+    /// are handled at token granularity by the semantic concentrator
+    /// instead).
+    pub fn is_fc(self) -> bool {
+        matches!(
+            self,
+            GemmKind::Qkv | GemmKind::OProj | GemmKind::FfnGate | GemmKind::FfnUp | GemmKind::FfnDown
+        )
+    }
+}
+
+/// One (possibly batched) GEMM of the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Gemm {
+    /// Which role it plays.
+    pub kind: GemmKind,
+    /// Layer index it belongs to.
+    pub layer: usize,
+    /// Output rows (tokens).
+    pub m: usize,
+    /// Inner (contraction) dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Independent instances (attention heads).
+    pub batch: usize,
+}
+
+impl Gemm {
+    /// Multiply-accumulate operations of the dense GEMM.
+    pub fn macs(&self) -> u128 {
+        self.m as u128 * self.k as u128 * self.n as u128 * self.batch as u128
+    }
+
+    /// Dense operand/input element count (`m × k` per batch).
+    pub fn input_elems(&self) -> u128 {
+        self.m as u128 * self.k as u128 * self.batch as u128
+    }
+
+    /// Dense weight element count (`k × n` per batch). For attention
+    /// GEMMs the "weight" operand is itself an activation.
+    pub fn weight_elems(&self) -> u128 {
+        self.k as u128 * self.n as u128 * self.batch as u128
+    }
+
+    /// Dense output element count (`m × n` per batch).
+    pub fn output_elems(&self) -> u128 {
+        self.m as u128 * self.n as u128 * self.batch as u128
+    }
+}
+
+/// The GEMMs of one transformer layer over a sequence of `seq` tokens.
+pub fn layer_gemms(cfg: &ModelConfig, layer: usize, seq: usize) -> Vec<Gemm> {
+    vec![
+        Gemm {
+            kind: GemmKind::Qkv,
+            layer,
+            m: seq,
+            k: cfg.hidden,
+            n: cfg.qkv_out(),
+            batch: 1,
+        },
+        Gemm {
+            kind: GemmKind::QkT,
+            layer,
+            m: seq,
+            k: cfg.head_dim,
+            n: seq,
+            batch: cfg.heads,
+        },
+        Gemm {
+            kind: GemmKind::Pv,
+            layer,
+            m: seq,
+            k: seq,
+            n: cfg.head_dim,
+            batch: cfg.heads,
+        },
+        Gemm {
+            kind: GemmKind::OProj,
+            layer,
+            m: seq,
+            k: cfg.hidden,
+            n: cfg.hidden,
+            batch: 1,
+        },
+        Gemm {
+            kind: GemmKind::FfnGate,
+            layer,
+            m: seq,
+            k: cfg.hidden,
+            n: cfg.ffn_hidden,
+            batch: 1,
+        },
+        Gemm {
+            kind: GemmKind::FfnUp,
+            layer,
+            m: seq,
+            k: cfg.hidden,
+            n: cfg.ffn_hidden,
+            batch: 1,
+        },
+        Gemm {
+            kind: GemmKind::FfnDown,
+            layer,
+            m: seq,
+            k: cfg.ffn_hidden,
+            n: cfg.hidden,
+            batch: 1,
+        },
+    ]
+}
+
+/// Total dense prefill MACs for `layers` layers at a fixed sequence
+/// length.
+pub fn dense_prefill_macs(cfg: &ModelConfig, seq: usize) -> u128 {
+    (0..cfg.layers)
+        .flat_map(|l| layer_gemms(cfg, l, seq))
+        .map(|g| g.macs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelKind};
+
+    #[test]
+    fn layer_has_seven_gemms() {
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let gemms = layer_gemms(&cfg, 0, 1000);
+        assert_eq!(gemms.len(), 7);
+        assert!(gemms.iter().all(|g| g.m == 1000));
+    }
+
+    #[test]
+    fn attention_gemms_are_per_head_and_quadratic() {
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let gemms = layer_gemms(&cfg, 0, 512);
+        let qkt = gemms.iter().find(|g| g.kind == GemmKind::QkT).unwrap();
+        assert_eq!(qkt.batch, 28);
+        assert_eq!(qkt.n, 512);
+        assert_eq!(qkt.k, 128);
+        let pv = gemms.iter().find(|g| g.kind == GemmKind::Pv).unwrap();
+        assert_eq!(pv.macs(), qkt.macs(), "QKᵀ and PV are symmetric");
+    }
+
+    #[test]
+    fn ffn_dominates_layer_macs_at_paper_scale() {
+        // With 6 381 tokens, the FFN's three GEMMs are the majority of
+        // layer compute — the reason SIC targets FC layers.
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let gemms = layer_gemms(&cfg, 0, 6381);
+        let total: u128 = gemms.iter().map(|g| g.macs()).sum();
+        let ffn: u128 = gemms
+            .iter()
+            .filter(|g| {
+                matches!(
+                    g.kind,
+                    GemmKind::FfnGate | GemmKind::FfnUp | GemmKind::FfnDown
+                )
+            })
+            .map(|g| g.macs())
+            .sum();
+        assert!(ffn * 2 > total, "FFN should exceed half of layer MACs");
+    }
+
+    #[test]
+    fn dense_prefill_scale_sanity() {
+        // ~2 × 7e9 params × 6.4k tokens ≈ 4.5e13 MACs; our per-layer
+        // enumeration must land in that order of magnitude.
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let macs = dense_prefill_macs(&cfg, 6381);
+        assert!(macs > 3e13 as u128 && macs < 9e13 as u128, "got {macs}");
+    }
+
+    #[test]
+    fn fc_classification() {
+        assert!(GemmKind::FfnDown.is_fc());
+        assert!(GemmKind::Qkv.is_fc());
+        assert!(!GemmKind::QkT.is_fc());
+        assert!(!GemmKind::Pv.is_fc());
+    }
+
+    #[test]
+    fn element_counts_are_consistent() {
+        let g = Gemm {
+            kind: GemmKind::OProj,
+            layer: 0,
+            m: 10,
+            k: 20,
+            n: 30,
+            batch: 2,
+        };
+        assert_eq!(g.macs(), 12000);
+        assert_eq!(g.input_elems(), 400);
+        assert_eq!(g.weight_elems(), 1200);
+        assert_eq!(g.output_elems(), 600);
+    }
+}

@@ -1,0 +1,254 @@
+//! The top-level workload object: one (model, benchmark, prompt, seed)
+//! cell of the paper's evaluation grid.
+//!
+//! A [`Workload`] owns the synthesised scene and exposes everything the
+//! concentration pipelines consume: paper-scale and measured-scale model
+//! configurations, token counts, the activation and attention
+//! synthesisers, and ground-truth relevance. The *measured* pipeline
+//! runs at [`WorkloadScale`] resolution; cycle/energy numbers are then
+//! computed analytically at paper scale from the measured ratios
+//! (DESIGN.md §2).
+
+use crate::attention::{relevance, AttentionSynthesizer, Prompt};
+use crate::config::{ModelConfig, ModelKind, WorkloadScale};
+use crate::dataset::{DatasetKind, DatasetProfile};
+use crate::embedding::ActivationSynthesizer;
+use crate::scene::{hash_words, Scene, SceneConfig};
+
+/// One evaluation cell: a model running a benchmark sample.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    model: ModelConfig,
+    scaled: ModelConfig,
+    profile: DatasetProfile,
+    scale: WorkloadScale,
+    prompt: Prompt,
+    seed: u64,
+    scene: Scene,
+}
+
+impl Workload {
+    /// Builds the workload for `(model, dataset)` at `scale` with a
+    /// deterministic `seed`.
+    pub fn new(model: ModelKind, dataset: DatasetKind, scale: WorkloadScale, seed: u64) -> Self {
+        Workload::with_prompt(model, dataset, scale, seed, Prompt::default())
+    }
+
+    /// Like [`Workload::new`] but with an explicit prompt.
+    pub fn with_prompt(
+        model: ModelKind,
+        dataset: DatasetKind,
+        scale: WorkloadScale,
+        seed: u64,
+        prompt: Prompt,
+    ) -> Self {
+        let model_cfg = ModelConfig::paper(model);
+        let scaled = model_cfg.scaled(&scale);
+        let profile = DatasetProfile::for_model(dataset, model);
+        let frames = scale.frames.min(profile.frames);
+        let scene = Scene::synthesize(SceneConfig {
+            frames,
+            grid_h: model_cfg.grid_h,
+            grid_w: model_cfg.grid_w,
+            redundancy: profile.redundancy,
+            seed: hash_words(seed, &[model as u64 + 1, dataset as u64 + 1]),
+        });
+        Workload {
+            model: model_cfg,
+            scaled,
+            profile,
+            scale,
+            prompt,
+            seed,
+            scene,
+        }
+    }
+
+    /// Paper-scale model configuration (used by the cycle model).
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Measured-scale model configuration (used by the synthesisers).
+    pub fn scaled_model(&self) -> &ModelConfig {
+        &self.scaled
+    }
+
+    /// The benchmark profile.
+    pub fn profile(&self) -> &DatasetProfile {
+        &self.profile
+    }
+
+    /// The workload scale in effect.
+    pub fn scale(&self) -> &WorkloadScale {
+        &self.scale
+    }
+
+    /// The prompt driving semantic concentration.
+    pub fn prompt(&self) -> &Prompt {
+        &self.prompt
+    }
+
+    /// The synthesised scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Image tokens at measured scale (`frames_scaled × grid`).
+    pub fn image_tokens_scaled(&self) -> usize {
+        self.scene.token_count()
+    }
+
+    /// Image tokens at paper scale (`frames_full × grid`).
+    pub fn image_tokens_full(&self) -> usize {
+        self.profile.frames * self.model.tokens_per_frame()
+    }
+
+    /// Text prompt tokens (same at both scales; text is cheap).
+    pub fn text_tokens(&self) -> usize {
+        self.profile.text_tokens
+    }
+
+    /// Total sequence length at paper scale.
+    pub fn sequence_full(&self) -> usize {
+        self.image_tokens_full() + self.text_tokens()
+    }
+
+    /// Total sequence length at measured scale.
+    pub fn sequence_scaled(&self) -> usize {
+        self.image_tokens_scaled() + self.text_tokens()
+    }
+
+    /// An activation synthesiser borrowing this workload's scene.
+    pub fn activation_synthesizer(&self) -> ActivationSynthesizer<'_> {
+        ActivationSynthesizer::new(
+            &self.scene,
+            self.profile.redundancy,
+            self.model.layers,
+            hash_words(self.seed, &[0xAC7]),
+        )
+    }
+
+    /// An attention synthesiser borrowing this workload's scene, with
+    /// the measured-scale head count.
+    pub fn attention_synthesizer(&self) -> AttentionSynthesizer<'_> {
+        AttentionSynthesizer::new(
+            &self.scene,
+            self.prompt.clone(),
+            self.profile.text_tokens,
+            self.scaled.heads,
+            hash_words(self.seed, &[0xA77]),
+        )
+    }
+
+    /// Ground-truth prompt relevance per image token (measured scale).
+    pub fn relevance(&self) -> Vec<f64> {
+        relevance(&self.scene, &self.prompt)
+    }
+
+    /// The (frame, row, col) position of a scene-global token index.
+    pub fn token_position(&self, token: usize) -> (usize, usize, usize) {
+        let per_frame = self.model.grid_h * self.model.grid_w;
+        let f = token / per_frame;
+        let rem = token % per_frame;
+        (f, rem / self.model.grid_w, rem % self.model.grid_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llava_videomme_token_counts_match_paper() {
+        let w = Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::default_eval(),
+            1,
+        );
+        assert_eq!(w.image_tokens_full(), 6272);
+        assert_eq!(w.text_tokens(), 109);
+        assert_eq!(w.sequence_full(), 6381);
+        assert_eq!(w.image_tokens_scaled(), 8 * 196);
+    }
+
+    #[test]
+    fn image_workloads_use_model_specific_view_counts() {
+        // Qwen2.5-VL: 4 native-resolution tiles of 16×16 tokens.
+        let w = Workload::new(
+            ModelKind::Qwen25Vl7B,
+            DatasetKind::Vqav2,
+            WorkloadScale::default_eval(),
+            1,
+        );
+        assert_eq!(w.scene().frames(), 4);
+        assert_eq!(w.image_tokens_full(), 4 * 256);
+        // MiniCPM: one 64-token view.
+        let w = Workload::new(
+            ModelKind::MiniCpmV26,
+            DatasetKind::Vqav2,
+            WorkloadScale::default_eval(),
+            1,
+        );
+        assert_eq!(w.scene().frames(), 1);
+        assert_eq!(w.image_tokens_full(), 64);
+    }
+
+    #[test]
+    fn token_position_round_trips() {
+        let w = Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            3,
+        );
+        let per_frame = 14 * 14;
+        let (f, r, c) = w.token_position(2 * per_frame + 3 * 14 + 5);
+        assert_eq!((f, r, c), (2, 3, 5));
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let a = Workload::new(
+            ModelKind::MiniCpmV26,
+            DatasetKind::Mlvu,
+            WorkloadScale::tiny(),
+            5,
+        );
+        let b = Workload::new(
+            ModelKind::MiniCpmV26,
+            DatasetKind::Mlvu,
+            WorkloadScale::tiny(),
+            5,
+        );
+        assert_eq!(a.relevance(), b.relevance());
+        let c = Workload::new(
+            ModelKind::MiniCpmV26,
+            DatasetKind::Mlvu,
+            WorkloadScale::tiny(),
+            6,
+        );
+        assert_ne!(a.relevance(), c.relevance());
+    }
+
+    #[test]
+    fn synthesizers_share_the_scene() {
+        let w = Workload::new(
+            ModelKind::LlavaOneVision7B,
+            DatasetKind::MvBench,
+            WorkloadScale::tiny(),
+            2,
+        );
+        let mut syn = w.activation_synthesizer();
+        let m = syn.activations(&[0, 1, 2], 0, crate::embedding::Stage::Embedding, 128);
+        assert_eq!(m.rows(), 3);
+        let att = w.attention_synthesizer();
+        assert_eq!(att.text_tokens(), w.text_tokens());
+    }
+}

@@ -1,0 +1,46 @@
+//! Explore one Focus design axis interactively: how the similarity
+//! threshold trades sparsity against reconstruction fidelity — the knob
+//! a deployment would actually tune (Table I ships 0.9).
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use focus::core::pipeline::FocusPipeline;
+use focus::core::FocusConfig;
+use focus::sim::{ArchConfig, Engine};
+use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+fn main() {
+    let wl = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::default_eval(),
+        42,
+    );
+
+    println!("similarity threshold sweep (Llava-Video-7B, VideoMME)\n");
+    println!(
+        "{:>9} {:>10} {:>12} {:>10} {:>9}",
+        "threshold", "sparsity", "match rate", "accuracy", "latency"
+    );
+    let mut base_seconds = None;
+    for threshold in [0.999f32, 0.95, 0.9, 0.85, 0.8, 0.7] {
+        let mut cfg = FocusConfig::paper();
+        cfg.threshold = threshold;
+        let result = FocusPipeline::with_config(cfg).run(&wl, &ArchConfig::focus());
+        let rep = Engine::new(ArchConfig::focus()).run(&result.work_items);
+        let base = *base_seconds.get_or_insert(rep.seconds);
+        println!(
+            "{threshold:>9.3} {:>9.1}% {:>11.1}% {:>10.2} {:>8.2}x",
+            result.sparsity() * 100.0,
+            100.0 * result.sic_matches as f64 / result.sic_comparisons.max(1) as f64,
+            result.accuracy,
+            base / rep.seconds,
+        );
+    }
+    println!(
+        "\nlower thresholds merge more vectors (higher sparsity, faster) but the \
+         reconstruction error grows — 0.9 is the paper's operating point."
+    );
+}

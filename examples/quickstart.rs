@@ -1,0 +1,62 @@
+//! Quickstart: run the full Focus stack on one synthetic video
+//! workload and print what the accelerator would do with it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use focus::core::pipeline::FocusPipeline;
+use focus::sim::{ArchConfig, Engine};
+use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+fn main() {
+    // One evaluation cell: LLaVA-Video-7B answering a VideoMME-style
+    // question about a 32-frame video (measured at reduced scale,
+    // cycle-modelled at paper scale).
+    let workload = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::default_eval(),
+        42,
+    );
+    println!(
+        "workload: {} on {} — {} image tokens + {} text tokens (paper scale)",
+        workload.model().kind,
+        workload.profile().kind,
+        workload.image_tokens_full(),
+        workload.text_tokens(),
+    );
+
+    // Run the Focus pipeline: semantic pruning in attention layers,
+    // vector-level similarity concentration in FC layers.
+    let focus = FocusPipeline::paper();
+    let result = focus.run(&workload, &ArchConfig::focus());
+
+    println!("\nconcentration:");
+    println!("  computation sparsity : {:.1}%", result.sparsity() * 100.0);
+    println!(
+        "  tokens kept at exit  : {} of {}",
+        result.layers.last().map(|l| l.retained_out).unwrap_or(0),
+        workload.image_tokens_scaled(),
+    );
+    println!(
+        "  vector matches       : {} of {} comparisons",
+        result.sic_matches, result.sic_comparisons
+    );
+    println!(
+        "  proxy accuracy       : {:.2} (dense {:.2})",
+        result.accuracy, result.dense_accuracy
+    );
+
+    // Feed the lowered trace to the cycle-accurate engine.
+    let report = Engine::new(ArchConfig::focus()).run(&result.work_items);
+    println!("\naccelerator (32x32 systolic array @ 500 MHz):");
+    println!("  prefill latency      : {:.2} s", report.seconds);
+    println!("  energy               : {:.1} J", report.energy.total_j());
+    println!("  array utilisation    : {:.1}%", report.avg_utilization * 100.0);
+    println!(
+        "  DRAM traffic         : {:.1} GB",
+        report.dram_total_bytes() as f64 / 1e9
+    );
+    println!("  mean power           : {:.2} W", report.avg_power_w());
+}

@@ -1,0 +1,35 @@
+//! Umbrella crate for the Focus reproduction: re-exports every
+//! workspace layer so the examples and integration tests have one
+//! import root.
+//!
+//! * [`tensor`] — numeric substrate (fp16, INT8, matrices, kernels);
+//! * [`vlm`] — synthetic VLM workloads (models, datasets, scenes,
+//!   embeddings, attention, proxy accuracy);
+//! * [`sim`] — cycle-accurate accelerator substrate (systolic timing,
+//!   DRAM, energy, area, GPU roofline);
+//! * [`core`] — the Focus architecture itself (SEC, SIC, Focus unit,
+//!   end-to-end pipeline);
+//! * [`baselines`] — AdapTiV, CMC, FrameFusion and dense execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use focus::core::pipeline::FocusPipeline;
+//! use focus::sim::ArchConfig;
+//! use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+//!
+//! let wl = Workload::new(
+//!     ModelKind::LlavaVideo7B,
+//!     DatasetKind::VideoMme,
+//!     WorkloadScale::tiny(),
+//!     7,
+//! );
+//! let result = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
+//! assert!(result.sparsity() > 0.5);
+//! ```
+
+pub use focus_baselines as baselines;
+pub use focus_core as core;
+pub use focus_sim as sim;
+pub use focus_tensor as tensor;
+pub use focus_vlm as vlm;

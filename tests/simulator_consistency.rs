@@ -1,0 +1,150 @@
+//! Simulator conservation laws and consistency checks across crates:
+//! the numbers the experiment binaries report must be internally
+//! consistent, not just plausible.
+
+use focus::baselines::{Concentrator, DenseBaseline};
+use focus::core::pipeline::FocusPipeline;
+use focus::core::unit::{chip_area_report, overlap_ratios};
+use focus::core::FocusConfig;
+use focus::sim::{ArchConfig, Engine, GemmWork, SystolicModel, WorkItem};
+use focus::vlm::trace::dense_prefill_macs;
+use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+fn wl() -> Workload {
+    Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        42,
+    )
+}
+
+#[test]
+fn dense_lowering_macs_equal_reference_enumeration() {
+    let workload = wl();
+    let dense = DenseBaseline.run(&workload, &ArchConfig::vanilla());
+    let expect = dense_prefill_macs(workload.model(), workload.sequence_full());
+    assert_eq!(dense.macs, expect);
+    // The engine executes exactly those MACs.
+    let rep = Engine::new(ArchConfig::vanilla()).run(&dense.work_items);
+    assert_eq!(rep.macs, expect);
+}
+
+#[test]
+fn engine_macs_match_pipeline_accounting() {
+    let workload = wl();
+    let focus = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+    let rep = Engine::new(ArchConfig::focus()).run(&focus.work_items);
+    assert_eq!(rep.macs, focus.focus_macs, "engine and pipeline disagree");
+}
+
+#[test]
+fn dram_bytes_are_conserved_through_the_engine() {
+    let workload = wl();
+    let focus = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+    let rep = Engine::new(ArchConfig::focus()).run(&focus.work_items);
+    let expect: u64 = focus
+        .work_items
+        .iter()
+        .map(|w| w.dram_read_bytes + w.dram_write_bytes)
+        .sum();
+    assert_eq!(rep.dram_total_bytes(), expect);
+}
+
+#[test]
+fn energy_breakdown_sums_to_total() {
+    let workload = wl();
+    let focus = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+    let rep = Engine::new(ArchConfig::focus()).run(&focus.work_items);
+    let e = rep.energy;
+    let sum = e.core_j + e.buffer_j + e.dram_j + e.sfu_j + e.sec_j + e.sic_j + e.aux_j + e.static_j;
+    assert!((sum - e.total_j()).abs() < 1e-12);
+    let (core, buffer, dram) = e.fig9_groups();
+    assert!((core + buffer + dram - e.total_j()).abs() < 1e-12);
+    // Every category the Focus run uses is non-zero.
+    assert!(e.core_j > 0.0 && e.buffer_j > 0.0 && e.dram_j > 0.0);
+    assert!(e.sec_j > 0.0 && e.sic_j > 0.0, "Focus unit energy recorded");
+    assert_eq!(e.aux_j, 0.0, "Focus has no baseline aux unit");
+}
+
+#[test]
+fn wall_time_is_max_of_compute_and_memory_per_item() {
+    // A single item that is strongly memory-bound: wall cycles == DRAM
+    // cycles; compute-bound: wall == compute.
+    let engine = Engine::new(ArchConfig::focus());
+    let mem_bound = WorkItem::gemm_only(
+        GemmWork::dense("m", 32, 32, 32, 1, 1024),
+        640_000_000, // 10 ms at 64 GB/s = 5M cycles
+        0,
+    );
+    let rep = engine.run(&[mem_bound]);
+    assert_eq!(rep.cycles, 5_000_000);
+    let compute_bound =
+        WorkItem::gemm_only(GemmWork::dense("c", 4096, 512, 512, 1, 1024), 1024, 1024);
+    let rep2 = engine.run(&[compute_bound.clone()]);
+    let direct = SystolicModel::new(32, 32).time(&compute_bound.gemm).cycles;
+    assert_eq!(rep2.cycles, direct);
+}
+
+#[test]
+fn overlap_inequalities_hold_at_every_pruning_layer() {
+    // Paper §V-B and §VI-A: the sorter and the matcher must finish
+    // under the GEMMs they overlap, at paper scale, for every schedule
+    // point.
+    let workload = wl();
+    let cfg = FocusConfig::paper();
+    let model = workload.model();
+    let m_full = workload.image_tokens_full();
+    for (layer, ratio) in cfg.schedule.entries() {
+        let retained = (ratio * m_full as f64) as usize;
+        let (sorter, matcher) = overlap_ratios(
+            &cfg,
+            m_full,
+            workload.text_tokens(),
+            model.head_dim,
+            model.heads,
+            retained,
+            model.hidden,
+            (32, 32),
+        );
+        assert!(sorter > 1.0, "sorter binds at layer {layer}: {sorter}");
+        assert!(matcher > 1.0, "matcher binds at layer {layer}: {matcher}");
+    }
+}
+
+#[test]
+fn focus_area_overhead_matches_paper_band() {
+    let report = chip_area_report(&ArchConfig::focus(), &FocusConfig::paper(), 6272);
+    let total = report.total_mm2();
+    assert!((2.9..3.5).contains(&total), "total {total} mm2");
+    let focus_unit = report.fraction("SEC") + report.fraction("SIC");
+    assert!((0.015..0.045).contains(&focus_unit), "unit share {focus_unit}");
+}
+
+#[test]
+fn buffer_capacities_hold_the_worst_case_tile() {
+    // §VIII-B: buffers are sized for zero-similarity tiles. The
+    // output-stationary FP32 tile (1024×32×4 B = 128 KB) plus the
+    // concentrated FP16 copy (64 KB) must fit the 512 KB output buffer;
+    // the input sub-tile (1024×32×2 B = 64 KB) double-buffered fits
+    // 128 KB; one weight sub-tile (32×32×2 B) fits 78 KB trivially.
+    let arch = ArchConfig::focus();
+    let out_tile = arch.tile_m * 32 * 4 + arch.tile_m * 32 * 2;
+    assert!(out_tile <= arch.output_buffer, "{out_tile}");
+    let in_tile = 2 * arch.tile_m * 32 * 2;
+    assert!(in_tile <= arch.input_buffer, "{in_tile}");
+    assert!(32 * 32 * 2 * 2 <= arch.weight_buffer);
+}
+
+#[test]
+fn deterministic_reports_across_runs() {
+    let workload = wl();
+    let a = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+    let b = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
+    assert_eq!(a.focus_macs, b.focus_macs);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.dram_bytes(), b.dram_bytes());
+    let ra = Engine::new(ArchConfig::focus()).run(&a.work_items);
+    let rb = Engine::new(ArchConfig::focus()).run(&b.work_items);
+    assert_eq!(ra.cycles, rb.cycles);
+}
