@@ -109,10 +109,8 @@ impl Concentrator for AdaptivBaseline {
                     taken[i] = true;
                     taken[i + 1] = true;
                     merged_into_prev[i + 1] = true;
-                    let cos =
-                        focus_tensor::ops::cosine_similarity(acts.row(i), acts.row(i + 1));
-                    last_fid[alive[i + 1]] =
-                        last_fid[alive[i + 1]].min(cos.max(0.0) as f64);
+                    let cos = focus_tensor::ops::cosine_similarity(acts.row(i), acts.row(i + 1));
+                    last_fid[alive[i + 1]] = last_fid[alive[i + 1]].min(cos.max(0.0) as f64);
                     merges += 1;
                 }
                 alive = alive

@@ -81,11 +81,9 @@ impl Concentrator for CmcBaseline {
         // macroblock the search cannot localise).
         let red = workload.profile().redundancy;
         let coarse = if per_frame <= 64 { 0.30 } else { 0.0 };
-        let mismatch_rate = (self.base_mismatch_rate
-            + 0.18 * red.motion_speed
-            + 1.4 * red.scene_cut_prob
-            + coarse)
-            .clamp(0.0, 0.75);
+        let mismatch_rate =
+            (self.base_mismatch_rate + 0.18 * red.motion_speed + 1.4 * red.scene_cut_prob + coarse)
+                .clamp(0.0, 0.75);
 
         // Codec decision: per token of frame ≥ 1, match against the
         // same-position token of the previous frame (plus motion
@@ -113,8 +111,7 @@ impl Concentrator for CmcBaseline {
             let u = (hash_words(seed, &[t as u64]) >> 11) as f64 / (1u64 << 53) as f64;
             if u < p_match {
                 removed[t] = true;
-                let u2 = (hash_words(seed, &[0x3B5, t as u64]) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let u2 = (hash_words(seed, &[0x3B5, t as u64]) >> 11) as f64 / (1u64 << 53) as f64;
                 if u2 < mismatch_rate {
                     // Spurious motion vector: the reference carries
                     // unrelated content — active misinformation, worse

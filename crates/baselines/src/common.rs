@@ -123,8 +123,7 @@ pub fn lower_token_trace(
                 MemoryStyle::UncompressedIngress => {
                     // The merge unit sees the previous layer's
                     // pre-reduction stream.
-                    ((token_ratio[l.saturating_sub(1)] * m_img_full as f64).round() as usize
-                        + text)
+                    ((token_ratio[l.saturating_sub(1)] * m_img_full as f64).round() as usize + text)
                         .max(m)
                 }
                 _ => m,
@@ -133,10 +132,7 @@ pub fn lower_token_trace(
                 "qk_t" => (2 * (m * k * batch) as u64 * bytes, 0u64),
                 "pv" => (0, (m * n * batch) as u64 * bytes),
                 "ffn_gate" => ((ingress_rows * k) as u64 * bytes, 0),
-                _ => (
-                    (ingress_rows * k) as u64 * bytes,
-                    (m * n) as u64 * bytes,
-                ),
+                _ => ((ingress_rows * k) as u64 * bytes, (m * n) as u64 * bytes),
             };
             let mut extra_cycles = 0u64;
             if let MemoryStyle::StageThenCondense {
@@ -150,8 +146,7 @@ pub fn lower_token_trace(
                     let staged = (m * n) as u64 * bytes;
                     let condensed = (ratio_out * (m * n) as f64) as u64 * bytes;
                     output_wr += 2 * staged + condensed;
-                    extra_cycles =
-                        (2 * staged + condensed).div_ceil(codec_bytes_per_cycle.max(1));
+                    extra_cycles = (2 * staged + condensed).div_ceil(codec_bytes_per_cycle.max(1));
                 }
             }
             let mut item = WorkItem::gemm_only(work, weight_rd + input_rd, output_wr);
@@ -237,7 +232,9 @@ mod tests {
             0,
         );
         let traffic = |v: &[WorkItem]| -> u64 {
-            v.iter().map(|i| i.dram_read_bytes + i.dram_write_bytes).sum()
+            v.iter()
+                .map(|i| i.dram_read_bytes + i.dram_write_bytes)
+                .sum()
         };
         assert!(traffic(&staged) > traffic(&compact));
         assert!(staged.iter().any(|i| i.extra_cycles > 0));
@@ -252,8 +249,7 @@ mod tests {
             *r = 1.0 / (1.0 + i as f64 * 0.1);
         }
         let compact = lower_token_trace(&wl, &arch, &ratios, MemoryStyle::Compact, 0);
-        let ingress =
-            lower_token_trace(&wl, &arch, &ratios, MemoryStyle::UncompressedIngress, 0);
+        let ingress = lower_token_trace(&wl, &arch, &ratios, MemoryStyle::UncompressedIngress, 0);
         let reads = |v: &[WorkItem]| -> u64 { v.iter().map(|i| i.dram_read_bytes).sum() };
         assert!(reads(&ingress) > reads(&compact));
     }

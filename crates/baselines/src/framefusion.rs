@@ -98,7 +98,13 @@ impl Concentrator for FrameFusionBaseline {
 
         let kept_ratio = 1.0 - self.reduction;
         let token_ratio: Vec<f64> = (0..scaled.layers)
-            .map(|l| if l < self.effective_layer { 1.0 } else { kept_ratio })
+            .map(|l| {
+                if l < self.effective_layer {
+                    1.0
+                } else {
+                    kept_ratio
+                }
+            })
             .collect();
         let items = lower_token_trace(workload, arch, &token_ratio, MemoryStyle::Compact, 0);
         let macs = total_macs(&items, arch.pe_rows);

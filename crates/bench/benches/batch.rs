@@ -1,0 +1,54 @@
+//! Serial vs [`BatchRunner`] throughput on a batch of tiny workloads:
+//! the measurable win of the parallel execution engine. On an N-core
+//! machine `batch/runner_*` should approach N× the serial number; on a
+//! single core the two coincide (the runner degenerates to the serial
+//! loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use focus_core::exec::BatchRunner;
+use focus_core::pipeline::{FocusPipeline, PipelineResult};
+use focus_sim::ArchConfig;
+use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+const BATCH: u64 = 6;
+
+fn workloads() -> Vec<Workload> {
+    (0..BATCH)
+        .map(|seed| {
+            Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                seed,
+            )
+        })
+        .collect()
+}
+
+fn bench_serial(c: &mut Criterion) {
+    let wls = workloads();
+    let pipeline = FocusPipeline::paper();
+    let arch = ArchConfig::focus();
+    c.bench_function("batch/serial_6_tiny_pipelines", |b| {
+        b.iter(|| {
+            wls.iter()
+                .map(|wl| pipeline.run(wl, &arch))
+                .collect::<Vec<PipelineResult>>()
+        })
+    });
+}
+
+fn bench_batch_runner(c: &mut Criterion) {
+    let wls = workloads();
+    let runner = BatchRunner::paper();
+    c.bench_function("batch/runner_6_tiny_pipelines", |b| {
+        b.iter(|| runner.run_many(&wls))
+    });
+}
+
+criterion_group! {
+    name = batch;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serial, bench_batch_runner
+}
+criterion_main!(batch);

@@ -57,7 +57,11 @@ fn bench_topk(c: &mut Criterion) {
 
 fn bench_importance(c: &mut Criterion) {
     let heads: Vec<Matrix> = (0..4)
-        .map(|h| Matrix::from_fn(109, 1568, |i, j| ((h * 31 + i * 7 + j) % 100) as f32 / 100.0))
+        .map(|h| {
+            Matrix::from_fn(109, 1568, |i, j| {
+                ((h * 31 + i * 7 + j) % 100) as f32 / 100.0
+            })
+        })
         .collect();
     let analyzer = ImportanceAnalyzer::new(32);
     c.bench_function("sec/importance_4x109x1568", |b| {

@@ -25,8 +25,10 @@ fn bench_gather_matrix(c: &mut Criterion) {
     let mut syn = wl.activation_synthesizer();
     let acts = syn.activations(&tokens, 5, Stage::FfnDownOut, wl.scaled_model().hidden);
     let layouter = ConvLayouter::new(14, 14);
-    let positions: Vec<Option<Fhw>> =
-        tokens.iter().map(|&t| Some(layouter.position_of(t))).collect();
+    let positions: Vec<Option<Fhw>> = tokens
+        .iter()
+        .map(|&t| Some(layouter.position_of(t)))
+        .collect();
     let sic = SimilarityConcentrator::from_config(&FocusConfig::paper());
     c.bench_function("pipeline/gather_matrix_784x128", |b| {
         b.iter(|| sic.gather_matrix(&acts, &positions))

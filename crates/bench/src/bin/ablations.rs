@@ -10,6 +10,7 @@
 //!   threshold (§VII-D future work).
 
 use focus_bench::{print_table, workload};
+use focus_core::exec::par_map;
 use focus_core::sec::SelectionPolicy;
 use focus_core::sic::{ConvLayouter, Fhw, SimilarityConcentrator};
 use focus_core::FocusConfig;
@@ -25,27 +26,35 @@ fn main() {
     println!("D1 — tile-local vs global similarity gathering\n");
     let tokens: Vec<usize> = (0..wl.image_tokens_scaled()).collect();
     let layouter = ConvLayouter::new(14, 14);
-    let positions: Vec<Option<Fhw>> =
-        tokens.iter().map(|&t| Some(layouter.position_of(t))).collect();
+    let positions: Vec<Option<Fhw>> = tokens
+        .iter()
+        .map(|&t| Some(layouter.position_of(t)))
+        .collect();
     let mut syn = wl.activation_synthesizer();
     let acts = syn.activations(&tokens, 5, Stage::FfnDownOut, wl.scaled_model().hidden);
-    let mut rows = Vec::new();
-    for (label, tile_m, buffer_note) in [
+    let scopes = [
         ("tile-local (m=1024)", 1024usize, "192 KB on-chip"),
-        ("global (whole matrix)", usize::MAX, "full matrix staged off-chip"),
-    ] {
+        (
+            "global (whole matrix)",
+            usize::MAX,
+            "full matrix staged off-chip",
+        ),
+    ];
+    // Both gather sweeps are independent; run them through the
+    // deterministic parallel executor.
+    let rows: Vec<Vec<String>> = par_map(&scopes, |&(label, tile_m, buffer_note)| {
         let sic = SimilarityConcentrator {
             tile_m,
             ..SimilarityConcentrator::from_config(&FocusConfig::paper())
         };
         let stats = sic.gather_matrix(&acts, &positions);
-        rows.push(vec![
+        vec![
             label.to_string(),
             format!("{:.1}%", 100.0 * (1.0 - stats.retained_ratio())),
             format!("{:.2}x", stats.compression()),
             buffer_note.to_string(),
-        ]);
-    }
+        ]
+    });
     print_table(&["scope", "vectors removed", "compression", "cost"], &rows);
     println!("\ntile-local keeps nearly all of the global match rate while staying streaming\n");
 
@@ -109,24 +118,30 @@ fn main() {
     // ---------------- D5: selection policies ----------------
     println!("D5 — static top-k schedule vs dynamic policies (§VII-D)\n");
     let imp = att.reference_importance(9, &tokens);
-    let mut rows = Vec::new();
-    for (label, policy) in [
+    let policies = [
         ("top-k 20% (Table I)", SelectionPolicy::TopK { ratio: 0.2 }),
         ("top-p 0.80", SelectionPolicy::TopP { p: 0.80 }),
         ("top-p 0.90", SelectionPolicy::TopP { p: 0.90 }),
-        ("threshold 0.02", SelectionPolicy::Threshold { min_score: 0.02 }),
-    ] {
+        (
+            "threshold 0.02",
+            SelectionPolicy::Threshold { min_score: 0.02 },
+        ),
+    ];
+    let rows: Vec<Vec<String>> = par_map(&policies, |(label, policy)| {
         let out = policy.select(&imp, tokens.len(), 32);
         let kept_mass: f64 = out.kept.iter().map(|&t| relevance[t]).sum();
         let total: f64 = relevance.iter().sum();
-        rows.push(vec![
+        vec![
             label.to_string(),
             out.kept.len().to_string(),
             format!("{:.1}%", 100.0 * kept_mass / total),
             out.cycles.to_string(),
-        ]);
-    }
-    print_table(&["policy", "tokens kept", "relevance mass", "cycles"], &rows);
+        ]
+    });
+    print_table(
+        &["policy", "tokens kept", "relevance mass", "cycles"],
+        &rows,
+    );
     println!("\ntop-p adapts the retained count to attention concentration, at the cost of");
     println!("input-dependent runtime — the trade-off the paper defers to future work");
 

@@ -30,7 +30,9 @@ fn main() {
             wl.seed(),
             prompt,
         );
-        let imp = wl.attention_synthesizer().reference_importance(2, &retained);
+        let imp = wl
+            .attention_synthesizer()
+            .reference_importance(2, &retained);
         focus_tensor::ops::top_k_indices(&imp, retained.len() / 10)
     };
     let dog = top_set(Prompt::about_object(0).with_label("what is the type of the dog?"));
@@ -74,14 +76,26 @@ fn main() {
     let wl = workload(ModelKind::LlavaVideo7B, DatasetKind::VideoMme);
     let cmc = CmcBaseline::default().run(&wl, &ArchConfig::cmc());
     let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
-    let token_wise = FocusPipeline::with_config(FocusConfig::token_wise())
-        .run(&wl, &ArchConfig::focus());
+    let token_wise =
+        FocusPipeline::with_config(FocusConfig::token_wise()).run(&wl, &ArchConfig::focus());
     let vector_wise = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
 
     let rows = vec![
-        vec!["Dense".to_string(), "0.00".to_string(), format!("{:.1}", vector_wise.dense_accuracy)],
-        vec!["CMC".to_string(), fmt_pct(cmc.sparsity()), format!("{:.1}", cmc.accuracy)],
-        vec!["AdapTiV".to_string(), fmt_pct(ada.sparsity()), format!("{:.1}", ada.accuracy)],
+        vec![
+            "Dense".to_string(),
+            "0.00".to_string(),
+            format!("{:.1}", vector_wise.dense_accuracy),
+        ],
+        vec![
+            "CMC".to_string(),
+            fmt_pct(cmc.sparsity()),
+            format!("{:.1}", cmc.accuracy),
+        ],
+        vec![
+            "AdapTiV".to_string(),
+            fmt_pct(ada.sparsity()),
+            format!("{:.1}", ada.accuracy),
+        ],
         vec![
             "Ours (token-wise)".to_string(),
             fmt_pct(token_wise.sparsity()),

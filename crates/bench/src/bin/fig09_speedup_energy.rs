@@ -9,6 +9,7 @@ use focus_bench::{
     fmt_x, geomean, print_table, run_adaptiv, run_cmc, run_dense, run_focus, run_gpu,
     run_gpu_framefusion, video_grid, workload, MethodOutcome,
 };
+use focus_core::exec::par_map;
 use focus_core::{unit::chip_area_report, FocusConfig};
 use focus_sim::ArchConfig;
 
@@ -19,15 +20,36 @@ fn main() {
     let mut rows = Vec::new();
     let mut focus_for_breakdown = None;
 
-    for (model, dataset) in video_grid() {
-        let wl = workload(model, dataset);
-        let dense = run_dense(&wl);
-        let methods: Vec<MethodOutcome> = vec![
-            run_gpu(&wl),
-            run_adaptiv(&wl),
-            run_cmc(&wl),
-            run_gpu_framefusion(&wl),
-            run_focus(&wl),
+    // Build the nine grid cells up front, then fan *all* independent
+    // (method × cell) runs out in one parallel map — a single barrier
+    // that saturates the machine. Results come back in submission
+    // order, identical to the old serial per-cell loop.
+    let grid = video_grid();
+    let workloads: Vec<_> = grid.iter().map(|&(m, d)| workload(m, d)).collect();
+    type MethodFn = fn(&focus_vlm::Workload) -> MethodOutcome;
+    let method_fns: [MethodFn; 6] = [
+        run_dense,
+        run_gpu,
+        run_adaptiv,
+        run_cmc,
+        run_gpu_framefusion,
+        run_focus,
+    ];
+    let cells = workloads.len();
+    let pairs: Vec<(usize, usize)> = (0..method_fns.len())
+        .flat_map(|m| (0..cells).map(move |c| (m, c)))
+        .collect();
+    let flat = par_map(&pairs, |&(m, c)| method_fns[m](&workloads[c]));
+    let outcome = |m: usize, c: usize| -> &MethodOutcome { &flat[m * cells + c] };
+
+    for (c, (model, dataset)) in grid.into_iter().enumerate() {
+        let dense = outcome(0, c);
+        let methods: Vec<&MethodOutcome> = vec![
+            outcome(1, c),
+            outcome(2, c),
+            outcome(3, c),
+            outcome(4, c),
+            outcome(5, c),
         ];
         let mut row = vec![model.to_string(), dataset.to_string()];
         for (i, m) in methods.iter().enumerate() {
@@ -38,7 +60,7 @@ fn main() {
             row.push(fmt_x(s));
         }
         if focus_for_breakdown.is_none() {
-            focus_for_breakdown = methods.into_iter().nth(4);
+            focus_for_breakdown = Some(outcome(5, c).clone());
         }
         rows.push(row);
     }
@@ -48,7 +70,9 @@ fn main() {
     }
     rows.push(mean_row);
     print_table(
-        &["Model", "Dataset", "GPU", "Adaptiv", "CMC", "GPU+FF", "Ours"],
+        &[
+            "Model", "Dataset", "GPU", "Adaptiv", "CMC", "GPU+FF", "Ours",
+        ],
         &rows,
     );
     println!("\npaper geomeans (Ours over each): GPU 7.90x, Adaptiv 2.60x, CMC 2.35x, GPU+FF 2.37x, SA 4.47x");
@@ -86,7 +110,10 @@ fn main() {
     let e = rep.energy;
     let total = e.total_j();
     let rows = vec![
-        vec!["DRAM".to_string(), format!("{:.1}%", 100.0 * e.dram_j / total)],
+        vec![
+            "DRAM".to_string(),
+            format!("{:.1}%", 100.0 * e.dram_j / total),
+        ],
         vec![
             "Systolic Array".to_string(),
             format!("{:.1}%", 100.0 * e.core_j / total),
@@ -99,8 +126,14 @@ fn main() {
             "SFU + static".to_string(),
             format!("{:.1}%", 100.0 * (e.sfu_j + e.static_j) / total),
         ],
-        vec!["SEC".to_string(), format!("{:.1}%", 100.0 * e.sec_j / total)],
-        vec!["SIC".to_string(), format!("{:.1}%", 100.0 * e.sic_j / total)],
+        vec![
+            "SEC".to_string(),
+            format!("{:.1}%", 100.0 * e.sec_j / total),
+        ],
+        vec![
+            "SIC".to_string(),
+            format!("{:.1}%", 100.0 * e.sic_j / total),
+        ],
     ];
     print_table(&["Component", "Power share"], &rows);
     println!(

@@ -8,11 +8,16 @@
 //! (c) SIC block size (f,h,w ∈ {1,2,3}³ labelled "fhw"): temporal
 //!     extension helps more than spatial;
 //! (d) scatter accumulator count: 64 is within a few percent of 160.
+//!
+//! Every sweep batches its configurations through
+//! [`focus_core::exec::BatchRunner`], so the whole design space runs
+//! at machine width instead of one config at a time.
 
-use focus_bench::{print_table, run_focus_with, workload};
+use focus_bench::{print_table, run_focus_jobs, workload};
+use focus_core::exec::{BatchJob, BatchRunner};
 use focus_core::pipeline::FocusPipeline;
 use focus_core::{BlockSize, FocusConfig};
-use focus_sim::{AreaModel, ArchConfig};
+use focus_sim::{ArchConfig, AreaModel};
 use focus_vlm::{DatasetKind, ModelKind};
 
 fn main() {
@@ -21,109 +26,168 @@ fn main() {
     // ---------------- (a) m-tile size ----------------
     println!("Fig. 10(a) — GEMM m-tile size (Llava-Vid, VideoMME)\n");
     let full_m = wl.image_tokens_full() + wl.text_tokens();
-    let mut rows = Vec::new();
-    let mut base_seconds = None;
     let area = AreaModel::n28();
-    for &tile in &[full_m, 4096, 2048, 1024, 512, 128, 32] {
-        let mut cfg = FocusConfig::paper();
-        cfg.tile_m = tile;
-        let mut arch = ArchConfig::focus();
-        arch.tile_m = tile;
-        let r = FocusPipeline::with_config(cfg).run(&wl, &arch);
-        let rep = focus_sim::Engine::new(arch).run(&r.work_items);
-        let base = *base_seconds.get_or_insert(rep.seconds);
-        // Output buffer must hold the FP32 output-stationary tile plus
-        // the concentrated copies: tile × 32 × (4 + 2) bytes.
-        let buffer_kb = tile * 32 * 6 / 1024;
-        rows.push(vec![
-            if tile == full_m {
-                "Full".to_string()
-            } else {
-                tile.to_string()
-            },
-            format!("{:.2}", rep.seconds / base),
-            format!("{buffer_kb} KB"),
-            format!("{:.3} mm2", area.sram_mm2(tile * 32 * 6)),
-            format!("{:.1}", r.accuracy),
-        ]);
-    }
+    let tiles = [full_m, 4096, 2048, 1024, 512, 128, 32];
+    let jobs: Vec<BatchJob> = tiles
+        .iter()
+        .map(|&tile| {
+            let mut cfg = FocusConfig::paper();
+            cfg.tile_m = tile;
+            let mut arch = ArchConfig::focus();
+            arch.tile_m = tile;
+            BatchJob {
+                pipeline: FocusPipeline::with_config(cfg),
+                workload: wl.clone(),
+                arch,
+            }
+        })
+        .collect();
+    let outcomes = run_focus_jobs(jobs);
+    let base_seconds = outcomes[0].seconds;
+    let rows: Vec<Vec<String>> = tiles
+        .iter()
+        .zip(&outcomes)
+        .map(|(&tile, o)| {
+            // Output buffer must hold the FP32 output-stationary tile
+            // plus the concentrated copies: tile × 32 × (4 + 2) bytes.
+            let buffer_kb = tile * 32 * 6 / 1024;
+            vec![
+                if tile == full_m {
+                    "Full".to_string()
+                } else {
+                    tile.to_string()
+                },
+                format!("{:.2}", o.seconds / base_seconds),
+                format!("{buffer_kb} KB"),
+                format!("{:.3} mm2", area.sram_mm2(tile * 32 * 6)),
+                format!("{:.1}", o.accuracy),
+            ]
+        })
+        .collect();
     print_table(
-        &["m tile", "Norm. latency", "Output buffer", "Buffer area", "Accuracy"],
+        &[
+            "m tile",
+            "Norm. latency",
+            "Output buffer",
+            "Buffer area",
+            "Accuracy",
+        ],
         &rows,
     );
-    println!("\npaper: m=1024 costs ~19% latency over full-height tiles at a practical buffer size\n");
+    println!(
+        "\npaper: m=1024 costs ~19% latency over full-height tiles at a practical buffer size\n"
+    );
 
     // ---------------- (b) vector size ----------------
     println!("Fig. 10(b) — vector size\n");
-    let mut rows = Vec::new();
-    for &v in &[8usize, 16, 32, 64, 128, 512] {
-        let mut cfg = FocusConfig::paper();
-        cfg.vector_len = v;
-        let r = FocusPipeline::with_config(cfg).run(&wl, &ArchConfig::focus());
-        // Scatter accumulator ops: one accumulation per original output
-        // element per K sub-tile; K sub-tiles scale with 1/v when the
-        // sub-tile depth tracks the vector size.
-        let k_scale = 32.0 / v.min(32) as f64;
-        let systolic_gops = r.focus_macs as f64 / 1e9;
-        let acc_gops = systolic_gops * 0.06 * k_scale; // accumulate path share
-        rows.push(vec![
-            v.to_string(),
-            format!("{:.0}", systolic_gops),
-            format!("{:.0}", acc_gops),
-            format!("{:.2}%", r.sparsity() * 100.0),
-            format!("{:.1}", r.accuracy),
-        ]);
-    }
+    let vectors = [8usize, 16, 32, 64, 128, 512];
+    let jobs: Vec<BatchJob> = vectors
+        .iter()
+        .map(|&v| {
+            let mut cfg = FocusConfig::paper();
+            cfg.vector_len = v;
+            BatchJob {
+                pipeline: FocusPipeline::with_config(cfg),
+                workload: wl.clone(),
+                arch: ArchConfig::focus(),
+            }
+        })
+        .collect();
+    // This sweep needs the raw pipeline results (effective MACs), not
+    // just the outcome record.
+    let results = BatchRunner::run_jobs(&jobs);
+    let rows: Vec<Vec<String>> = vectors
+        .iter()
+        .zip(&results)
+        .map(|(&v, r)| {
+            // Scatter accumulator ops: one accumulation per original
+            // output element per K sub-tile; K sub-tiles scale with 1/v
+            // when the sub-tile depth tracks the vector size.
+            let k_scale = 32.0 / v.min(32) as f64;
+            let systolic_gops = r.focus_macs as f64 / 1e9;
+            let acc_gops = systolic_gops * 0.06 * k_scale; // accumulate path share
+            vec![
+                v.to_string(),
+                format!("{:.0}", systolic_gops),
+                format!("{:.0}", acc_gops),
+                format!("{:.2}%", r.sparsity() * 100.0),
+                format!("{:.1}", r.accuracy),
+            ]
+        })
+        .collect();
     print_table(
-        &["Vector size", "Systolic GOPs", "Accumulator GOPs", "Sparsity", "Accuracy"],
+        &[
+            "Vector size",
+            "Systolic GOPs",
+            "Accumulator GOPs",
+            "Sparsity",
+            "Accuracy",
+        ],
         &rows,
     );
-    println!("\npaper: fewer systolic ops at small vectors, more accumulator ops; 32 balances both\n");
+    println!(
+        "\npaper: fewer systolic ops at small vectors, more accumulator ops; 32 balances both\n"
+    );
 
     // ---------------- (c) SIC block size ----------------
     println!("Fig. 10(c) — SIC block size (fhw)\n");
-    let mut rows = Vec::new();
-    let mut base = None;
-    for f in 1..=3usize {
-        for h in 1..=3usize {
-            // The paper sweeps h=w jointly (labels like 122, 233).
-            let w = h;
+    // The paper sweeps h=w jointly (labels like 122, 233).
+    let blocks: Vec<BlockSize> = (1..=3usize)
+        .flat_map(|f| (1..=3usize).map(move |h| BlockSize { f, h, w: h }))
+        .collect();
+    let jobs: Vec<BatchJob> = blocks
+        .iter()
+        .map(|&block| {
             let mut cfg = FocusConfig::paper();
-            cfg.block = BlockSize { f, h, w };
-            let r = run_focus_with(&wl, FocusPipeline::with_config(cfg));
-            let b = *base.get_or_insert(r.seconds);
-            rows.push(vec![
-                format!("{f}{h}{w}"),
-                format!("{:.2}", r.seconds / b),
-                format!("{:.2}%", r.sparsity * 100.0),
-                format!("{:.1}", r.accuracy),
-            ]);
-        }
-    }
+            cfg.block = block;
+            BatchJob {
+                pipeline: FocusPipeline::with_config(cfg),
+                workload: wl.clone(),
+                arch: ArchConfig::focus(),
+            }
+        })
+        .collect();
+    let outcomes = run_focus_jobs(jobs);
+    let base = outcomes[0].seconds;
+    let rows: Vec<Vec<String>> = blocks
+        .iter()
+        .zip(&outcomes)
+        .map(|(b, o)| {
+            vec![
+                format!("{}{}{}", b.f, b.h, b.w),
+                format!("{:.2}", o.seconds / base),
+                format!("{:.2}%", o.sparsity * 100.0),
+                format!("{:.1}", o.accuracy),
+            ]
+        })
+        .collect();
     print_table(&["fhw", "Norm. latency", "Sparsity", "Accuracy"], &rows);
-    println!("\npaper: temporal extension (f) reduces latency more than spatial (hw); 222 suffices\n");
+    println!(
+        "\npaper: temporal extension (f) reduces latency more than spatial (hw); 222 suffices\n"
+    );
 
     // ---------------- (d) scatter accumulators ----------------
     println!("Fig. 10(d) — scatter accumulator count\n");
-    let mut rows = Vec::new();
-    let mut acc160 = None;
-    let mut results = Vec::new();
-    for &acc in &[32usize, 64, 96, 128, 160] {
-        let mut cfg = FocusConfig::paper();
-        cfg.scatter_accumulators = acc;
-        let r = run_focus_with(&wl, FocusPipeline::with_config(cfg));
-        if acc == 160 {
-            acc160 = Some(r.seconds);
-        }
-        results.push((acc, r.seconds));
-    }
-    let fastest = acc160.expect("160-lane run");
-    for (acc, seconds) in results {
-        rows.push(vec![
-            acc.to_string(),
-            format!("{:.3}", seconds / fastest),
-        ]);
-    }
+    let lanes = [32usize, 64, 96, 128, 160];
+    let jobs: Vec<BatchJob> = lanes
+        .iter()
+        .map(|&acc| {
+            let mut cfg = FocusConfig::paper();
+            cfg.scatter_accumulators = acc;
+            BatchJob {
+                pipeline: FocusPipeline::with_config(cfg),
+                workload: wl.clone(),
+                arch: ArchConfig::focus(),
+            }
+        })
+        .collect();
+    let outcomes = run_focus_jobs(jobs);
+    let fastest = outcomes.last().map(|o| o.seconds).expect("160-lane run");
+    let rows: Vec<Vec<String>> = lanes
+        .iter()
+        .zip(&outcomes)
+        .map(|(&acc, o)| vec![acc.to_string(), format!("{:.3}", o.seconds / fastest)])
+        .collect();
     print_table(&["Accumulators", "Latency vs 160"], &rows);
     println!("\npaper: 64 accumulators are within ~5% of 160");
 }

@@ -48,7 +48,5 @@ fn main() {
         ],
     ];
     print_table(&["Configuration", "Speedup", "Note"], &rows);
-    println!(
-        "\npaper: dense 1.00x, CMC 2.00x, +SEC 3.15x, +SEC+SIC 4.53x (1.58x / 1.44x steps)"
-    );
+    println!("\npaper: dense 1.00x, CMC 2.00x, +SEC 3.15x, +SEC+SIC 4.53x (1.58x / 1.44x steps)");
 }

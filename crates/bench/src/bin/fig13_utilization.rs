@@ -36,7 +36,10 @@ fn main() {
     }
     let total: usize = counts.iter().sum();
 
-    println!("{:>12}  {:>8}  {:>8}  {:>12}", "p range", "density", "util", "histogram");
+    println!(
+        "{:>12}  {:>8}  {:>8}  {:>12}",
+        "p range", "density", "util", "histogram"
+    );
     for b in 0..BINS {
         let lo = b * (MAX_P + 1) / BINS;
         let hi = (b + 1) * (MAX_P + 1) / BINS - 1;

@@ -47,7 +47,9 @@ fn main() {
         ]);
     }
     print_table(
-        &["Model", "Dataset", "Metric", "Ori.", "FF", "Ada.", "CMC", "Ours"],
+        &[
+            "Model", "Dataset", "Metric", "Ori.", "FF", "Ada.", "CMC", "Ours",
+        ],
         &rows,
     );
     let avg = focus_sparsities.iter().sum::<f64>() / focus_sparsities.len() as f64;

@@ -7,7 +7,7 @@ use focus_baselines::{AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline}
 use focus_bench::{print_table, workload};
 use focus_core::pipeline::FocusPipeline;
 use focus_core::{unit::chip_area_report, FocusConfig};
-use focus_sim::{AreaModel, ArchConfig, Engine};
+use focus_sim::{ArchConfig, AreaModel, Engine};
 use focus_vlm::{DatasetKind, ModelKind};
 
 fn main() {
@@ -47,11 +47,7 @@ fn main() {
     let focus = FocusPipeline::paper().run(&wl, &focus_arch);
     let focus_rep = Engine::new(focus_arch.clone()).run(&focus.work_items);
 
-    let row = |name: &str,
-               arch: &ArchConfig,
-               area_mm2: f64,
-               power_mw: f64|
-     -> Vec<String> {
+    let row = |name: &str, arch: &ArchConfig, area_mm2: f64, power_mw: f64| -> Vec<String> {
         vec![
             name.to_string(),
             "28nm".to_string(),
@@ -64,10 +60,25 @@ fn main() {
         ]
     };
     let rows = vec![
-        row("SystolicArray", &sa_arch, sa_area, sa_rep.on_chip_power_w() * 1e3),
-        row("Adaptiv", &ada_arch, ada_area, ada_rep.on_chip_power_w() * 1e3),
+        row(
+            "SystolicArray",
+            &sa_arch,
+            sa_area,
+            sa_rep.on_chip_power_w() * 1e3,
+        ),
+        row(
+            "Adaptiv",
+            &ada_arch,
+            ada_area,
+            ada_rep.on_chip_power_w() * 1e3,
+        ),
         row("CMC", &cmc_arch, cmc_area, cmc_rep.on_chip_power_w() * 1e3),
-        row("Ours", &focus_arch, focus_area, focus_rep.on_chip_power_w() * 1e3),
+        row(
+            "Ours",
+            &focus_arch,
+            focus_area,
+            focus_rep.on_chip_power_w() * 1e3,
+        ),
     ];
     print_table(
         &[

@@ -53,5 +53,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: INT8 costs Focus ~0.5 points of accuracy and ~0.13 points of sparsity on average");
+    println!(
+        "\npaper: INT8 costs Focus ~0.5 points of accuracy and ~0.13 points of sparsity on average"
+    );
 }

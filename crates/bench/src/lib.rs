@@ -20,12 +20,15 @@
 //! | `calibrate` | development probe (sparsity/accuracy per cell) |
 //!
 //! This library holds the shared plumbing: the standard evaluation
-//! grid, a uniform [`MethodOutcome`] record for every design, and plain
-//! text table rendering.
+//! grid, a uniform [`MethodOutcome`] record for every design, plain
+//! text table rendering, and the batched entry points
+//! ([`run_focus_many`], [`run_focus_jobs`]) that fan pipeline runs out
+//! across cores via [`focus_core::exec::BatchRunner`].
 
 use focus_baselines::{
     AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline, FrameFusionBaseline,
 };
+use focus_core::exec::{BatchJob, BatchRunner};
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
 use focus_sim::{ArchConfig, Engine, GpuModel, SimReport};
 use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
@@ -131,8 +134,35 @@ pub fn run_focus(wl: &Workload) -> MethodOutcome {
 
 /// Runs a custom Focus pipeline configuration.
 pub fn run_focus_with(wl: &Workload, pipeline: FocusPipeline) -> MethodOutcome {
-    let r = pipeline.run(wl, &ArchConfig::focus());
-    let rep = Engine::new(ArchConfig::focus()).run(&r.work_items);
+    let arch = ArchConfig::focus();
+    focus_outcome(pipeline.run(wl, &arch), &arch)
+}
+
+/// Runs the Table I Focus pipeline over many workloads **in
+/// parallel** (results in input order, identical to calling
+/// [`run_focus`] per workload).
+pub fn run_focus_many(workloads: &[Workload]) -> Vec<MethodOutcome> {
+    BatchRunner::paper()
+        .run_many(workloads)
+        .into_iter()
+        .map(|r| focus_outcome(r, &ArchConfig::focus()))
+        .collect()
+}
+
+/// Runs heterogeneous `(pipeline, workload, arch)` jobs **in
+/// parallel** (results in input order). Config sweeps — many pipeline
+/// variants over one workload — batch through here.
+pub fn run_focus_jobs(jobs: Vec<BatchJob>) -> Vec<MethodOutcome> {
+    let results = BatchRunner::run_jobs(&jobs);
+    jobs.iter()
+        .zip(results)
+        .map(|(job, r)| focus_outcome(r, &job.arch))
+        .collect()
+}
+
+/// Lowers one Focus pipeline result into the uniform outcome record.
+fn focus_outcome(r: PipelineResult, arch: &ArchConfig) -> MethodOutcome {
+    let rep = Engine::new(arch.clone()).run(&r.work_items);
     MethodOutcome {
         name: "Ours",
         seconds: rep.seconds,

@@ -75,7 +75,9 @@ impl RetentionSchedule {
 
     /// A dense schedule (no pruning) for ablations.
     pub fn dense() -> Self {
-        RetentionSchedule { entries: Vec::new() }
+        RetentionSchedule {
+            entries: Vec::new(),
+        }
     }
 
     /// The pruning entries `(layer, retention)`.

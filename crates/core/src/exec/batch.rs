@@ -1,0 +1,89 @@
+//! [`BatchRunner`]: fans whole pipeline runs out across cores.
+//!
+//! Design-space sweeps and evaluation grids run dozens to hundreds of
+//! *independent* `FocusPipeline::run` calls; before this module they
+//! executed strictly serially. `BatchRunner` parallelises at workload
+//! granularity while guaranteeing results **identical to the serial
+//! loop**: each run is a pure function of `(pipeline, workload, arch)`
+//! and results are collected in submission order (see
+//! `tests/batch_determinism.rs`).
+
+use rayon::prelude::*;
+
+use focus_sim::ArchConfig;
+use focus_vlm::Workload;
+
+use crate::pipeline::{FocusPipeline, PipelineResult};
+
+/// One self-contained unit of batched work: a pipeline configuration
+/// applied to a workload on an architecture.
+#[derive(Clone, Debug)]
+pub struct BatchJob {
+    /// The pipeline configuration to run.
+    pub pipeline: FocusPipeline,
+    /// The workload to run it on.
+    pub workload: Workload,
+    /// The architecture to lower against.
+    pub arch: ArchConfig,
+}
+
+impl BatchJob {
+    /// Runs this job to completion.
+    pub fn run(&self) -> PipelineResult {
+        self.pipeline.run(&self.workload, &self.arch)
+    }
+}
+
+/// Runs many workloads through one pipeline configuration in parallel.
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    pipeline: FocusPipeline,
+    arch: ArchConfig,
+}
+
+impl BatchRunner {
+    /// A runner for `pipeline` lowering against `arch`.
+    pub fn new(pipeline: FocusPipeline, arch: ArchConfig) -> Self {
+        BatchRunner { pipeline, arch }
+    }
+
+    /// The Table I pipeline on the Focus architecture.
+    pub fn paper() -> Self {
+        BatchRunner::new(FocusPipeline::paper(), ArchConfig::focus())
+    }
+
+    /// The pipeline this runner applies.
+    pub fn pipeline(&self) -> &FocusPipeline {
+        &self.pipeline
+    }
+
+    /// Runs every workload, in parallel, returning results in input
+    /// order — element `i` is exactly what
+    /// `self.pipeline().run(&workloads[i], arch)` returns.
+    pub fn run_many(&self, workloads: &[Workload]) -> Vec<PipelineResult> {
+        workloads
+            .par_iter()
+            .map(|wl| self.pipeline.run(wl, &self.arch))
+            .collect()
+    }
+
+    /// Runs heterogeneous jobs (each with its own pipeline/arch), in
+    /// parallel, results in input order. This is what config sweeps
+    /// use: same workload, many configurations.
+    pub fn run_jobs(jobs: &[BatchJob]) -> Vec<PipelineResult> {
+        jobs.par_iter().map(BatchJob::run).collect()
+    }
+}
+
+/// Deterministic parallel map over a slice: `f` applied to every item,
+/// results in input order. The building block `BatchRunner` rides on,
+/// exposed for ad-hoc sweeps (ablations, calibration probes) that
+/// batch something other than whole pipeline runs.
+pub fn par_map<I, R, F>(items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync,
+{
+    items.par_iter().map(f).collect()
+}

@@ -1,0 +1,176 @@
+//! [`LayerExecutor`]: drives the semantic stage and the four
+//! similarity-gather stages through one streaming loop per layer.
+
+use rayon::prelude::*;
+
+use focus_vlm::embedding::Stage;
+use focus_vlm::Workload;
+
+use crate::exec::stage::{ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput};
+use crate::pipeline::{FocusPipeline, SecLayerStats};
+use crate::sic::{ConvLayouter, Fhw};
+
+/// What one layer's pass through the stage graph produced. Counters
+/// are per-layer deltas; the measure phase accumulates them.
+pub struct LayerRecord {
+    /// Retained image tokens entering the layer.
+    pub retained_in: usize,
+    /// Whether the gather stages actually ran at this layer.
+    pub measured: bool,
+    /// Mean retained-vector ratio per gather stage.
+    pub stage_ratio: [f64; 4],
+    /// Per-(m-tile, col-tile) retained ratios per stage.
+    pub stage_samples: [Vec<f64>; 4],
+    /// Column-tile count per stage.
+    pub stage_col_tiles: [usize; 4],
+    /// Matcher comparisons at this layer.
+    pub comparisons: u64,
+    /// Matcher hits at this layer.
+    pub matches: u64,
+    /// SEC statistics, when this layer pruned.
+    pub sec: Option<SecLayerStats>,
+    /// Mean reconstruction fidelity per retained row (post-prune
+    /// order), when measured.
+    pub fidelity: Option<Vec<f64>>,
+}
+
+/// Executes the concentration stage graph of one workload, layer by
+/// layer.
+///
+/// Within a layer the flow is streaming and mirrors the hardware:
+/// the semantic stage runs first (it decides which token rows even
+/// exist downstream), then the four gather stages — which are mutually
+/// independent, each reading its own FC output — run **concurrently**.
+/// Stage outputs are folded in fixed stage order, so results are
+/// bit-identical to a serial sweep.
+pub struct LayerExecutor<'w> {
+    workload: &'w Workload,
+    layers: usize,
+    stride: usize,
+    enable_sic: bool,
+    prune_layers: Vec<usize>,
+    layouter: ConvLayouter,
+    semantic: SemanticStage<'w>,
+    gathers: Vec<GatherStage>,
+}
+
+impl<'w> LayerExecutor<'w> {
+    /// Builds the executor for one (pipeline, workload) pair.
+    pub fn new(pipeline: &FocusPipeline, workload: &'w Workload) -> Self {
+        let scaled = workload.scaled_model();
+        let config = &pipeline.focus;
+        let prune_layers = (0..scaled.layers)
+            .filter(|&l| config.schedule.prune_at(l).is_some())
+            .collect();
+        LayerExecutor {
+            workload,
+            layers: scaled.layers,
+            stride: workload.scale().measured_layer_stride.max(1),
+            enable_sic: config.enable_sic,
+            prune_layers,
+            layouter: ConvLayouter::new(scaled.grid_h, scaled.grid_w),
+            semantic: SemanticStage::new(config, workload),
+            gathers: Stage::GATHER_POINTS
+                .iter()
+                .map(|&s| GatherStage::new(config, s, pipeline.dtype))
+                .collect(),
+        }
+    }
+
+    /// Layer count at measured scale.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The stage-graph nodes, semantic first, in fold order.
+    pub fn stages(&self) -> Vec<&dyn ConcentrationStage> {
+        let mut v: Vec<&dyn ConcentrationStage> = vec![&self.semantic];
+        v.extend(self.gathers.iter().map(|g| g as &dyn ConcentrationStage));
+        v
+    }
+
+    /// Whether the gather stages measure at `layer` (every `stride`
+    /// layers, the final layer, and every pruning layer).
+    fn measures_at(&self, layer: usize) -> bool {
+        self.enable_sic
+            && (layer.is_multiple_of(self.stride)
+                || layer + 1 == self.layers
+                || self.prune_layers.contains(&layer))
+    }
+
+    /// Runs one layer of the stage graph, updating `retained` in
+    /// place.
+    pub fn run_layer(&self, layer: usize, retained: &mut Vec<usize>) -> LayerRecord {
+        let retained_in = retained.len();
+
+        // --- Semantic concentration (attention stage, streaming). ---
+        let mut sec = None;
+        let sec_ctx = LayerCtx {
+            workload: self.workload,
+            layer,
+            retained,
+            positions: &[],
+        };
+        if let StageOutput::Pruned { kept, stats } = self.semantic.run(&sec_ctx) {
+            *retained = kept;
+            sec = Some(stats);
+        }
+
+        // --- Similarity concentration (FC stages, concurrent). ---
+        let measured = self.measures_at(layer);
+        let mut record = LayerRecord {
+            retained_in,
+            measured,
+            stage_ratio: [1.0; 4],
+            stage_samples: Default::default(),
+            stage_col_tiles: [1; 4],
+            comparisons: 0,
+            matches: 0,
+            sec,
+            fidelity: None,
+        };
+        if !measured {
+            return record;
+        }
+
+        let positions: Vec<Option<Fhw>> = retained
+            .iter()
+            .map(|&t| Some(self.layouter.position_of(t)))
+            .collect();
+        let ctx = LayerCtx {
+            workload: self.workload,
+            layer,
+            retained,
+            positions: &positions,
+        };
+        let outputs: Vec<StageOutput> = self.gathers.par_iter().map(|g| g.run(&ctx)).collect();
+
+        // Fold in fixed stage order: identical arithmetic order to the
+        // serial loop, so parallel == serial bit-for-bit.
+        let stages_n = Stage::GATHER_POINTS.len();
+        let mut fidelity = vec![0.0f64; retained.len()];
+        for (si, out) in outputs.into_iter().enumerate() {
+            let StageOutput::Gathered { stats, .. } = out else {
+                unreachable!("gather stages always gather");
+            };
+            record.stage_ratio[si] = stats.retained_ratio();
+            record.stage_col_tiles[si] = stats.col_tiles;
+            record.stage_samples[si] = stats
+                .tile_p
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let h = stats.tile_heights[i / stats.col_tiles.max(1)].max(1);
+                    p as f64 / h as f64
+                })
+                .collect();
+            record.comparisons += stats.comparisons;
+            record.matches += stats.matches;
+            for (row, &f) in stats.row_fidelity.iter().enumerate() {
+                fidelity[row] += f as f64 / stages_n as f64;
+            }
+        }
+        record.fidelity = Some(fidelity);
+        record
+    }
+}

@@ -1,0 +1,28 @@
+//! Streaming stage-graph execution engine.
+//!
+//! The Focus pipeline is a *stage graph*: per transformer layer, one
+//! semantic concentration stage (SEC) feeds four mutually independent
+//! similarity gather stages (SIC at the PV, O-projection, FFN
+//! activation and FFN-down outputs). This module makes that structure
+//! executable:
+//!
+//! * [`ConcentrationStage`] — one graph node: a pure
+//!   `LayerCtx → StageOutput` function, `Sync` so nodes can run
+//!   concurrently;
+//! * [`LayerExecutor`] — drives SEC plus the four gather stages
+//!   through one streaming loop per layer, running the gathers in
+//!   parallel and folding their outputs in fixed stage order;
+//! * [`BatchRunner`] — fans whole `FocusPipeline::run` calls out
+//!   across cores (`run_many` for workload grids, `run_jobs` for
+//!   config sweeps), with results bit-identical to the serial loop.
+//!
+//! Both levels of parallelism preserve determinism the same way: the
+//! parallel units are pure, and reductions happen in submission order.
+
+mod batch;
+mod executor;
+mod stage;
+
+pub use batch::{par_map, BatchJob, BatchRunner};
+pub use executor::{LayerExecutor, LayerRecord};
+pub use stage::{ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput};

@@ -1,0 +1,185 @@
+//! The [`ConcentrationStage`] trait and its two implementations: the
+//! semantic (token-pruning) stage and the four similarity-gather
+//! stages.
+//!
+//! A stage is a pure function of its [`LayerCtx`]: it borrows the
+//! workload, synthesises whatever activations it needs, and returns a
+//! [`StageOutput`]. Purity is what lets the executor run the four
+//! gather stages of a layer concurrently with results bit-identical to
+//! a serial sweep — there is no shared mutable state to race on.
+
+use focus_tensor::quant::{fake_quantize, DataType};
+use focus_vlm::attention::AttentionSynthesizer;
+use focus_vlm::embedding::Stage;
+use focus_vlm::Workload;
+
+use crate::config::FocusConfig;
+use crate::pipeline::SecLayerStats;
+use crate::sec::SemanticConcentrator;
+use crate::sic::{Fhw, MatrixGatherStats, SimilarityConcentrator};
+
+/// Everything a concentration stage may read while processing one
+/// layer.
+pub struct LayerCtx<'a> {
+    /// The workload under measurement.
+    pub workload: &'a Workload,
+    /// Layer index.
+    pub layer: usize,
+    /// Retained image tokens entering the stage (scene-global indices).
+    pub retained: &'a [usize],
+    /// `(frame, row, col)` positions of `retained`, parallel to it.
+    /// Empty for stages that do not need spatial structure (SEC).
+    pub positions: &'a [Option<Fhw>],
+}
+
+/// What one stage produced for one layer.
+pub enum StageOutput {
+    /// The semantic stage pruned the retained token set.
+    Pruned {
+        /// Surviving scene-global token indices, in stream order.
+        kept: Vec<usize>,
+        /// Hardware statistics of the pruning pass.
+        stats: SecLayerStats,
+    },
+    /// A similarity stage gathered one FC output.
+    Gathered {
+        /// Which gather point was measured.
+        stage: Stage,
+        /// Tile-level gather statistics.
+        stats: MatrixGatherStats,
+    },
+    /// The stage had nothing to do at this layer.
+    Skipped,
+}
+
+/// One node of the streaming stage graph. Implementations must be
+/// `Sync`: the executor fans independent stages out across threads.
+pub trait ConcentrationStage: Sync {
+    /// Short name for logs and benches.
+    fn label(&self) -> &'static str;
+
+    /// Processes one layer.
+    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput;
+}
+
+/// The semantic concentration stage: prompt-aware token pruning at the
+/// Table I schedule points.
+pub struct SemanticStage<'w> {
+    config: FocusConfig,
+    sec: SemanticConcentrator,
+    att: AttentionSynthesizer<'w>,
+    /// Image tokens at measured scale (the schedule's 100 % anchor).
+    m_img: usize,
+}
+
+impl<'w> SemanticStage<'w> {
+    /// Builds the stage for one workload.
+    pub fn new(config: &FocusConfig, workload: &'w Workload) -> Self {
+        SemanticStage {
+            config: config.clone(),
+            sec: SemanticConcentrator::new(config.analyzer_ways),
+            att: workload.attention_synthesizer(),
+            m_img: workload.image_tokens_scaled(),
+        }
+    }
+}
+
+impl ConcentrationStage for SemanticStage<'_> {
+    fn label(&self) -> &'static str {
+        "sec"
+    }
+
+    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput {
+        if !self.config.enable_sec {
+            return StageOutput::Skipped;
+        }
+        let Some(ratio) = self.config.schedule.prune_at(ctx.layer) else {
+            return StageOutput::Skipped;
+        };
+        let k = ((ratio * self.m_img as f64).round() as usize).min(ctx.retained.len());
+        if k >= ctx.retained.len() {
+            return StageOutput::Skipped;
+        }
+        let heads = self.att.all_heads(ctx.layer, ctx.retained);
+        let outcome = self.sec.prune(&heads, ctx.retained, k);
+        let kept: Vec<usize> = outcome
+            .kept_local
+            .iter()
+            .map(|&i| ctx.retained[i])
+            .collect();
+        let stats = SecLayerStats {
+            layer: ctx.layer,
+            candidates: ctx.retained.len(),
+            kept: kept.len(),
+            analyzer_cycles: outcome.analyzer.cycles,
+            sorter_cycles: outcome.sorter_cycles,
+            offset_bytes: outcome.offsets.storage_bytes(),
+        };
+        StageOutput::Pruned { kept, stats }
+    }
+}
+
+/// One similarity concentration stage: gathers a single FC output
+/// (PV, O-proj, FFN activation or FFN down) over synthesised
+/// activations.
+pub struct GatherStage {
+    /// The gather point this stage measures.
+    pub stage: Stage,
+    concentrator: SimilarityConcentrator,
+    dtype: DataType,
+}
+
+impl GatherStage {
+    /// Builds the stage for one gather point.
+    ///
+    /// The tile height is NOT scaled down with the frame count: what
+    /// governs boundary statistics is the tile span measured in frames
+    /// (`tile_m` / retained-tokens-per-frame), and tokens per frame are
+    /// identical at both scales. A scaled-down tile would hide the
+    /// temporal twin (one frame-stride away in the packed stream) from
+    /// most keys and destroy the match rate.
+    pub fn new(config: &FocusConfig, stage: Stage, dtype: DataType) -> Self {
+        GatherStage {
+            stage,
+            concentrator: SimilarityConcentrator {
+                gather: crate::sic::GatherConfig {
+                    threshold: config.threshold,
+                    block: config.block,
+                },
+                vector_len: config.vector_len,
+                tile_m: config.tile_m,
+            },
+            dtype,
+        }
+    }
+}
+
+impl ConcentrationStage for GatherStage {
+    fn label(&self) -> &'static str {
+        match self.stage {
+            Stage::PvOut => "sic/pv_out",
+            Stage::OProjOut => "sic/o_proj_out",
+            Stage::FfnAct => "sic/ffn_act",
+            Stage::FfnDownOut => "sic/ffn_down_out",
+            Stage::Embedding => "sic/embedding",
+        }
+    }
+
+    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput {
+        let width = self.stage.width(ctx.workload.scaled_model());
+        // A fresh synthesiser per call is bit-identical to a shared
+        // one: rows are pure functions of (scene, seed, layer, stage),
+        // the per-synthesiser cache is only a memo.
+        let mut syn = ctx.workload.activation_synthesizer();
+        let mut acts = syn.activations(ctx.retained, ctx.layer, self.stage, width);
+        match self.dtype {
+            DataType::Fp16 => acts.round_to_f16(),
+            DataType::Int8 => acts = fake_quantize(&acts),
+        }
+        let stats = self.concentrator.gather_matrix(&acts, ctx.positions);
+        StageOutput::Gathered {
+            stage: self.stage,
+            stats,
+        }
+    }
+}

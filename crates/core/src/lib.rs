@@ -16,11 +16,31 @@
 //!   and reconstructs full tiles from concentrated partial sums in the
 //!   next GEMM (scatter).
 //!
+//! # Module tree
+//!
+//! The crate is organised as a streaming **stage graph** over those
+//! mechanisms:
+//!
+//! * [`config`] — the Table I configuration ([`FocusConfig`],
+//!   [`RetentionSchedule`], [`BlockSize`]);
+//! * [`sec`] / [`sic`] — the two concentration mechanisms;
+//! * [`exec`] — the execution engine: the
+//!   [`exec::ConcentrationStage`] trait (one graph node), the
+//!   [`exec::LayerExecutor`] (drives SEC plus the four independent SIC
+//!   gather stages through one streaming loop, gathers in parallel),
+//!   and the [`exec::BatchRunner`] (fans whole pipeline runs across
+//!   cores with results bit-identical to serial execution);
+//! * [`pipeline`] — the two pipeline phases split by concern:
+//!   `measure` (the stage graph at measured scale), `lower` (the
+//!   shared [`focus_vlm::trace::layer_lowering`] GEMM table applied at
+//!   paper scale), `stats` (the per-layer records and
+//!   [`pipeline::PipelineResult`]);
+//! * [`unit`] — the hardware inventory (area shares, overlap
+//!   guarantees).
+//!
 //! [`pipeline::FocusPipeline`] runs the whole stack over a synthetic
 //! [`focus_vlm::Workload`] and lowers the measured concentration ratios
-//! into [`focus_sim`] work items for cycle-accurate evaluation;
-//! [`unit`] carries the hardware inventory (area shares, overlap
-//! guarantees).
+//! into [`focus_sim`] work items for cycle-accurate evaluation.
 //!
 //! # Examples
 //!
@@ -38,14 +58,36 @@
 //! let result = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
 //! assert!(result.sparsity() > 0.5);
 //! ```
+//!
+//! Batched, parallel execution over many workloads:
+//!
+//! ```
+//! use focus_core::exec::BatchRunner;
+//! use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+//!
+//! let workloads: Vec<Workload> = (0..4)
+//!     .map(|seed| {
+//!         Workload::new(
+//!             ModelKind::LlavaVideo7B,
+//!             DatasetKind::VideoMme,
+//!             WorkloadScale::tiny(),
+//!             seed,
+//!         )
+//!     })
+//!     .collect();
+//! let results = BatchRunner::paper().run_many(&workloads);
+//! assert_eq!(results.len(), 4);
+//! ```
 
 pub mod config;
+pub mod exec;
 pub mod pipeline;
 pub mod sec;
 pub mod sic;
 pub mod unit;
 
 pub use crate::config::{BlockSize, FocusConfig, RetentionSchedule};
+pub use crate::exec::{BatchJob, BatchRunner};
 pub use crate::pipeline::{FocusPipeline, PipelineResult};
 pub use crate::sec::SemanticConcentrator;
 pub use crate::sic::SimilarityConcentrator;

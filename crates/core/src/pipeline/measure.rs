@@ -1,0 +1,77 @@
+//! The measured phase: the [`LayerExecutor`] stage graph run over
+//! synthesised activations at [`focus_vlm::WorkloadScale`] resolution.
+
+use focus_vlm::accuracy::TokenOutcome;
+use focus_vlm::Workload;
+
+use crate::exec::LayerExecutor;
+use crate::pipeline::stats::{propagate_measurements, LayerStats, MeasuredRun};
+use crate::pipeline::FocusPipeline;
+
+impl FocusPipeline {
+    /// The measured phase: SEC + SIC over synthesised activations,
+    /// driven by the streaming stage-graph executor.
+    pub(crate) fn measure(&self, workload: &Workload) -> MeasuredRun {
+        let exec = LayerExecutor::new(self, workload);
+        let layers_n = exec.layers();
+        let m_img = workload.image_tokens_scaled();
+
+        let mut retained: Vec<usize> = (0..m_img).collect();
+        let mut fid_accum = vec![0.0f64; m_img];
+        let mut last_fid = vec![1.0f64; m_img];
+        let mut layer_stats = Vec::with_capacity(layers_n);
+        let mut sec_layers = Vec::new();
+        let mut sic_comparisons = 0u64;
+        let mut sic_matches = 0u64;
+
+        for layer in 0..layers_n {
+            let record = exec.run_layer(layer, &mut retained);
+            sic_comparisons += record.comparisons;
+            sic_matches += record.matches;
+            if let Some(fid) = &record.fidelity {
+                for (row, &tok) in retained.iter().enumerate() {
+                    last_fid[tok] = fid[row];
+                }
+            }
+            // Fidelity accrues for retained tokens only.
+            for &tok in &retained {
+                fid_accum[tok] += last_fid[tok];
+            }
+            if let Some(sec) = record.sec {
+                sec_layers.push(sec);
+            }
+            layer_stats.push(LayerStats {
+                layer,
+                retained_in: record.retained_in,
+                retained_out: retained.len(),
+                measured: record.measured,
+                stage_ratio: record.stage_ratio,
+                stage_samples: record.stage_samples,
+                stage_col_tiles: record.stage_col_tiles,
+                sic_comparisons,
+                sic_matches,
+            });
+        }
+
+        // Interpolate unmeasured layers from the nearest measured one.
+        propagate_measurements(&mut layer_stats);
+
+        // Token outcomes.
+        let relevance = workload.relevance();
+        let outcomes: Vec<TokenOutcome> = (0..m_img)
+            .map(|t| TokenOutcome {
+                relevance: relevance[t],
+                fidelity: fid_accum[t] / layers_n as f64,
+            })
+            .collect();
+
+        MeasuredRun {
+            layer_stats,
+            sec_layers,
+            outcomes,
+            sic_comparisons,
+            sic_matches,
+            m_img_scaled: m_img,
+        }
+    }
+}

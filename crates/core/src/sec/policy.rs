@@ -56,12 +56,7 @@ impl SelectionPolicy {
     /// Applies the policy to an importance vector. `m_original` is the
     /// pre-pruning token count the `TopK` ratio refers to; `ways` is
     /// the sorter chain width.
-    pub fn select(
-        &self,
-        importance: &[f32],
-        m_original: usize,
-        ways: usize,
-    ) -> SelectionOutcome {
+    pub fn select(&self, importance: &[f32], m_original: usize, ways: usize) -> SelectionOutcome {
         match *self {
             SelectionPolicy::TopK { ratio } => {
                 let k = ((ratio * m_original as f64).round() as usize).min(importance.len());

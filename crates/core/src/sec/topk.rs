@@ -125,11 +125,7 @@ mod tests {
         for k in 0..=scores.len() {
             for ways in [1, 2, 3, 8] {
                 let got = TopKSorter::new(ways).select(&scores, k);
-                assert_eq!(
-                    got.indices,
-                    top_k_indices(&scores, k),
-                    "k={k} ways={ways}"
-                );
+                assert_eq!(got.indices, top_k_indices(&scores, k), "k={k} ways={ways}");
             }
         }
     }

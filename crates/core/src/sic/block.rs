@@ -97,9 +97,6 @@ mod tests {
     #[test]
     fn temporal_only_block_looks_back_in_time() {
         let c = candidate_positions(Fhw { f: 4, r: 2, c: 2 }, BlockSize { f: 3, h: 1, w: 1 });
-        assert_eq!(
-            c,
-            vec![Fhw { f: 3, r: 2, c: 2 }, Fhw { f: 2, r: 2, c: 2 }]
-        );
+        assert_eq!(c, vec![Fhw { f: 3, r: 2, c: 2 }, Fhw { f: 2, r: 2, c: 2 }]);
     }
 }

@@ -77,9 +77,15 @@ pub fn gather_tile(
     positions: &[Option<Fhw>],
     cfg: &GatherConfig,
 ) -> GatherResult {
-    assert!(row_start + row_count <= acts.rows(), "row range out of bounds");
+    assert!(
+        row_start + row_count <= acts.rows(),
+        "row range out of bounds"
+    );
     assert!(col_range.end <= acts.cols(), "column range out of bounds");
-    assert!(positions.len() >= row_start + row_count, "positions too short");
+    assert!(
+        positions.len() >= row_start + row_count,
+        "positions too short"
+    );
 
     let width = col_range.len();
     // Position → tile-local row index, for candidate lookup.
@@ -115,11 +121,10 @@ pub fn gather_tile(
                     continue;
                 }
                 let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
-                let cos =
-                    cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
+                let cos = cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
                 comparisons += 1;
                 dot_ops += width as u64;
-                if cos >= cfg.threshold && best.map_or(true, |(_, b)| cos > b) {
+                if cos >= cfg.threshold && best.is_none_or(|(_, b)| cos > b) {
                     best = Some((cand_local, cos));
                 }
             }
@@ -275,7 +280,13 @@ mod tests {
     fn cycle_bound_is_eight_m_for_default_block() {
         let acts = Matrix::zeros(16, 8);
         let positions: Vec<Option<Fhw>> = (0..16)
-            .map(|i| Some(Fhw { f: 0, r: i / 4, c: i % 4 }))
+            .map(|i| {
+                Some(Fhw {
+                    f: 0,
+                    r: i / 4,
+                    c: i % 4,
+                })
+            })
             .collect();
         let r = gather_tile(&acts, 0, 16, 0..8, &positions, &cfg());
         assert_eq!(r.cycles, 8 * 16);

@@ -117,10 +117,10 @@ mod tests {
         let l = ConvLayouter::new(5, 5);
         let a = l.address_of(Fhw { f: 1, r: 1, c: 2 });
         assert_eq!(a.bank, 4 + 2);
-        assert_eq!(a.offset, 0 * 3 + 1);
+        assert_eq!(a.offset, 1); // (r/2)·ceil(w/2) + c/2 = 0·3 + 1
         let b = l.address_of(Fhw { f: 1, r: 4, c: 3 });
-        assert_eq!(b.bank, 4 + 0 + 1);
-        assert_eq!(b.offset, 2 * 3 + 1);
+        assert_eq!(b.bank, 4 + 1); // f%2·4 + r%2·2 + c%2
+        assert_eq!(b.offset, 7); // 2·3 + 1
     }
 
     #[test]
@@ -138,10 +138,7 @@ mod tests {
                                     r: r0 + dr,
                                     c: c0 + dc,
                                 });
-                                assert!(
-                                    !banks[a.bank],
-                                    "bank conflict at window ({f0},{r0},{c0})"
-                                );
+                                assert!(!banks[a.bank], "bank conflict at window ({f0},{r0},{c0})");
                                 banks[a.bank] = true;
                             }
                         }

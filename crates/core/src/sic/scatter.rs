@@ -48,9 +48,9 @@ pub fn scatter_ops(m: usize, n: usize, k_subtiles: usize) -> u128 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::BlockSize;
     use crate::sic::gather::{gather_tile, GatherConfig};
     use crate::sic::layout::Fhw;
-    use crate::config::BlockSize;
 
     #[test]
     fn scatter_replays_partial_rows() {
@@ -70,7 +70,13 @@ mod tests {
         let v = vec![0.5, -1.0, 2.0, 0.25];
         let acts = Matrix::from_rows(&[v.clone(), v.clone(), v.clone(), v.clone()]);
         let positions: Vec<Option<Fhw>> = (0..4)
-            .map(|i| Some(Fhw { f: 0, r: i / 2, c: i % 2 }))
+            .map(|i| {
+                Some(Fhw {
+                    f: 0,
+                    r: i / 2,
+                    c: i % 2,
+                })
+            })
             .collect();
         let cfg = GatherConfig {
             threshold: 0.9,
@@ -93,7 +99,13 @@ mod tests {
             vec![0.0, 0.00, 0.0, 9.0],
         ]);
         let positions: Vec<Option<Fhw>> = (0..4)
-            .map(|i| Some(Fhw { f: 0, r: i / 2, c: i % 2 }))
+            .map(|i| {
+                Some(Fhw {
+                    f: 0,
+                    r: i / 2,
+                    c: i % 2,
+                })
+            })
             .collect();
         let cfg = GatherConfig {
             threshold: 0.9,

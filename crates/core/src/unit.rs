@@ -8,7 +8,7 @@
 //! SIC ≈ 0.8 % of the 3.21 mm² design — a 2.7 % overhead over the
 //! vanilla array — and our inventory reproduces those shares.
 
-use focus_sim::{AreaModel, AreaReport, ArchConfig};
+use focus_sim::{ArchConfig, AreaModel, AreaReport};
 
 use crate::config::FocusConfig;
 use crate::sec::overlap_ratio;
@@ -65,11 +65,18 @@ impl FocusUnitArea {
 
 /// The full-chip area report for a Focus-equipped accelerator
 /// (Fig. 9(c) left pie / Table III row).
-pub fn chip_area_report(arch: &ArchConfig, cfg: &FocusConfig, max_image_tokens: usize) -> AreaReport {
+pub fn chip_area_report(
+    arch: &ArchConfig,
+    cfg: &FocusConfig,
+    max_image_tokens: usize,
+) -> AreaReport {
     let area = AreaModel::n28();
     let unit = FocusUnitArea::inventory(cfg, &area, max_image_tokens);
     let mut report = AreaReport::new();
-    report.add("Systolic Array", area.pe_array_mm2(arch.pe_rows, arch.pe_cols));
+    report.add(
+        "Systolic Array",
+        area.pe_array_mm2(arch.pe_rows, arch.pe_cols),
+    );
     report.add("Buffer", area.sram_mm2(arch.total_buffer()));
     report.add("SFU", area.sfu_mm2);
     report.add("SEC", unit.sec_mm2);
@@ -80,6 +87,7 @@ pub fn chip_area_report(arch: &ArchConfig, cfg: &FocusConfig, max_image_tokens: 
 /// Verifies the paper's two overlap inequalities at an operating point,
 /// returning `(sorter_ratio, matcher_ratio)`; both must exceed 1 for
 /// the Focus unit to stay off the critical path.
+#[allow(clippy::too_many_arguments)]
 pub fn overlap_ratios(
     cfg: &FocusConfig,
     image_tokens: usize,
@@ -126,8 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn overlap_holds_at_paper_operating_point()
-    {
+    fn overlap_holds_at_paper_operating_point() {
         let cfg = FocusConfig::paper();
         let (sorter, matcher) = overlap_ratios(
             &cfg,

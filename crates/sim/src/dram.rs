@@ -58,8 +58,7 @@ impl DramModel {
     /// Energy to transfer `bytes`, in joules (transfer only; add
     /// [`DramModel::background_energy_j`] for the standby component).
     pub fn energy_j(&self, bytes: u64) -> f64 {
-        let per_byte =
-            self.energy_pj_per_byte + self.activate_pj_per_byte * self.row_miss_fraction;
+        let per_byte = self.energy_pj_per_byte + self.activate_pj_per_byte * self.row_miss_fraction;
         bytes as f64 * per_byte * 1e-12
     }
 }

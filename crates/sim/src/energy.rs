@@ -175,6 +175,9 @@ mod tests {
             + sram_bytes_per_s * e.sram_pj_per_byte * 1e-12
             + e.static_w
             + macs_per_s / 1500.0 * e.sfu_pj_per_op * 1e-12;
-        assert!((0.6..0.85).contains(&watts), "modelled dense power {watts} W");
+        assert!(
+            (0.6..0.85).contains(&watts),
+            "modelled dense power {watts} W"
+        );
     }
 }

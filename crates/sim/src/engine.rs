@@ -186,8 +186,7 @@ impl Engine {
             });
         }
         report.seconds = self.arch.seconds(report.cycles);
-        report.energy.static_j =
-            (self.energy.static_w + self.arch.extra_static_w) * report.seconds;
+        report.energy.static_j = (self.energy.static_w + self.arch.extra_static_w) * report.seconds;
         report.energy.dram_j += self.dram.background_energy_j(report.seconds);
         report.avg_utilization = if report.macs == 0 {
             0.0
@@ -230,15 +229,15 @@ mod tests {
         let engine = Engine::new(ArchConfig::focus());
         let a = engine.run(&[item(256, 256, 256, 1000, 1000)]);
         let b = engine.run(&[item(512, 128, 64, 5000, 0)]);
-        let ab = engine.run(&[
-            item(256, 256, 256, 1000, 1000),
-            item(512, 128, 64, 5000, 0),
-        ]);
+        let ab = engine.run(&[item(256, 256, 256, 1000, 1000), item(512, 128, 64, 5000, 0)]);
         // Dynamic components add exactly; static differs only through
         // runtime (which also adds).
         assert!((ab.energy.total_j() - a.energy.total_j() - b.energy.total_j()).abs() < 1e-12);
         assert_eq!(ab.macs, a.macs + b.macs);
-        assert_eq!(ab.dram_total_bytes(), a.dram_total_bytes() + b.dram_total_bytes());
+        assert_eq!(
+            ab.dram_total_bytes(),
+            a.dram_total_bytes() + b.dram_total_bytes()
+        );
     }
 
     #[test]

@@ -45,7 +45,14 @@ pub struct GemmWork {
 
 impl GemmWork {
     /// Dense work with no concentration.
-    pub fn dense(label: impl Into<String>, m: usize, k: usize, n: usize, batch: usize, tile_m: usize) -> Self {
+    pub fn dense(
+        label: impl Into<String>,
+        m: usize,
+        k: usize,
+        n: usize,
+        batch: usize,
+        tile_m: usize,
+    ) -> Self {
         GemmWork {
             label: label.into(),
             m,
@@ -75,7 +82,10 @@ impl GemmWork {
         match &self.subtile_rows {
             Some(rows) => {
                 let idx = m_tile * self.k_subtiles(pe_rows) + k_subtile;
-                rows.get(idx).copied().unwrap_or(tile_height).min(tile_height)
+                rows.get(idx)
+                    .copied()
+                    .unwrap_or(tile_height)
+                    .min(tile_height)
             }
             None => tile_height,
         }
@@ -135,7 +145,10 @@ pub struct SystolicModel {
 impl SystolicModel {
     /// Creates a model for a `rows × cols` array.
     pub fn new(pe_rows: usize, pe_cols: usize) -> Self {
-        assert!(pe_rows > 0 && pe_cols > 0, "array dimensions must be positive");
+        assert!(
+            pe_rows > 0 && pe_cols > 0,
+            "array dimensions must be positive"
+        );
         SystolicModel { pe_rows, pe_cols }
     }
 
@@ -228,8 +241,7 @@ impl SystolicModel {
         // Partial sums: FP32 (4 B), read + write per k-sub-tile beyond
         // the first (the first sub-tile initialises, write only).
         let psum_accesses = output_elems * (2 * k_subs as u128 - 1);
-        let operand_bytes =
-            (input_elems + weight_elems + output_elems) * bytes_per_elem as u128;
+        let operand_bytes = (input_elems + weight_elems + output_elems) * bytes_per_elem as u128;
         ((operand_bytes + psum_accesses * 4) * work.batch as u128) as u64
     }
 }
@@ -248,7 +260,11 @@ mod tests {
         let work = GemmWork::dense("t", 1024, 3584, 32, 1, 1024);
         let t = model().time(&work);
         // util = p/(p+fill) = 1024/1086 ≈ 0.943
-        assert!((t.utilization - 1024.0 / 1086.0).abs() < 1e-6, "{}", t.utilization);
+        assert!(
+            (t.utilization - 1024.0 / 1086.0).abs() < 1e-6,
+            "{}",
+            t.utilization
+        );
         assert_eq!(t.macs, 1024 * 3584 * 32);
     }
 

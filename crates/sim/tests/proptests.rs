@@ -5,9 +5,14 @@ use focus_sim::{ArchConfig, DramModel, Engine, GemmWork, GpuModel, SystolicModel
 use proptest::prelude::*;
 
 fn any_gemm() -> impl Strategy<Value = GemmWork> {
-    (1usize..2000, 1usize..512, 1usize..256, 1usize..4, 64usize..2048).prop_map(
-        |(m, k, n, batch, tile_m)| GemmWork::dense("g", m, k, n, batch, tile_m),
+    (
+        1usize..2000,
+        1usize..512,
+        1usize..256,
+        1usize..4,
+        64usize..2048,
     )
+        .prop_map(|(m, k, n, batch, tile_m)| GemmWork::dense("g", m, k, n, batch, tile_m))
 }
 
 proptest! {
@@ -97,7 +102,7 @@ proptest! {
     fn engine_energy_additive(work in any_gemm()) {
         let engine = Engine::new(ArchConfig::focus());
         let item = WorkItem::gemm_only(work, 1000, 1000);
-        let one = engine.run(&[item.clone()]);
+        let one = engine.run(std::slice::from_ref(&item));
         let two = engine.run(&[item.clone(), item]);
         prop_assert!(one.energy.total_j() > 0.0);
         let diff = two.energy.total_j() - 2.0 * one.energy.total_j();

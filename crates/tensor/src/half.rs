@@ -313,7 +313,14 @@ mod tests {
     #[test]
     fn rounding_error_is_bounded_for_normals() {
         // Relative error of one round trip is at most 2^-11 for normal values.
-        let samples = [1.5e-3f32, 0.17, 1.0, 3.14159, 123.456, 6.5e4 * 0.9];
+        let samples = [
+            1.5e-3f32,
+            0.17,
+            1.0,
+            std::f32::consts::PI,
+            123.456,
+            6.5e4 * 0.9,
+        ];
         for &x in &samples {
             let r = round_to_f16(x);
             assert!(

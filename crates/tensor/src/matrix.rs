@@ -173,8 +173,14 @@ impl Matrix {
         col_start: usize,
         col_count: usize,
     ) -> Matrix {
-        assert!(row_start + row_count <= self.rows, "row range out of bounds");
-        assert!(col_start + col_count <= self.cols, "col range out of bounds");
+        assert!(
+            row_start + row_count <= self.rows,
+            "row range out of bounds"
+        );
+        assert!(
+            col_start + col_count <= self.cols,
+            "col range out of bounds"
+        );
         Matrix::from_fn(row_count, col_count, |r, c| {
             self[(row_start + r, col_start + c)]
         })
@@ -236,8 +242,7 @@ impl Matrix {
             for i in 0..m {
                 let a_row = &self.data[i * k..(i + 1) * k];
                 let out_row = &mut out[i * n..(i + 1) * n];
-                for kk in k0..k1 {
-                    let a = a_row[kk];
+                for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
                     if a == 0.0 {
                         continue;
                     }
@@ -264,7 +269,11 @@ impl Matrix {
 
     /// Frobenius norm (root of the sum of squared elements).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Mean absolute difference against another matrix of the same shape.
@@ -494,7 +503,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "each cell covered exactly once");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "each cell covered exactly once"
+        );
         assert_eq!(TileIter::new(rows, cols, tr, tc).tile_count(), 9);
     }
 

@@ -207,10 +207,12 @@ mod tests {
         let model = AccuracyModel::default();
         let mme = DatasetProfile::for_model(DatasetKind::Mme, ModelKind::Qwen25Vl7B);
         let o = outcomes(&[(1.0, 0.9)]);
-        let drop = mme.base_accuracy(ModelKind::Qwen25Vl7B)
-            - model.score(&mme, ModelKind::Qwen25Vl7B, &o);
-        let acc_drop =
-            64.15 - model.score(&profile(), ModelKind::LlavaVideo7B, &o);
-        assert!((drop / acc_drop - 20.0).abs() < 1.0, "MME points are 20× finer");
+        let drop =
+            mme.base_accuracy(ModelKind::Qwen25Vl7B) - model.score(&mme, ModelKind::Qwen25Vl7B, &o);
+        let acc_drop = 64.15 - model.score(&profile(), ModelKind::LlavaVideo7B, &o);
+        assert!(
+            (drop / acc_drop - 20.0).abs() < 1.0,
+            "MME points are 20× finer"
+        );
     }
 }

@@ -273,7 +273,10 @@ mod tests {
         let t0 = top(&imp0);
         let t1 = top(&imp1);
         let overlap = t0.iter().filter(|i| t1.contains(i)).count() as f64 / t0.len() as f64;
-        assert!(overlap < 0.8, "top sets must shift with the prompt ({overlap})");
+        assert!(
+            overlap < 0.8,
+            "top sets must shift with the prompt ({overlap})"
+        );
     }
 
     #[test]

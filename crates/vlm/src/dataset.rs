@@ -41,7 +41,8 @@ impl DatasetKind {
     ];
 
     /// The image benchmarks of Table V.
-    pub const IMAGE: [DatasetKind; 3] = [DatasetKind::Vqav2, DatasetKind::Mme, DatasetKind::MmBench];
+    pub const IMAGE: [DatasetKind; 3] =
+        [DatasetKind::Vqav2, DatasetKind::Mme, DatasetKind::MmBench];
 
     /// Short name used in table output.
     pub fn short_name(self) -> &'static str {
@@ -273,13 +274,11 @@ fn redundancy_profile(kind: DatasetKind, model: ModelKind) -> RedundancyProfile 
                 p.stable_fraction -= 0.07;
             }
         }
-        ModelKind::LlavaOneVision7B => {
-            if kind == DatasetKind::MvBench {
-                // OneVision's MVBench cell is the paper's sparsest
-                // (85.49 %): short clips + OneVision's frame sampler
-                // yield near-static token streams.
-                p.stable_fraction += 0.135;
-            }
+        ModelKind::LlavaOneVision7B if kind == DatasetKind::MvBench => {
+            // OneVision's MVBench cell is the paper's sparsest
+            // (85.49 %): short clips + OneVision's frame sampler
+            // yield near-static token streams.
+            p.stable_fraction += 0.135;
         }
         ModelKind::Qwen25Vl7B => {
             // Window-attention ViT yields less redundant embeddings

@@ -57,6 +57,22 @@ impl Stage {
         Stage::FfnDownOut,
     ];
 
+    /// Index of this stage within [`Stage::GATHER_POINTS`], or `None`
+    /// for [`Stage::Embedding`]. Pipelines use this to address
+    /// per-layer gather-stage arrays.
+    pub fn gather_index(self) -> Option<usize> {
+        Stage::GATHER_POINTS.iter().position(|&s| s == self)
+    }
+
+    /// Activation width of this stage's output rows under `model`
+    /// (`ffn_hidden` for the gated FFN activation, `hidden` otherwise).
+    pub fn width(self, model: &crate::config::ModelConfig) -> usize {
+        match self {
+            Stage::FfnAct => model.ffn_hidden,
+            _ => model.hidden,
+        }
+    }
+
     fn salt(self) -> u64 {
         match self {
             Stage::Embedding => 0x10,
@@ -150,10 +166,12 @@ impl<'a> ActivationSynthesizer<'a> {
     /// Deterministic appearance vector of a content key at the current
     /// context, memoised.
     fn appearance(&mut self, key: ContentKey, width: usize, salt: u64) -> &[f32] {
-        self.appearance_cache.entry((key, width)).or_insert_with(|| {
-            let mut rng = SplitMix64(key.stable_hash(salt));
-            (0..width).map(|_| rng.next_normal()).collect()
-        })
+        self.appearance_cache
+            .entry((key, width))
+            .or_insert_with(|| {
+                let mut rng = SplitMix64(key.stable_hash(salt));
+                (0..width).map(|_| rng.next_normal()).collect()
+            })
     }
 
     /// Synthesises the deterministic (noise-free) part of one token row.
@@ -220,7 +238,10 @@ impl<'a> ActivationSynthesizer<'a> {
     /// Panics if `out.len()` is not a positive multiple of [`GROUP`].
     pub fn token_row(&mut self, token: usize, layer: usize, stage: Stage, out: &mut [f32]) {
         let width = out.len();
-        assert!(width > 0 && width % GROUP == 0, "width must be a multiple of {GROUP}");
+        assert!(
+            width > 0 && width.is_multiple_of(GROUP),
+            "width must be a multiple of {GROUP}"
+        );
         let salt = self.context_salt(layer, stage);
         if salt != self.cache_salt {
             self.appearance_cache.clear();
@@ -247,10 +268,9 @@ impl<'a> ActivationSynthesizer<'a> {
         let groups_per_block = 32 / GROUP;
         for g in 0..width / GROUP {
             let block = g / groups_per_block;
-            let block_stable =
-                unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
-            let group_stable = block_stable
-                || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8;
+            let block_stable = unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
+            let group_stable =
+                block_stable || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8;
             if !group_stable {
                 let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
                 for v in out[g * GROUP..(g + 1) * GROUP].iter_mut() {
@@ -402,7 +422,10 @@ mod tests {
                 different += 1;
             }
         }
-        assert!(identical >= 256 / GROUP / 3, "stable groups must repeat ({identical})");
+        assert!(
+            identical >= 256 / GROUP / 3,
+            "stable groups must repeat ({identical})"
+        );
         assert!(different > 0, "unstable groups must differ");
     }
 

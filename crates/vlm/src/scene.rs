@@ -186,13 +186,13 @@ impl Scene {
             for o in 0..red.object_count {
                 let hs = hash_words(config.seed, &[0x0B1, epoch as u64, o as u64]);
                 let start_r = unit_from_hash(hs) * config.grid_h as f64;
-                let start_c =
-                    unit_from_hash(hs.wrapping_add(1).wrapping_mul(0x9E37_79B9)) * config.grid_w as f64;
-                let dir =
-                    unit_from_hash(hash_words(config.seed, &[0x0D1, epoch as u64, o as u64]))
-                        * core::f64::consts::TAU;
+                let start_c = unit_from_hash(hs.wrapping_add(1).wrapping_mul(0x9E37_79B9))
+                    * config.grid_w as f64;
+                let dir = unit_from_hash(hash_words(config.seed, &[0x0D1, epoch as u64, o as u64]))
+                    * core::f64::consts::TAU;
                 let speed_jitter = 0.6
-                    + 0.8 * unit_from_hash(hash_words(config.seed, &[0x0 + 0x5D, epoch as u64, o as u64]));
+                    + 0.8
+                        * unit_from_hash(hash_words(config.seed, &[0x5D, epoch as u64, o as u64]));
                 let speed = red.motion_speed * speed_jitter;
                 let raw_r = start_r + t * speed * dir.sin();
                 let raw_c = start_c + t * speed * dir.cos();
@@ -297,7 +297,10 @@ impl Scene {
     /// Panics if any coordinate is out of range.
     pub fn patch(&self, frame: usize, r: usize, c: usize) -> &PatchContent {
         assert!(frame < self.config.frames, "frame out of range");
-        assert!(r < self.config.grid_h && c < self.config.grid_w, "patch out of range");
+        assert!(
+            r < self.config.grid_h && c < self.config.grid_w,
+            "patch out of range"
+        );
         &self.patches[(frame * self.config.grid_h + r) * self.config.grid_w + c]
     }
 
@@ -353,8 +356,8 @@ fn reflect(x: f64, limit: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::{DatasetKind, DatasetProfile};
     use crate::config::ModelKind;
+    use crate::dataset::{DatasetKind, DatasetProfile};
 
     fn test_config(seed: u64) -> SceneConfig {
         let profile = DatasetProfile::for_model(DatasetKind::VideoMme, ModelKind::LlavaVideo7B);

@@ -18,6 +18,7 @@
 //! by orders of magnitude (6 381 tokens in, tens of tokens out).
 
 use crate::config::ModelConfig;
+use crate::embedding::Stage;
 
 /// The role a GEMM plays inside a transformer layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -52,6 +53,20 @@ impl GemmKind {
         }
     }
 
+    /// The gather stage this GEMM's output feeds, if the similarity
+    /// concentrator gathers it (paper §VI-A: PV, O-projection and FFN
+    /// outputs; the FFN up projection is charged with the gated
+    /// activation product).
+    pub fn gathered_output(self) -> Option<Stage> {
+        match self {
+            GemmKind::Pv => Some(Stage::PvOut),
+            GemmKind::OProj => Some(Stage::OProjOut),
+            GemmKind::FfnUp => Some(Stage::FfnAct),
+            GemmKind::FfnDown => Some(Stage::FfnDownOut),
+            GemmKind::Qkv | GemmKind::QkT | GemmKind::FfnGate => None,
+        }
+    }
+
     /// Whether this GEMM's *input rows* are token activations that the
     /// similarity concentrator can compact (attention score/value GEMMs
     /// are handled at token granularity by the semantic concentrator
@@ -59,7 +74,11 @@ impl GemmKind {
     pub fn is_fc(self) -> bool {
         matches!(
             self,
-            GemmKind::Qkv | GemmKind::OProj | GemmKind::FfnGate | GemmKind::FfnUp | GemmKind::FfnDown
+            GemmKind::Qkv
+                | GemmKind::OProj
+                | GemmKind::FfnGate
+                | GemmKind::FfnUp
+                | GemmKind::FfnDown
         )
     }
 }
@@ -102,6 +121,108 @@ impl Gemm {
     pub fn output_elems(&self) -> u128 {
         self.m as u128 * self.n as u128 * self.batch as u128
     }
+}
+
+/// Where a lowered GEMM's input rows come from, relative to the layer
+/// being lowered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GemmInput {
+    /// Streamed dense input (attention scores, K/V streams): no
+    /// gathered producer, so no input concentration applies.
+    Dense,
+    /// Produced by a gather stage of the **previous** layer (only the
+    /// QKV projection, which consumes the prior layer's FFN output;
+    /// layer 0 has no producer and lowers dense).
+    PrevLayer(Stage),
+    /// Produced by a gather stage of the **same** layer.
+    SameLayer(Stage),
+}
+
+/// One row of the per-layer seven-GEMM lowering table: the GEMM shape
+/// plus the concentration wiring (which gather stage produced its
+/// input). This is the single shared description both the Focus
+/// pipeline and any future lowering consume — the paper's Fig. 4
+/// stage graph in data form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmDesc {
+    /// Which role the GEMM plays.
+    pub kind: GemmKind,
+    /// Output rows (tokens).
+    pub m: usize,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Independent instances (attention heads).
+    pub batch: usize,
+    /// Where the input rows come from.
+    pub input: GemmInput,
+}
+
+/// The lowering table of one transformer layer: `seq_in` tokens enter
+/// attention, `seq_out` remain after the layer's (possible) semantic
+/// pruning. Entries appear in execution order; the attention GEMMs
+/// straddle the pruning point (QKV/QKᵀ see `seq_in`, PV onwards see
+/// `seq_out`).
+pub fn layer_lowering(cfg: &ModelConfig, seq_in: usize, seq_out: usize) -> [GemmDesc; 7] {
+    [
+        GemmDesc {
+            kind: GemmKind::Qkv,
+            m: seq_in,
+            k: cfg.hidden,
+            n: cfg.qkv_out(),
+            batch: 1,
+            input: GemmInput::PrevLayer(Stage::FfnDownOut),
+        },
+        GemmDesc {
+            kind: GemmKind::QkT,
+            m: seq_in,
+            k: cfg.head_dim,
+            n: seq_in,
+            batch: cfg.heads,
+            input: GemmInput::Dense,
+        },
+        GemmDesc {
+            kind: GemmKind::Pv,
+            m: seq_out,
+            k: seq_in,
+            n: cfg.head_dim,
+            batch: cfg.heads,
+            input: GemmInput::Dense,
+        },
+        GemmDesc {
+            kind: GemmKind::OProj,
+            m: seq_out,
+            k: cfg.hidden,
+            n: cfg.hidden,
+            batch: 1,
+            input: GemmInput::SameLayer(Stage::PvOut),
+        },
+        GemmDesc {
+            kind: GemmKind::FfnGate,
+            m: seq_out,
+            k: cfg.hidden,
+            n: cfg.ffn_hidden,
+            batch: 1,
+            input: GemmInput::SameLayer(Stage::OProjOut),
+        },
+        GemmDesc {
+            kind: GemmKind::FfnUp,
+            m: seq_out,
+            k: cfg.hidden,
+            n: cfg.ffn_hidden,
+            batch: 1,
+            input: GemmInput::SameLayer(Stage::OProjOut),
+        },
+        GemmDesc {
+            kind: GemmKind::FfnDown,
+            m: seq_out,
+            k: cfg.ffn_hidden,
+            n: cfg.hidden,
+            batch: 1,
+            input: GemmInput::SameLayer(Stage::FfnAct),
+        },
+    ]
 }
 
 /// The GEMMs of one transformer layer over a sequence of `seq` tokens.
@@ -235,6 +356,76 @@ mod tests {
         assert!(GemmKind::Qkv.is_fc());
         assert!(!GemmKind::QkT.is_fc());
         assert!(!GemmKind::Pv.is_fc());
+    }
+
+    #[test]
+    fn lowering_table_matches_dense_enumeration() {
+        // With seq_in == seq_out the lowering shapes must coincide with
+        // the dense per-layer trace.
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let lowered = layer_lowering(&cfg, 777, 777);
+        let dense = layer_gemms(&cfg, 0, 777);
+        assert_eq!(lowered.len(), dense.len());
+        for (lo, de) in lowered.iter().zip(&dense) {
+            assert_eq!(lo.kind, de.kind);
+            assert_eq!((lo.m, lo.k, lo.n, lo.batch), (de.m, de.k, de.n, de.batch));
+        }
+    }
+
+    #[test]
+    fn lowering_table_straddles_the_pruning_point() {
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let lowered = layer_lowering(&cfg, 1000, 600);
+        for g in &lowered {
+            match g.kind {
+                GemmKind::Qkv | GemmKind::QkT => assert_eq!(g.m, 1000, "{:?}", g.kind),
+                _ => assert_eq!(g.m, 600, "{:?}", g.kind),
+            }
+        }
+        // PV contracts over the pre-prune sequence.
+        let pv = lowered.iter().find(|g| g.kind == GemmKind::Pv).unwrap();
+        assert_eq!(pv.k, 1000);
+    }
+
+    #[test]
+    fn gather_wiring_is_consistent() {
+        // Every stage produced by some GEMM is consumed by a later GEMM
+        // of the same or next layer, in execution order.
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        let lowered = layer_lowering(&cfg, 100, 80);
+        for (i, g) in lowered.iter().enumerate() {
+            if let GemmInput::SameLayer(stage) = g.input {
+                let producer = lowered[..i]
+                    .iter()
+                    .position(|p| p.kind.gathered_output() == Some(stage));
+                assert!(
+                    producer.is_some(),
+                    "{:?} consumes unproduced {stage:?}",
+                    g.kind
+                );
+            }
+        }
+        assert_eq!(
+            lowered[0].input,
+            GemmInput::PrevLayer(Stage::FfnDownOut),
+            "QKV consumes the previous layer's FFN output"
+        );
+        let produced: Vec<Stage> = lowered
+            .iter()
+            .filter_map(|g| g.kind.gathered_output())
+            .collect();
+        assert_eq!(produced, Stage::GATHER_POINTS.to_vec());
+    }
+
+    #[test]
+    fn stage_helpers_round_trip() {
+        for (i, s) in Stage::GATHER_POINTS.iter().enumerate() {
+            assert_eq!(s.gather_index(), Some(i));
+        }
+        assert_eq!(Stage::Embedding.gather_index(), None);
+        let cfg = ModelConfig::paper(ModelKind::LlavaVideo7B);
+        assert_eq!(Stage::FfnAct.width(&cfg), cfg.ffn_hidden);
+        assert_eq!(Stage::PvOut.width(&cfg), cfg.hidden);
     }
 
     #[test]

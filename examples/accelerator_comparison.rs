@@ -41,7 +41,13 @@ fn main() {
             sparsity * 100.0
         );
     };
-    row("SystolicArray", dense_rep.seconds, dense_rep.energy.total_j(), 0.0, dense.accuracy);
+    row(
+        "SystolicArray",
+        dense_rep.seconds,
+        dense_rep.energy.total_j(),
+        0.0,
+        dense.accuracy,
+    );
 
     // Edge GPU, dense and with FrameFusion.
     let gpu = GpuModel::orin_nano();
@@ -49,15 +55,33 @@ fn main() {
     row("GPU (Orin)", g.seconds, g.energy_j, 0.0, dense.accuracy);
     let ff = FrameFusionBaseline::default().run(&wl, &ArchConfig::vanilla());
     let gff = gpu.run_pruned(ff.macs, ff.dram_bytes() / 4);
-    row("GPU + FF", gff.seconds, gff.energy_j, ff.sparsity(), ff.accuracy);
+    row(
+        "GPU + FF",
+        gff.seconds,
+        gff.energy_j,
+        ff.sparsity(),
+        ff.accuracy,
+    );
 
     // Accelerator baselines.
     let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
     let ada_rep = Engine::new(ArchConfig::adaptiv()).run(&ada.work_items);
-    row("AdapTiV", ada_rep.seconds, ada_rep.energy.total_j(), ada.sparsity(), ada.accuracy);
+    row(
+        "AdapTiV",
+        ada_rep.seconds,
+        ada_rep.energy.total_j(),
+        ada.sparsity(),
+        ada.accuracy,
+    );
     let cmc = CmcBaseline::default().run(&wl, &ArchConfig::cmc());
     let cmc_rep = Engine::new(ArchConfig::cmc()).run(&cmc.work_items);
-    row("CMC", cmc_rep.seconds, cmc_rep.energy.total_j(), cmc.sparsity(), cmc.accuracy);
+    row(
+        "CMC",
+        cmc_rep.seconds,
+        cmc_rep.energy.total_j(),
+        cmc.sparsity(),
+        cmc.accuracy,
+    );
 
     // Focus.
     let focus = FocusPipeline::paper().run(&wl, &ArchConfig::focus());

@@ -2,10 +2,15 @@
 //! threshold trades sparsity against reconstruction fidelity — the knob
 //! a deployment would actually tune (Table I ships 0.9).
 //!
+//! The six threshold variants are independent pipeline runs, so they
+//! batch through [`BatchRunner`] and sweep at machine width; results
+//! come back in sweep order, identical to a serial loop.
+//!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
+use focus::core::exec::{BatchJob, BatchRunner};
 use focus::core::pipeline::FocusPipeline;
 use focus::core::FocusConfig;
 use focus::sim::{ArchConfig, Engine};
@@ -24,11 +29,23 @@ fn main() {
         "{:>9} {:>10} {:>12} {:>10} {:>9}",
         "threshold", "sparsity", "match rate", "accuracy", "latency"
     );
+    let thresholds = [0.999f32, 0.95, 0.9, 0.85, 0.8, 0.7];
+    let jobs: Vec<BatchJob> = thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut cfg = FocusConfig::paper();
+            cfg.threshold = threshold;
+            BatchJob {
+                pipeline: FocusPipeline::with_config(cfg),
+                workload: wl.clone(),
+                arch: ArchConfig::focus(),
+            }
+        })
+        .collect();
+    let results = BatchRunner::run_jobs(&jobs);
+
     let mut base_seconds = None;
-    for threshold in [0.999f32, 0.95, 0.9, 0.85, 0.8, 0.7] {
-        let mut cfg = FocusConfig::paper();
-        cfg.threshold = threshold;
-        let result = FocusPipeline::with_config(cfg).run(&wl, &ArchConfig::focus());
+    for (&threshold, result) in thresholds.iter().zip(&results) {
         let rep = Engine::new(ArchConfig::focus()).run(&result.work_items);
         let base = *base_seconds.get_or_insert(rep.seconds);
         println!(

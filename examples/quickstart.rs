@@ -53,7 +53,10 @@ fn main() {
     println!("\naccelerator (32x32 systolic array @ 500 MHz):");
     println!("  prefill latency      : {:.2} s", report.seconds);
     println!("  energy               : {:.1} J", report.energy.total_j());
-    println!("  array utilisation    : {:.1}%", report.avg_utilization * 100.0);
+    println!(
+        "  array utilisation    : {:.1}%",
+        report.avg_utilization * 100.0
+    );
     println!(
         "  DRAM traffic         : {:.1} GB",
         report.dram_total_bytes() as f64 / 1e9

@@ -48,20 +48,29 @@ fn main() {
         let target: Vec<usize> = (0..wl.image_tokens_scaled())
             .filter(|&t| scene.patch_by_index(t).object == Some(object))
             .collect();
-        let covered = target.iter().filter(|t| kept.binary_search(t).is_ok()).count();
+        let covered = target
+            .iter()
+            .filter(|t| kept.binary_search(t).is_ok())
+            .count();
         (covered, target.len())
     };
 
     println!("prompt-aware semantic concentration (15% retention)\n");
     let (c, n) = coverage(&dog, &dog_kept, 0);
     println!("Q: \"{}\"", dog.prompt().label);
-    println!("   keeps {c}/{n} tokens of the dog   ({:.0}%)", 100.0 * c as f64 / n as f64);
+    println!(
+        "   keeps {c}/{n} tokens of the dog   ({:.0}%)",
+        100.0 * c as f64 / n as f64
+    );
     let (c_wrong, _) = coverage(&dog, &dog_kept, 1);
     println!("   (and {c_wrong} tokens of the flower — context only)\n");
 
     let (c, n) = coverage(&flower, &flower_kept, 1);
     println!("Q: \"{}\"", flower.prompt().label);
-    println!("   keeps {c}/{n} tokens of the flower ({:.0}%)", 100.0 * c as f64 / n as f64);
+    println!(
+        "   keeps {c}/{n} tokens of the flower ({:.0}%)",
+        100.0 * c as f64 / n as f64
+    );
 
     let overlap = dog_kept
         .iter()

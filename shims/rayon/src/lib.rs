@@ -1,0 +1,251 @@
+//! Offline shim for `rayon`: the subset of the data-parallel API this
+//! workspace uses, implemented with `std::thread::scope`.
+//!
+//! Guarantees the workspace relies on:
+//!
+//! * **Order preservation** — `par_iter().map(f).collect::<Vec<_>>()`
+//!   yields results in input order, so parallel pipelines are
+//!   bit-identical to their serial equivalents.
+//! * **Panic propagation** — a panic in any worker is re-raised on the
+//!   calling thread (like real rayon).
+//!
+//! Unlike real rayon there is no global work-stealing pool: each
+//! `collect`/`for_each`/`join` call spawns at most
+//! [`current_num_threads`] scoped OS threads over contiguous chunks.
+//! At this workspace's task granularity (whole pipeline runs, whole
+//! gather stages) the spawn cost is noise.
+
+use std::marker::PhantomData;
+
+pub mod prelude {
+    //! Import everything needed for `par_iter` / `into_par_iter` chains.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads a parallel call may use. Honours
+/// `RAYON_NUM_THREADS` (like real rayon), falling back to the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map: the engine behind every iterator in
+/// this shim. Splits `items` into at most [`current_num_threads`]
+/// contiguous chunks and concatenates per-chunk results in chunk order.
+fn par_map_vec<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<I> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// A materialised parallel iterator over `I` items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (lazily; runs at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, R, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+
+    /// Accepted for API compatibility; the shim always chunks by thread
+    /// count.
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// The result of [`ParIter::map`], pending a `collect`.
+pub struct ParMap<I, R, F> {
+    items: Vec<I>,
+    f: F,
+    _out: PhantomData<fn() -> R>,
+}
+
+impl<I, R, F> ParMap<I, R, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Runs the map in parallel and collects results **in input order**.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator (`&self` counterpart of
+    /// [`IntoParallelIterator`]).
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..17).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 17);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn panics_propagate() {
+        let v = vec![1usize, 2, 3];
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 2 {
+                    panic!("worker boom");
+                }
+                x
+            })
+            .collect();
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

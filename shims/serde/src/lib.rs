@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus no-op derives.
+//!
+//! The workspace only ever *derives* `Serialize` on report types (for
+//! forward compatibility with JSON output); nothing serialises yet, so
+//! blanket marker impls are sufficient. See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

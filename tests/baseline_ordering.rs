@@ -42,8 +42,8 @@ fn vector_wise_beats_token_wise_focus() {
     // Fig. 2(c): the vector-wise variant exceeds the token-wise one.
     let workload = wl(ModelKind::LlavaVideo7B, DatasetKind::VideoMme);
     let vector = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
-    let token = FocusPipeline::with_config(FocusConfig::token_wise())
-        .run(&workload, &ArchConfig::focus());
+    let token =
+        FocusPipeline::with_config(FocusConfig::token_wise()).run(&workload, &ArchConfig::focus());
     assert!(
         vector.sparsity() > token.sparsity(),
         "vector {} vs token {}",

@@ -1,0 +1,139 @@
+//! Determinism of the parallel execution engine: `BatchRunner` results
+//! must be **identical** — sparsity, accuracy, the full work-item
+//! list, DRAM traffic, and every per-layer record — to sequential
+//! `FocusPipeline::run` calls, for any thread count.
+//!
+//! The rayon shim honours `RAYON_NUM_THREADS`, so these tests force a
+//! multi-threaded pool even on single-core CI machines; without that,
+//! a 1-CPU box would silently degenerate to the serial path and prove
+//! nothing.
+
+use focus::core::exec::{BatchJob, BatchRunner};
+use focus::core::pipeline::{FocusPipeline, PipelineResult};
+use focus::core::FocusConfig;
+use focus::sim::ArchConfig;
+use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+/// Forces the shim's thread pool wide open regardless of core count.
+fn force_parallel_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+fn assert_identical(parallel: &PipelineResult, serial: &PipelineResult, what: &str) {
+    // Bitwise float equality is intentional: the engine promises
+    // *identical* results, not merely close ones.
+    assert_eq!(parallel.sparsity(), serial.sparsity(), "{what}: sparsity");
+    assert_eq!(parallel.accuracy, serial.accuracy, "{what}: accuracy");
+    assert_eq!(
+        parallel.dense_accuracy, serial.dense_accuracy,
+        "{what}: dense accuracy"
+    );
+    assert_eq!(parallel.work_items, serial.work_items, "{what}: work items");
+    assert_eq!(
+        parallel.dram_bytes(),
+        serial.dram_bytes(),
+        "{what}: DRAM bytes"
+    );
+    assert_eq!(parallel.layers, serial.layers, "{what}: layer stats");
+    assert_eq!(parallel.sec_layers, serial.sec_layers, "{what}: SEC stats");
+    assert_eq!(
+        parallel.focus_macs, serial.focus_macs,
+        "{what}: effective MACs"
+    );
+    assert_eq!(
+        parallel.weight_bytes, serial.weight_bytes,
+        "{what}: weight bytes"
+    );
+    assert_eq!(
+        (parallel.sic_comparisons, parallel.sic_matches),
+        (serial.sic_comparisons, serial.sic_matches),
+        "{what}: matcher counters"
+    );
+}
+
+#[test]
+fn run_many_matches_sequential_over_seeds_and_models() {
+    force_parallel_pool();
+    let cells = [
+        (ModelKind::LlavaVideo7B, DatasetKind::VideoMme, 1u64),
+        (ModelKind::LlavaVideo7B, DatasetKind::Mlvu, 7),
+        (ModelKind::LlavaOneVision7B, DatasetKind::MvBench, 13),
+        (ModelKind::MiniCpmV26, DatasetKind::VideoMme, 42),
+    ];
+    let workloads: Vec<Workload> = cells
+        .iter()
+        .map(|&(m, d, seed)| Workload::new(m, d, WorkloadScale::tiny(), seed))
+        .collect();
+
+    let runner = BatchRunner::paper();
+    let batched = runner.run_many(&workloads);
+
+    let pipeline = FocusPipeline::paper();
+    let arch = ArchConfig::focus();
+    assert_eq!(batched.len(), workloads.len());
+    for (i, wl) in workloads.iter().enumerate() {
+        let serial = pipeline.run(wl, &arch);
+        assert_identical(
+            &batched[i],
+            &serial,
+            &format!("cell {i} (seed {})", wl.seed()),
+        );
+    }
+}
+
+#[test]
+fn run_jobs_matches_sequential_over_configs() {
+    force_parallel_pool();
+    let wl = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        42,
+    );
+    let mut low_threshold = FocusConfig::paper();
+    low_threshold.threshold = 0.8;
+    let mut small_tiles = FocusConfig::paper();
+    small_tiles.tile_m = 256;
+    let configs = [
+        FocusConfig::paper(),
+        FocusConfig::sec_only(),
+        low_threshold,
+        small_tiles,
+    ];
+    let jobs: Vec<BatchJob> = configs
+        .iter()
+        .map(|cfg| BatchJob {
+            pipeline: FocusPipeline::with_config(cfg.clone()),
+            workload: wl.clone(),
+            arch: ArchConfig::focus(),
+        })
+        .collect();
+
+    let batched = BatchRunner::run_jobs(&jobs);
+    assert_eq!(batched.len(), jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let serial = job.pipeline.run(&job.workload, &job.arch);
+        assert_identical(&batched[i], &serial, &format!("config {i}"));
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    force_parallel_pool();
+    let workloads: Vec<Workload> = (0..3)
+        .map(|seed| {
+            Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                seed,
+            )
+        })
+        .collect();
+    let runner = BatchRunner::paper();
+    let first = runner.run_many(&workloads);
+    let second = runner.run_many(&workloads);
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_identical(a, b, &format!("repeat {i}"));
+    }
+}

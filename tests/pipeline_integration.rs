@@ -28,11 +28,17 @@ fn focus_beats_every_accelerator_baseline_on_video() {
     let speedup_cmc = cmc_rep.seconds / focus_rep.seconds;
     // Paper: 4.47x over SA, 2.35x over CMC.
     assert!(speedup_sa > 3.0 && speedup_sa < 7.0, "vs SA: {speedup_sa}");
-    assert!(speedup_cmc > 1.5 && speedup_cmc < 4.0, "vs CMC: {speedup_cmc}");
+    assert!(
+        speedup_cmc > 1.5 && speedup_cmc < 4.0,
+        "vs CMC: {speedup_cmc}"
+    );
 
     let energy_sa = dense_rep.energy.total_j() / focus_rep.energy.total_j();
     // Paper: 4.67x energy over SA.
-    assert!(energy_sa > 3.0 && energy_sa < 7.5, "energy vs SA: {energy_sa}");
+    assert!(
+        energy_sa > 3.0 && energy_sa < 7.5,
+        "energy vs SA: {energy_sa}"
+    );
 }
 
 #[test]
@@ -57,10 +63,7 @@ fn sparsity_band_holds_across_the_video_grid() {
             let r = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
             let s = r.sparsity();
             // Paper band: 75.99–85.49 %; tiny-scale tolerance ±8.
-            assert!(
-                (0.63..0.93).contains(&s),
-                "{model} {dataset}: sparsity {s}"
-            );
+            assert!((0.63..0.93).contains(&s), "{model} {dataset}: sparsity {s}");
             // Accuracy stays near the dense anchor.
             let drop = r.dense_accuracy - r.accuracy;
             assert!(drop < 4.0, "{model} {dataset}: drop {drop}");
@@ -90,7 +93,8 @@ fn ablation_ordering_dense_sec_full() {
     dense_cfg.enable_sic = false;
     dense_cfg.schedule = RetentionSchedule::dense();
     let dense = FocusPipeline::with_config(dense_cfg).run(&workload, &ArchConfig::focus());
-    let sec = FocusPipeline::with_config(FocusConfig::sec_only()).run(&workload, &ArchConfig::focus());
+    let sec =
+        FocusPipeline::with_config(FocusConfig::sec_only()).run(&workload, &ArchConfig::focus());
     let full = FocusPipeline::paper().run(&workload, &ArchConfig::focus());
 
     let t_dense = engine.run(&dense.work_items).seconds;
@@ -98,7 +102,10 @@ fn ablation_ordering_dense_sec_full() {
     let t_full = engine.run(&full.work_items).seconds;
     // Fig. 11: each added level strictly helps.
     assert!(t_sec < t_dense * 0.55, "SEC: {t_sec} vs {t_dense}");
-    assert!(t_full < t_sec * 0.95, "SIC adds on top: {t_full} vs {t_sec}");
+    assert!(
+        t_full < t_sec * 0.95,
+        "SIC adds on top: {t_full} vs {t_sec}"
+    );
 }
 
 #[test]

@@ -81,7 +81,7 @@ fn wall_time_is_max_of_compute_and_memory_per_item() {
     assert_eq!(rep.cycles, 5_000_000);
     let compute_bound =
         WorkItem::gemm_only(GemmWork::dense("c", 4096, 512, 512, 1, 1024), 1024, 1024);
-    let rep2 = engine.run(&[compute_bound.clone()]);
+    let rep2 = engine.run(std::slice::from_ref(&compute_bound));
     let direct = SystolicModel::new(32, 32).time(&compute_bound.gemm).cycles;
     assert_eq!(rep2.cycles, direct);
 }
@@ -118,7 +118,10 @@ fn focus_area_overhead_matches_paper_band() {
     let total = report.total_mm2();
     assert!((2.9..3.5).contains(&total), "total {total} mm2");
     let focus_unit = report.fraction("SEC") + report.fraction("SIC");
-    assert!((0.015..0.045).contains(&focus_unit), "unit share {focus_unit}");
+    assert!(
+        (0.015..0.045).contains(&focus_unit),
+        "unit share {focus_unit}"
+    );
 }
 
 #[test]
