@@ -1,24 +1,31 @@
 //! Development probe: prints measured sparsity/accuracy per workload
-//! cell for calibration against the paper's Table II.
-use focus_core::pipeline::FocusPipeline;
-use focus_sim::ArchConfig;
+//! cell for calibration against the paper's Table II. The nine cells
+//! run through [`BatchRunner`] in parallel; output order (and every
+//! number) is identical to the old serial loop.
+use focus_core::exec::BatchRunner;
 use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 fn main() {
-    let arch = ArchConfig::focus();
+    let mut cells = Vec::new();
     for model in ModelKind::VIDEO_MODELS {
         for dataset in DatasetKind::VIDEO {
-            let wl = Workload::new(model, dataset, WorkloadScale::default_eval(), 42);
-            let r = FocusPipeline::paper().run(&wl, &arch);
-            println!(
-                "{:10} {:6}  sparsity {:5.2}%  acc {:6.2} (dense {:6.2})  sic_match_rate {:.3}",
-                model.to_string(),
-                dataset.to_string(),
-                r.sparsity() * 100.0,
-                r.accuracy,
-                r.dense_accuracy,
-                r.sic_matches as f64 / r.sic_comparisons.max(1) as f64,
-            );
+            cells.push((model, dataset));
         }
+    }
+    let workloads: Vec<Workload> = cells
+        .iter()
+        .map(|&(m, d)| Workload::new(m, d, WorkloadScale::default_eval(), 42))
+        .collect();
+    let results = BatchRunner::paper().run_many(&workloads);
+    for ((model, dataset), r) in cells.iter().zip(results) {
+        println!(
+            "{:10} {:6}  sparsity {:5.2}%  acc {:6.2} (dense {:6.2})  sic_match_rate {:.3}",
+            model.to_string(),
+            dataset.to_string(),
+            r.sparsity() * 100.0,
+            r.accuracy,
+            r.dense_accuracy,
+            r.sic_matches as f64 / r.sic_comparisons.max(1) as f64,
+        );
     }
 }

@@ -5,7 +5,10 @@
 //! Paper shape: SEC alone ≈ 3.15× over dense (1.58× over CMC); adding
 //! SIC multiplies a further ≈1.44×, totalling ≈4.53× (2.26× over CMC).
 
-use focus_bench::{fmt_x, print_table, run_cmc, run_dense, run_focus_with, workload};
+use focus_bench::{
+    fmt_x, print_table, run_cmc, run_dense, run_focus_with, workload, MethodOutcome,
+};
+use focus_core::exec::par_map;
 use focus_core::pipeline::FocusPipeline;
 use focus_core::FocusConfig;
 use focus_vlm::{DatasetKind, ModelKind};
@@ -14,10 +17,17 @@ fn main() {
     println!("Fig. 11 — ablation study (Llava-Video-7B, VideoMME)\n");
     let wl = workload(ModelKind::LlavaVideo7B, DatasetKind::VideoMme);
 
-    let dense = run_dense(&wl);
-    let cmc = run_cmc(&wl);
-    let sec_only = run_focus_with(&wl, FocusPipeline::with_config(FocusConfig::sec_only()));
-    let full = run_focus_with(&wl, FocusPipeline::paper());
+    // The four ablation points are independent runs over one workload;
+    // fan them out in one deterministic parallel map.
+    type MethodFn = fn(&focus_vlm::Workload) -> MethodOutcome;
+    let methods: [MethodFn; 4] = [
+        run_dense,
+        run_cmc,
+        |wl| run_focus_with(wl, FocusPipeline::with_config(FocusConfig::sec_only())),
+        |wl| run_focus_with(wl, FocusPipeline::paper()),
+    ];
+    let outcomes = par_map(&methods, |m| m(&wl));
+    let (dense, cmc, sec_only, full) = (&outcomes[0], &outcomes[1], &outcomes[2], &outcomes[3]);
 
     let rows = vec![
         vec![

@@ -8,6 +8,7 @@
 
 use focus_baselines::{AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline};
 use focus_bench::{print_table, workload};
+use focus_core::exec::par_map;
 use focus_core::pipeline::FocusPipeline;
 use focus_sim::ArchConfig;
 use focus_vlm::{DatasetKind, ModelKind};
@@ -26,13 +27,18 @@ fn main() {
     let mut act_rows = Vec::new();
     let mut sums = [[0.0f64; 4]; 2];
 
-    for model in ModelKind::VIDEO_MODELS {
+    // One parallel map over the three video models (each cell runs its
+    // four methods); results come back in model order.
+    let cells = par_map(&ModelKind::VIDEO_MODELS, |&model| {
         let wl = workload(model, DatasetKind::VideoMme);
         let dense = DenseBaseline.run(&wl, &ArchConfig::vanilla());
         let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
         let cmc = CmcBaseline::default().run(&wl, &ArchConfig::cmc());
         let ours = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
-
+        (dense, ada, cmc, ours)
+    });
+    for (model, (dense, ada, cmc, ours)) in ModelKind::VIDEO_MODELS.iter().zip(cells) {
+        let model = *model;
         let dense_dram = dense.dram_bytes() as f64;
         let dram = [
             1.0,

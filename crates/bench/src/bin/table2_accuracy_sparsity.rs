@@ -9,6 +9,7 @@ use focus_baselines::{
     AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline, FrameFusionBaseline,
 };
 use focus_bench::{fmt_pct, print_table, video_grid, workload};
+use focus_core::exec::par_map;
 use focus_core::pipeline::FocusPipeline;
 use focus_sim::ArchConfig;
 
@@ -16,13 +17,19 @@ fn main() {
     println!("Table II — accuracy and computation sparsity (video VLMs)\n");
     let mut rows = Vec::new();
     let mut focus_sparsities = Vec::new();
-    for (model, dataset) in video_grid() {
+    // All five methods of all nine cells are independent: run the grid
+    // through one deterministic parallel map (results in grid order).
+    let grid = video_grid();
+    let cells = par_map(&grid, |&(model, dataset)| {
         let wl = workload(model, dataset);
         let dense = DenseBaseline.run(&wl, &ArchConfig::vanilla());
         let ff = FrameFusionBaseline::default().run(&wl, &ArchConfig::vanilla());
         let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
         let cmc = CmcBaseline::default().run(&wl, &ArchConfig::cmc());
         let ours = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
+        (dense, ff, ada, cmc, ours)
+    });
+    for ((model, dataset), (dense, ff, ada, cmc, ours)) in grid.iter().zip(cells) {
         focus_sparsities.push(ours.sparsity());
 
         rows.push(vec![

@@ -4,6 +4,7 @@
 //! dense score, the Focus score and the Focus sparsity relative to FP16.
 
 use focus_bench::{print_table, video_grid, workload};
+use focus_core::exec::{BatchJob, BatchRunner};
 use focus_core::pipeline::FocusPipeline;
 use focus_core::{FocusConfig, RetentionSchedule};
 use focus_sim::ArchConfig;
@@ -12,22 +13,39 @@ use focus_tensor::DataType;
 fn main() {
     println!("Table IV — influence of INT8 quantization (degradation vs FP16)\n");
     let mut rows = Vec::new();
-    for (model, dataset) in video_grid() {
-        let wl = workload(model, dataset);
+    // Three pipeline variants per grid cell, all independent: batch
+    // the 27 (pipeline, workload, arch) jobs through one parallel run.
+    let mut int8_pipeline = FocusPipeline::paper();
+    int8_pipeline.dtype = DataType::Int8;
+    // Dense model under INT8: concentration off, quantisation on.
+    let mut dense_cfg = FocusConfig::paper();
+    dense_cfg.enable_sec = false;
+    dense_cfg.enable_sic = false;
+    dense_cfg.schedule = RetentionSchedule::dense();
+    let mut dense_int8 = FocusPipeline::with_config(dense_cfg);
+    dense_int8.dtype = DataType::Int8;
 
-        let fp16 = FocusPipeline::paper().run(&wl, &ArchConfig::focus());
-        let mut int8_pipeline = FocusPipeline::paper();
-        int8_pipeline.dtype = DataType::Int8;
-        let int8 = int8_pipeline.run(&wl, &ArchConfig::focus());
+    let grid = video_grid();
+    let jobs: Vec<BatchJob> = grid
+        .iter()
+        .flat_map(|&(model, dataset)| {
+            let wl = workload(model, dataset);
+            [
+                (FocusPipeline::paper(), ArchConfig::focus()),
+                (int8_pipeline.clone(), ArchConfig::focus()),
+                (dense_int8.clone(), ArchConfig::vanilla()),
+            ]
+            .map(|(pipeline, arch)| BatchJob {
+                pipeline,
+                workload: wl.clone(),
+                arch,
+            })
+        })
+        .collect();
+    let results = BatchRunner::run_jobs(&jobs);
 
-        // Dense model under INT8: concentration off, quantisation on.
-        let mut dense_cfg = FocusConfig::paper();
-        dense_cfg.enable_sec = false;
-        dense_cfg.enable_sic = false;
-        dense_cfg.schedule = RetentionSchedule::dense();
-        let mut dense_int8 = FocusPipeline::with_config(dense_cfg);
-        dense_int8.dtype = DataType::Int8;
-        let dense8 = dense_int8.run(&wl, &ArchConfig::vanilla());
+    for (i, (model, dataset)) in grid.iter().enumerate() {
+        let (fp16, int8, dense8) = (&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]);
 
         rows.push(vec![
             model.to_string(),

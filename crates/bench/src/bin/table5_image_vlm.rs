@@ -9,11 +9,12 @@
 //! schedule — its window-attention ViT produces less redundant tokens,
 //! so aggressive pruning would collapse accuracy.
 
-use focus_baselines::{AdaptivBaseline, Concentrator, DenseBaseline};
-use focus_bench::{fmt_x, image_grid, print_table, run_focus_with, workload};
+use focus_bench::{
+    fmt_x, image_grid, print_table, run_adaptiv, run_dense, run_focus_with, workload,
+};
+use focus_core::exec::par_map;
 use focus_core::pipeline::FocusPipeline;
 use focus_core::{FocusConfig, RetentionSchedule};
-use focus_sim::{ArchConfig, Engine};
 use focus_vlm::ModelKind;
 
 fn focus_config_for(model: ModelKind) -> FocusConfig {
@@ -27,21 +28,24 @@ fn focus_config_for(model: ModelKind) -> FocusConfig {
 fn main() {
     println!("Table V — accuracy and speedup on image VLMs\n");
     let mut rows = Vec::new();
-    for (model, dataset) in image_grid() {
+    // One parallel map over the six grid cells; each cell runs its
+    // three methods against the process-wide shared engines.
+    let grid = image_grid();
+    let cells = par_map(&grid, |&(model, dataset)| {
         let wl = workload(model, dataset);
-        let dense = DenseBaseline.run(&wl, &ArchConfig::vanilla());
-        let dense_rep = Engine::new(ArchConfig::vanilla()).run(&dense.work_items);
-        let ada = AdaptivBaseline::default().run(&wl, &ArchConfig::adaptiv());
-        let ada_rep = Engine::new(ArchConfig::adaptiv()).run(&ada.work_items);
+        let dense = run_dense(&wl);
+        let ada = run_adaptiv(&wl);
         let ours = run_focus_with(&wl, FocusPipeline::with_config(focus_config_for(model)));
-
+        (dense, ada, ours)
+    });
+    for ((model, dataset), (dense, ada, ours)) in grid.iter().zip(cells) {
         rows.push(vec![
             model.to_string(),
             dataset.to_string(),
             "Speedup".to_string(),
             fmt_x(1.0),
-            fmt_x(dense_rep.seconds / ada_rep.seconds),
-            fmt_x(dense_rep.seconds / ours.seconds),
+            fmt_x(dense.seconds / ada.seconds),
+            fmt_x(dense.seconds / ours.seconds),
         ]);
         rows.push(vec![
             String::new(),

@@ -25,6 +25,8 @@
 //! ([`run_focus_many`], [`run_focus_jobs`]) that fan pipeline runs out
 //! across cores via [`focus_core::exec::BatchRunner`].
 
+use std::sync::OnceLock;
+
 use focus_baselines::{
     AdaptivBaseline, CmcBaseline, Concentrator, DenseBaseline, FrameFusionBaseline,
 };
@@ -35,6 +37,33 @@ use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 /// The seed every shipped experiment uses (reports are deterministic).
 pub const EVAL_SEED: u64 = 42;
+
+/// The shared cycle engine for the Focus architecture. Engines are
+/// immutable during [`Engine::run`], so every runner in the process —
+/// including the parallel batch regions — borrows one instance instead
+/// of rebuilding `Engine::new(arch)` per outcome.
+pub fn focus_engine() -> &'static Engine {
+    static E: OnceLock<Engine> = OnceLock::new();
+    E.get_or_init(|| Engine::new(ArchConfig::focus()))
+}
+
+/// The shared engine for the vanilla systolic array.
+pub fn vanilla_engine() -> &'static Engine {
+    static E: OnceLock<Engine> = OnceLock::new();
+    E.get_or_init(|| Engine::new(ArchConfig::vanilla()))
+}
+
+/// The shared engine for the AdapTiV architecture.
+pub fn adaptiv_engine() -> &'static Engine {
+    static E: OnceLock<Engine> = OnceLock::new();
+    E.get_or_init(|| Engine::new(ArchConfig::adaptiv()))
+}
+
+/// The shared engine for the CMC architecture.
+pub fn cmc_engine() -> &'static Engine {
+    static E: OnceLock<Engine> = OnceLock::new();
+    E.get_or_init(|| Engine::new(ArchConfig::cmc()))
+}
 
 /// The measured scale every shipped experiment uses.
 pub fn eval_scale() -> WorkloadScale {
@@ -88,7 +117,7 @@ pub struct MethodOutcome {
 /// Runs the vanilla systolic array.
 pub fn run_dense(wl: &Workload) -> MethodOutcome {
     let r = DenseBaseline.run(wl, &ArchConfig::vanilla());
-    let rep = Engine::new(ArchConfig::vanilla()).run(&r.work_items);
+    let rep = vanilla_engine().run(&r.work_items);
     MethodOutcome {
         name: "SA",
         seconds: rep.seconds,
@@ -102,7 +131,7 @@ pub fn run_dense(wl: &Workload) -> MethodOutcome {
 /// Runs AdapTiV on its own architecture.
 pub fn run_adaptiv(wl: &Workload) -> MethodOutcome {
     let r = AdaptivBaseline::default().run(wl, &ArchConfig::adaptiv());
-    let rep = Engine::new(ArchConfig::adaptiv()).run(&r.work_items);
+    let rep = adaptiv_engine().run(&r.work_items);
     MethodOutcome {
         name: "Adaptiv",
         seconds: rep.seconds,
@@ -116,7 +145,7 @@ pub fn run_adaptiv(wl: &Workload) -> MethodOutcome {
 /// Runs CMC on its own architecture.
 pub fn run_cmc(wl: &Workload) -> MethodOutcome {
     let r = CmcBaseline::default().run(wl, &ArchConfig::cmc());
-    let rep = Engine::new(ArchConfig::cmc()).run(&r.work_items);
+    let rep = cmc_engine().run(&r.work_items);
     MethodOutcome {
         name: "CMC",
         seconds: rep.seconds,
@@ -134,35 +163,40 @@ pub fn run_focus(wl: &Workload) -> MethodOutcome {
 
 /// Runs a custom Focus pipeline configuration.
 pub fn run_focus_with(wl: &Workload, pipeline: FocusPipeline) -> MethodOutcome {
-    let arch = ArchConfig::focus();
-    focus_outcome(pipeline.run(wl, &arch), &arch)
+    let r = pipeline.run(wl, &ArchConfig::focus());
+    focus_outcome(r, focus_engine())
 }
 
 /// Runs the Table I Focus pipeline over many workloads **in
-/// parallel** (results in input order, identical to calling
-/// [`run_focus`] per workload).
+/// parallel**, simulation included in the parallel region (results in
+/// input order, identical to calling [`run_focus`] per workload).
 pub fn run_focus_many(workloads: &[Workload]) -> Vec<MethodOutcome> {
     BatchRunner::paper()
-        .run_many(workloads)
+        .run_many_sim(workloads)
         .into_iter()
-        .map(|r| focus_outcome(r, &ArchConfig::focus()))
+        .map(outcome_from_sim)
         .collect()
 }
 
 /// Runs heterogeneous `(pipeline, workload, arch)` jobs **in
-/// parallel** (results in input order). Config sweeps — many pipeline
-/// variants over one workload — batch through here.
+/// parallel** (results in input order), with one engine per distinct
+/// architecture shared across the batch. Config sweeps — many
+/// pipeline variants over one workload — batch through here.
 pub fn run_focus_jobs(jobs: Vec<BatchJob>) -> Vec<MethodOutcome> {
-    let results = BatchRunner::run_jobs(&jobs);
-    jobs.iter()
-        .zip(results)
-        .map(|(job, r)| focus_outcome(r, &job.arch))
+    BatchRunner::run_jobs_sim(&jobs)
+        .into_iter()
+        .map(outcome_from_sim)
         .collect()
 }
 
-/// Lowers one Focus pipeline result into the uniform outcome record.
-fn focus_outcome(r: PipelineResult, arch: &ArchConfig) -> MethodOutcome {
-    let rep = Engine::new(arch.clone()).run(&r.work_items);
+/// Lowers one Focus pipeline result into the uniform outcome record
+/// using a caller-provided engine.
+fn focus_outcome(r: PipelineResult, engine: &Engine) -> MethodOutcome {
+    let rep = engine.run(&r.work_items);
+    outcome_from_sim((r, rep))
+}
+
+fn outcome_from_sim((r, rep): (PipelineResult, SimReport)) -> MethodOutcome {
     MethodOutcome {
         name: "Ours",
         seconds: rep.seconds,
@@ -177,7 +211,7 @@ fn focus_outcome(r: PipelineResult, arch: &ArchConfig) -> MethodOutcome {
 /// binaries that need layer records or outcomes).
 pub fn run_focus_detailed(wl: &Workload, pipeline: FocusPipeline) -> (PipelineResult, SimReport) {
     let r = pipeline.run(wl, &ArchConfig::focus());
-    let rep = Engine::new(ArchConfig::focus()).run(&r.work_items);
+    let rep = focus_engine().run(&r.work_items);
     (r, rep)
 }
 
@@ -271,5 +305,28 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_x(2.345), "2.35x");
         assert_eq!(fmt_pct(0.8123), "81.23");
+    }
+
+    #[test]
+    fn batched_sim_outcomes_match_serial_runner() {
+        let workloads: Vec<Workload> = (0..2)
+            .map(|seed| {
+                Workload::new(
+                    ModelKind::LlavaVideo7B,
+                    DatasetKind::VideoMme,
+                    WorkloadScale::tiny(),
+                    seed,
+                )
+            })
+            .collect();
+        let batched = run_focus_many(&workloads);
+        for (wl, b) in workloads.iter().zip(&batched) {
+            let serial = run_focus(wl);
+            assert_eq!(b.seconds, serial.seconds);
+            assert_eq!(b.energy_j, serial.energy_j);
+            assert_eq!(b.sparsity, serial.sparsity);
+            assert_eq!(b.accuracy, serial.accuracy);
+            assert_eq!(b.report, serial.report);
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 use rayon::prelude::*;
 
-use focus_sim::ArchConfig;
+use focus_sim::{ArchConfig, Engine, SimReport};
 use focus_vlm::Workload;
 
 use crate::pipeline::{FocusPipeline, PipelineResult};
@@ -73,6 +73,57 @@ impl BatchRunner {
     pub fn run_jobs(jobs: &[BatchJob]) -> Vec<PipelineResult> {
         jobs.par_iter().map(BatchJob::run).collect()
     }
+
+    /// Like [`BatchRunner::run_many`], but carries the cycle
+    /// simulation through the batch: **one** [`Engine`] is built for
+    /// the runner's architecture and shared (it is immutable during
+    /// `run`) across the parallel region, so per-result engine
+    /// rebuilds and the serial post-pass both disappear.
+    pub fn run_many_sim(&self, workloads: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
+        let engine = Engine::new(self.arch.clone());
+        workloads
+            .par_iter()
+            .map(|wl| {
+                let r = self.pipeline.run(wl, &self.arch);
+                let rep = engine.run(&r.work_items);
+                (r, rep)
+            })
+            .collect()
+    }
+
+    /// Like [`BatchRunner::run_jobs`], but with simulation folded into
+    /// the parallel region: one [`Engine`] is constructed per
+    /// *distinct* [`ArchConfig`] in the job list (config sweeps share
+    /// one arch across hundreds of jobs) and jobs borrow their engine
+    /// by reference.
+    pub fn run_jobs_sim(jobs: &[BatchJob]) -> Vec<(PipelineResult, SimReport)> {
+        let mut engines: Vec<Engine> = Vec::new();
+        let engine_idx: Vec<usize> = jobs
+            .iter()
+            .map(
+                |job| match engines.iter().position(|e| *e.arch() == job.arch) {
+                    Some(i) => i,
+                    None => {
+                        engines.push(Engine::new(job.arch.clone()));
+                        engines.len() - 1
+                    }
+                },
+            )
+            .collect();
+        let pairs: Vec<(&BatchJob, &Engine)> = jobs
+            .iter()
+            .zip(engine_idx)
+            .map(|(job, i)| (job, &engines[i]))
+            .collect();
+        pairs
+            .par_iter()
+            .map(|(job, engine)| {
+                let r = job.run();
+                let rep = engine.run(&r.work_items);
+                (r, rep)
+            })
+            .collect()
+    }
 }
 
 /// Deterministic parallel map over a slice: `f` applied to every item,
@@ -86,4 +137,60 @@ where
     F: Fn(&I) -> R + Sync,
 {
     items.par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use focus_vlm::{DatasetKind, ModelKind, WorkloadScale};
+
+    fn tiny(seed: u64) -> Workload {
+        Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn run_many_sim_matches_per_result_engines() {
+        let workloads = [tiny(1), tiny(2)];
+        let runner = BatchRunner::paper();
+        let batched = runner.run_many_sim(&workloads);
+        let plain = runner.run_many(&workloads);
+        for ((r, rep), serial) in batched.iter().zip(&plain) {
+            let serial_rep = Engine::new(ArchConfig::focus()).run(&serial.work_items);
+            assert_eq!(r.work_items, serial.work_items);
+            assert_eq!(*rep, serial_rep, "shared engine must match a fresh one");
+        }
+    }
+
+    #[test]
+    fn run_jobs_sim_builds_one_engine_per_distinct_arch() {
+        // Jobs across two architectures: every report must match what a
+        // per-job engine produces, proving the dedup maps jobs to the
+        // right engine.
+        let wl = tiny(3);
+        let jobs: Vec<BatchJob> = [
+            ArchConfig::focus(),
+            ArchConfig::vanilla(),
+            ArchConfig::focus(),
+        ]
+        .into_iter()
+        .map(|arch| BatchJob {
+            pipeline: FocusPipeline::paper(),
+            workload: wl.clone(),
+            arch,
+        })
+        .collect();
+        let batched = BatchRunner::run_jobs_sim(&jobs);
+        assert_eq!(batched.len(), jobs.len());
+        for (job, (r, rep)) in jobs.iter().zip(&batched) {
+            let serial = job.run();
+            let serial_rep = Engine::new(job.arch.clone()).run(&serial.work_items);
+            assert_eq!(r.work_items, serial.work_items);
+            assert_eq!(*rep, serial_rep);
+        }
+    }
 }

@@ -1,14 +1,40 @@
 //! [`LayerExecutor`]: drives the semantic stage and the four
-//! similarity-gather stages through one streaming loop per layer.
+//! similarity-gather stages through one streaming loop per layer,
+//! optionally pipelining across layers the way the hardware does.
+
+use std::sync::Mutex;
 
 use rayon::prelude::*;
 
 use focus_vlm::embedding::Stage;
 use focus_vlm::Workload;
 
-use crate::exec::stage::{ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput};
+use crate::exec::stage::{
+    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
+};
 use crate::pipeline::{FocusPipeline, SecLayerStats};
 use crate::sic::{ConvLayouter, Fhw};
+
+/// How the executor schedules the stage graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The pre-workspace reference schedule, faithful to the code this
+    /// executor replaced: the four gathers of a layer run concurrently
+    /// (as they always have) but each call builds a fresh synthesiser,
+    /// a fresh activation allocation and per-tile hash maps, and every
+    /// layer is a barrier — no cross-layer overlap. Kept as the
+    /// bit-exactness baseline and as the honest pre-PR side of the
+    /// old-vs-new throughput bench.
+    Serial,
+    /// The streaming schedule: the four gather stages of a layer run
+    /// concurrently over recycled workspaces, and the semantic stage
+    /// of layer *l+1* (which only needs the post-prune retained set)
+    /// overlaps the gathers of layer *l* — mirroring the hardware,
+    /// where SEC sits on the attention path while SIC works the FC
+    /// outputs of the previous layer.
+    #[default]
+    Pipelined,
+}
 
 /// What one layer's pass through the stage graph produced. Counters
 /// are per-layer deltas; the measure phase accumulates them.
@@ -34,52 +60,102 @@ pub struct LayerRecord {
     pub fidelity: Option<Vec<f64>>,
 }
 
+/// A semantic-stage result computed ahead of its layer, while the
+/// previous layer's gathers were still running.
+struct SecAhead {
+    /// The layer the result is for.
+    layer: usize,
+    /// The retained set the stage saw (the post-prune set of the
+    /// previous layer). Checked at redemption time: if the caller
+    /// deviated from the sequential layer walk, the prefetch is
+    /// discarded and the stage re-runs — SEC is pure, so a recompute
+    /// is always safe.
+    input: Vec<usize>,
+    /// The pruning outcome (`None` when the stage skipped).
+    output: Option<(Vec<usize>, SecLayerStats)>,
+}
+
 /// Executes the concentration stage graph of one workload, layer by
 /// layer.
 ///
 /// Within a layer the flow is streaming and mirrors the hardware:
 /// the semantic stage runs first (it decides which token rows even
 /// exist downstream), then the four gather stages — which are mutually
-/// independent, each reading its own FC output — run **concurrently**.
-/// Stage outputs are folded in fixed stage order, so results are
-/// bit-identical to a serial sweep.
+/// independent, each reading its own FC output — run **concurrently**
+/// over per-stage [`StageWorkspace`]s. In [`ExecMode::Pipelined`] the
+/// semantic stage of the *next* layer additionally overlaps the
+/// current layer's gathers. Stage outputs are folded in fixed stage
+/// order, so results are bit-identical to a serial sweep
+/// (`tests/batch_determinism.rs` proves it property-style).
 pub struct LayerExecutor<'w> {
     workload: &'w Workload,
     layers: usize,
     stride: usize,
     enable_sic: bool,
+    mode: ExecMode,
     prune_layers: Vec<usize>,
     layouter: ConvLayouter,
     semantic: SemanticStage<'w>,
     gathers: Vec<GatherStage>,
+    /// One workspace per gather stage, lock-per-stage so the four
+    /// stages run concurrently without sharing mutable state. (The
+    /// semantic stage needs no workspace and runs through its inherent
+    /// `prune_layer`.)
+    gather_ws: Vec<Mutex<StageWorkspace<'w>>>,
+    /// The prefetched semantic result for the next layer, if any.
+    sec_ahead: Option<SecAhead>,
 }
 
 impl<'w> LayerExecutor<'w> {
-    /// Builds the executor for one (pipeline, workload) pair.
+    /// Builds the executor for one (pipeline, workload) pair, using the
+    /// pipeline's execution mode.
     pub fn new(pipeline: &FocusPipeline, workload: &'w Workload) -> Self {
+        LayerExecutor::with_mode(pipeline, workload, pipeline.exec_mode)
+    }
+
+    /// Builds the executor with an explicit schedule.
+    pub fn with_mode(pipeline: &FocusPipeline, workload: &'w Workload, mode: ExecMode) -> Self {
         let scaled = workload.scaled_model();
         let config = &pipeline.focus;
         let prune_layers = (0..scaled.layers)
             .filter(|&l| config.schedule.prune_at(l).is_some())
             .collect();
+        let gathers: Vec<GatherStage> = Stage::GATHER_POINTS
+            .iter()
+            .map(|&s| GatherStage::new(config, s, pipeline.dtype))
+            .collect();
+        // Serial mode only ever calls `run_fresh`, which builds its own
+        // state — don't charge it four idle workspaces.
+        let gather_ws = match mode {
+            ExecMode::Serial => Vec::new(),
+            ExecMode::Pipelined => gathers
+                .iter()
+                .map(|_| Mutex::new(StageWorkspace::new(workload)))
+                .collect(),
+        };
         LayerExecutor {
             workload,
             layers: scaled.layers,
             stride: workload.scale().measured_layer_stride.max(1),
             enable_sic: config.enable_sic,
+            mode,
             prune_layers,
             layouter: ConvLayouter::new(scaled.grid_h, scaled.grid_w),
             semantic: SemanticStage::new(config, workload),
-            gathers: Stage::GATHER_POINTS
-                .iter()
-                .map(|&s| GatherStage::new(config, s, pipeline.dtype))
-                .collect(),
+            gathers,
+            gather_ws,
+            sec_ahead: None,
         }
     }
 
     /// Layer count at measured scale.
     pub fn layers(&self) -> usize {
         self.layers
+    }
+
+    /// The schedule in effect.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// The stage-graph nodes, semantic first, in fold order.
@@ -98,20 +174,37 @@ impl<'w> LayerExecutor<'w> {
                 || self.prune_layers.contains(&layer))
     }
 
-    /// Runs one layer of the stage graph, updating `retained` in
-    /// place.
-    pub fn run_layer(&self, layer: usize, retained: &mut Vec<usize>) -> LayerRecord {
-        let retained_in = retained.len();
-
-        // --- Semantic concentration (attention stage, streaming). ---
-        let mut sec = None;
-        let sec_ctx = LayerCtx {
+    /// Runs (or redeems a prefetch of) the semantic stage at `layer`.
+    fn semantic_at(
+        &mut self,
+        layer: usize,
+        retained: &[usize],
+    ) -> Option<(Vec<usize>, SecLayerStats)> {
+        if let Some(ahead) = self.sec_ahead.take() {
+            if ahead.layer == layer && ahead.input == retained {
+                return ahead.output;
+            }
+            // Out-of-sequence call: discard and recompute (pure stage).
+        }
+        let ctx = LayerCtx {
             workload: self.workload,
             layer,
             retained,
             positions: &[],
         };
-        if let StageOutput::Pruned { kept, stats } = self.semantic.run(&sec_ctx) {
+        self.semantic.prune_layer(&ctx)
+    }
+
+    /// Runs one layer of the stage graph, updating `retained` in
+    /// place. Layers are expected in sequential order (`0..layers`);
+    /// any other order still returns correct results, it merely wastes
+    /// the cross-layer prefetch.
+    pub fn run_layer(&mut self, layer: usize, retained: &mut Vec<usize>) -> LayerRecord {
+        let retained_in = retained.len();
+
+        // --- Semantic concentration (attention stage, streaming). ---
+        let mut sec = None;
+        if let Some((kept, stats)) = self.semantic_at(layer, retained) {
             *retained = kept;
             sec = Some(stats);
         }
@@ -143,7 +236,51 @@ impl<'w> LayerExecutor<'w> {
             retained,
             positions: &positions,
         };
-        let outputs: Vec<StageOutput> = self.gathers.par_iter().map(|g| g.run(&ctx)).collect();
+
+        let outputs: Vec<StageOutput> = match self.mode {
+            // Pre-PR schedule: gathers concurrent (as they always
+            // were), but everything rebuilt fresh per call and a
+            // barrier at the layer boundary.
+            ExecMode::Serial => self.gathers.par_iter().map(|g| g.run_fresh(&ctx)).collect(),
+            ExecMode::Pipelined => {
+                // The next layer's semantic stage reads only the
+                // post-prune retained set — exactly what `retained`
+                // holds now — so it can stream alongside this layer's
+                // gathers, as the hardware overlaps SEC(l+1) with the
+                // FC gathers of layer l.
+                let next = layer + 1;
+                let workload = self.workload;
+                let semantic = &self.semantic;
+                let (outputs, ahead) = rayon::join(
+                    || {
+                        let tasks: Vec<(&GatherStage, &Mutex<StageWorkspace<'w>>)> =
+                            self.gathers.iter().zip(self.gather_ws.iter()).collect();
+                        tasks
+                            .par_iter()
+                            .map(|(g, ws)| g.run(&ctx, &mut ws.lock().unwrap()))
+                            .collect::<Vec<StageOutput>>()
+                    },
+                    || {
+                        if next >= self.layers {
+                            return None;
+                        }
+                        let next_ctx = LayerCtx {
+                            workload,
+                            layer: next,
+                            retained,
+                            positions: &[],
+                        };
+                        Some(SecAhead {
+                            layer: next,
+                            input: retained.clone(),
+                            output: semantic.prune_layer(&next_ctx),
+                        })
+                    },
+                );
+                self.sec_ahead = ahead;
+                outputs
+            }
+        };
 
         // Fold in fixed stage order: identical arithmetic order to the
         // serial loop, so parallel == serial bit-for-bit.

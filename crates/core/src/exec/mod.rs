@@ -7,16 +7,23 @@
 //! executable:
 //!
 //! * [`ConcentrationStage`] — one graph node: a pure
-//!   `LayerCtx → StageOutput` function, `Sync` so nodes can run
-//!   concurrently;
+//!   `(LayerCtx, StageWorkspace) → StageOutput` function, `Sync` so
+//!   nodes can run concurrently over per-node workspaces;
+//! * [`StageWorkspace`] — thread-reusable scratch per node (resident
+//!   activation synthesiser, recycled activation matrix, flat gather
+//!   lookup) so the measured phase never re-allocates or re-hashes on
+//!   its hot path;
 //! * [`LayerExecutor`] — drives SEC plus the four gather stages
-//!   through one streaming loop per layer, running the gathers in
-//!   parallel and folding their outputs in fixed stage order;
+//!   through one streaming loop per layer; in [`ExecMode::Pipelined`]
+//!   (the default) the semantic stage of layer *l+1* overlaps the
+//!   gathers of layer *l*, as the hardware streams;
 //! * [`BatchRunner`] — fans whole `FocusPipeline::run` calls out
 //!   across cores (`run_many` for workload grids, `run_jobs` for
-//!   config sweeps), with results bit-identical to the serial loop.
+//!   config sweeps, and the `_sim` variants that carry cycle
+//!   simulation through the parallel region), with results
+//!   bit-identical to the serial loop.
 //!
-//! Both levels of parallelism preserve determinism the same way: the
+//! Every level of parallelism preserves determinism the same way: the
 //! parallel units are pure, and reductions happen in submission order.
 
 mod batch;
@@ -24,5 +31,7 @@ mod executor;
 mod stage;
 
 pub use batch::{par_map, BatchJob, BatchRunner};
-pub use executor::{LayerExecutor, LayerRecord};
-pub use stage::{ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput};
+pub use executor::{ExecMode, LayerExecutor, LayerRecord};
+pub use stage::{
+    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
+};

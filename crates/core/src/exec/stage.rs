@@ -7,16 +7,26 @@
 //! [`StageOutput`]. Purity is what lets the executor run the four
 //! gather stages of a layer concurrently with results bit-identical to
 //! a serial sweep — there is no shared mutable state to race on.
+//!
+//! Stages do not *own* scratch state; they borrow a [`StageWorkspace`]
+//! per call. The workspace is pure memo + recycled buffers (activation
+//! synthesiser, activation matrix, position lookup): rows are pure
+//! functions of `(scene, seed, layer, stage)`, so a stage run against a
+//! workspace that has served any number of previous layers returns
+//! byte-identical output to one run against a fresh workspace
+//! ([`GatherStage::run_fresh`] keeps that reference path alive, and
+//! `tests/batch_determinism.rs` asserts the equivalence).
 
-use focus_tensor::quant::{fake_quantize, DataType};
+use focus_tensor::quant::{fake_quantize, fake_quantize_in_place, DataType};
+use focus_tensor::Matrix;
 use focus_vlm::attention::AttentionSynthesizer;
-use focus_vlm::embedding::Stage;
+use focus_vlm::embedding::{ActivationSynthesizer, Stage};
 use focus_vlm::Workload;
 
 use crate::config::FocusConfig;
 use crate::pipeline::SecLayerStats;
 use crate::sec::SemanticConcentrator;
-use crate::sic::{Fhw, MatrixGatherStats, SimilarityConcentrator};
+use crate::sic::{ConvLayouter, Fhw, GatherScratch, MatrixGatherStats, SimilarityConcentrator};
 
 /// Everything a concentration stage may read while processing one
 /// layer.
@@ -30,6 +40,35 @@ pub struct LayerCtx<'a> {
     /// `(frame, row, col)` positions of `retained`, parallel to it.
     /// Empty for stages that do not need spatial structure (SEC).
     pub positions: &'a [Option<Fhw>],
+}
+
+/// Thread-reusable scratch state for one stage-graph node: the
+/// activation synthesiser (with its content-appearance memo), a
+/// recycled activation matrix, and the flat gather position lookup.
+///
+/// One workspace serves one stage across every layer of a run; the
+/// executor keeps one per node so the four gather stages can run
+/// concurrently without sharing mutable state.
+pub struct StageWorkspace<'w> {
+    /// The resident activation synthesiser.
+    pub syn: ActivationSynthesizer<'w>,
+    /// Recycled activation buffer (`retained × stage width`).
+    pub acts: Matrix,
+    /// Recycled gather scratch: flat position lookup + per-m-tile
+    /// candidate plan.
+    pub gather: GatherScratch,
+}
+
+impl<'w> StageWorkspace<'w> {
+    /// A workspace for one stage of `workload`'s stage graph.
+    pub fn new(workload: &'w Workload) -> Self {
+        let scaled = workload.scaled_model();
+        StageWorkspace {
+            syn: workload.activation_synthesizer(),
+            acts: Matrix::zeros(0, 0),
+            gather: GatherScratch::new(&ConvLayouter::new(scaled.grid_h, scaled.grid_w)),
+        }
+    }
 }
 
 /// What one stage produced for one layer.
@@ -53,13 +92,14 @@ pub enum StageOutput {
 }
 
 /// One node of the streaming stage graph. Implementations must be
-/// `Sync`: the executor fans independent stages out across threads.
+/// `Sync`: the executor fans independent stages out across threads,
+/// each with its own [`StageWorkspace`].
 pub trait ConcentrationStage: Sync {
     /// Short name for logs and benches.
     fn label(&self) -> &'static str;
 
-    /// Processes one layer.
-    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput;
+    /// Processes one layer using (and updating) `ws`.
+    fn run(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> StageOutput;
 }
 
 /// The semantic concentration stage: prompt-aware token pruning at the
@@ -82,24 +122,27 @@ impl<'w> SemanticStage<'w> {
             m_img: workload.image_tokens_scaled(),
         }
     }
-}
 
-impl ConcentrationStage for SemanticStage<'_> {
-    fn label(&self) -> &'static str {
-        "sec"
+    /// The token budget this stage would prune down to at `layer` for
+    /// a retained set of `retained_len` tokens, or `None` when the
+    /// schedule (or an ablation switch, or an already-small set)
+    /// leaves the layer alone.
+    fn prune_k(&self, layer: usize, retained_len: usize) -> Option<usize> {
+        if !self.config.enable_sec {
+            return None;
+        }
+        let ratio = self.config.schedule.prune_at(layer)?;
+        let k = ((ratio * self.m_img as f64).round() as usize).min(retained_len);
+        (k < retained_len).then_some(k)
     }
 
-    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput {
-        if !self.config.enable_sec {
-            return StageOutput::Skipped;
-        }
-        let Some(ratio) = self.config.schedule.prune_at(ctx.layer) else {
-            return StageOutput::Skipped;
-        };
-        let k = ((ratio * self.m_img as f64).round() as usize).min(ctx.retained.len());
-        if k >= ctx.retained.len() {
-            return StageOutput::Skipped;
-        }
+    /// Prunes one layer's retained set, returning the surviving tokens
+    /// and the pass statistics, or `None` when the schedule leaves this
+    /// layer alone. The semantic stage needs no scratch workspace, so
+    /// the executor (and its cross-layer prefetch) calls this directly;
+    /// the [`ConcentrationStage`] impl delegates here.
+    pub fn prune_layer(&self, ctx: &LayerCtx<'_>) -> Option<(Vec<usize>, SecLayerStats)> {
+        let k = self.prune_k(ctx.layer, ctx.retained.len())?;
         let heads = self.att.all_heads(ctx.layer, ctx.retained);
         let outcome = self.sec.prune(&heads, ctx.retained, k);
         let kept: Vec<usize> = outcome
@@ -115,7 +158,20 @@ impl ConcentrationStage for SemanticStage<'_> {
             sorter_cycles: outcome.sorter_cycles,
             offset_bytes: outcome.offsets.storage_bytes(),
         };
-        StageOutput::Pruned { kept, stats }
+        Some((kept, stats))
+    }
+}
+
+impl ConcentrationStage for SemanticStage<'_> {
+    fn label(&self) -> &'static str {
+        "sec"
+    }
+
+    fn run(&self, ctx: &LayerCtx<'_>, _ws: &mut StageWorkspace<'_>) -> StageOutput {
+        match self.prune_layer(ctx) {
+            Some((kept, stats)) => StageOutput::Pruned { kept, stats },
+            None => StageOutput::Skipped,
+        }
     }
 }
 
@@ -152,6 +208,25 @@ impl GatherStage {
             dtype,
         }
     }
+
+    /// The pre-workspace reference path: a fresh synthesiser, a fresh
+    /// activation allocation and the per-tile `HashMap` gather. Kept
+    /// for the serial executor mode, the workspace-reuse regression
+    /// test and the old-vs-new throughput bench.
+    pub fn run_fresh(&self, ctx: &LayerCtx<'_>) -> StageOutput {
+        let width = self.stage.width(ctx.workload.scaled_model());
+        let mut syn = ctx.workload.activation_synthesizer();
+        let mut acts = syn.activations(ctx.retained, ctx.layer, self.stage, width);
+        match self.dtype {
+            DataType::Fp16 => acts.round_to_f16(),
+            DataType::Int8 => acts = fake_quantize(&acts),
+        }
+        let stats = self.concentrator.gather_matrix(&acts, ctx.positions);
+        StageOutput::Gathered {
+            stage: self.stage,
+            stats,
+        }
+    }
 }
 
 impl ConcentrationStage for GatherStage {
@@ -165,18 +240,21 @@ impl ConcentrationStage for GatherStage {
         }
     }
 
-    fn run(&self, ctx: &LayerCtx<'_>) -> StageOutput {
+    fn run(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> StageOutput {
         let width = self.stage.width(ctx.workload.scaled_model());
-        // A fresh synthesiser per call is bit-identical to a shared
-        // one: rows are pure functions of (scene, seed, layer, stage),
-        // the per-synthesiser cache is only a memo.
-        let mut syn = ctx.workload.activation_synthesizer();
-        let mut acts = syn.activations(ctx.retained, ctx.layer, self.stage, width);
+        // Synthesis writes into the recycled buffer; the synthesiser's
+        // memo cache stays warm across calls. Both are bit-identical to
+        // the fresh path: rows are pure functions of (scene, seed,
+        // layer, stage) and every row is fully overwritten.
+        ws.syn
+            .activations_into(ctx.retained, ctx.layer, self.stage, width, &mut ws.acts);
         match self.dtype {
-            DataType::Fp16 => acts.round_to_f16(),
-            DataType::Int8 => acts = fake_quantize(&acts),
+            DataType::Fp16 => ws.acts.round_to_f16(),
+            DataType::Int8 => fake_quantize_in_place(&mut ws.acts),
         }
-        let stats = self.concentrator.gather_matrix(&acts, ctx.positions);
+        let stats = self
+            .concentrator
+            .gather_matrix_with(&ws.acts, ctx.positions, &mut ws.gather);
         StageOutput::Gathered {
             stage: self.stage,
             stats,

@@ -12,7 +12,7 @@ impl FocusPipeline {
     /// The measured phase: SEC + SIC over synthesised activations,
     /// driven by the streaming stage-graph executor.
     pub(crate) fn measure(&self, workload: &Workload) -> MeasuredRun {
-        let exec = LayerExecutor::new(self, workload);
+        let mut exec = LayerExecutor::new(self, workload);
         let layers_n = exec.layers();
         let m_img = workload.image_tokens_scaled();
 

@@ -36,6 +36,7 @@ use focus_vlm::accuracy::AccuracyModel;
 use focus_vlm::Workload;
 
 use crate::config::FocusConfig;
+use crate::exec::ExecMode;
 
 /// The configured pipeline.
 #[derive(Clone, Debug)]
@@ -46,6 +47,9 @@ pub struct FocusPipeline {
     pub accuracy: AccuracyModel,
     /// Operand precision (Table IV runs INT8).
     pub dtype: DataType,
+    /// Measured-phase schedule (results are bit-identical across
+    /// modes; only throughput differs).
+    pub exec_mode: ExecMode,
 }
 
 impl FocusPipeline {
@@ -55,6 +59,7 @@ impl FocusPipeline {
             focus: FocusConfig::paper(),
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -64,7 +69,14 @@ impl FocusPipeline {
             focus,
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
+            exec_mode: ExecMode::default(),
         }
+    }
+
+    /// The same pipeline under a different measured-phase schedule.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
     }
 
     /// Runs the measured phase and lowers to paper scale.

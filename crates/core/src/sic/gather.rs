@@ -17,7 +17,7 @@ use focus_tensor::Matrix;
 
 use crate::config::BlockSize;
 use crate::sic::block::candidate_positions;
-use crate::sic::layout::Fhw;
+use crate::sic::layout::{Fhw, PositionLookup};
 use crate::sic::map::SimilarityMap;
 
 /// Gather parameters (a slice of [`FocusConfig`](crate::FocusConfig)).
@@ -77,33 +77,224 @@ pub fn gather_tile(
     positions: &[Option<Fhw>],
     cfg: &GatherConfig,
 ) -> GatherResult {
+    // Position → tile-local row index, for candidate lookup. This is
+    // the reference path: it rebuilds the map per call; the measured
+    // hot path goes through [`gather_tile_planned`] with a recycled
+    // [`GatherScratch`] instead (byte-identical results — the map is
+    // only ever queried, never iterated).
+    assert!(
+        positions.len() >= row_start + row_count,
+        "positions too short"
+    );
+    let mut pos_to_row: HashMap<Fhw, usize> = HashMap::with_capacity(row_count);
+    for local in 0..row_count {
+        if let Some(p) = positions.get(row_start + local).copied().flatten() {
+            pos_to_row.insert(p, local);
+        }
+    }
+    gather_tile_core(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        |local, visit| {
+            if let Some(p) = positions[row_start + local] {
+                for cand in candidate_positions(p, cfg.block) {
+                    if let Some(&cand_local) = pos_to_row.get(&cand) {
+                        if cand_local < local {
+                            visit(cand_local);
+                        }
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// [`gather_tile`] over a pre-populated flat [`PositionLookup`]: the
+/// caller registers the tile's rows once per **m-tile** (the lookup is
+/// identical across that tile's column groups) instead of rebuilding a
+/// `HashMap` per `(m-tile, col-tile)` pair, and candidate probes become
+/// array reads instead of `Fhw` hashes.
+pub fn gather_tile_indexed(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    positions: &[Option<Fhw>],
+    cfg: &GatherConfig,
+    lookup: &PositionLookup,
+) -> GatherResult {
+    assert!(
+        positions.len() >= row_start + row_count,
+        "positions too short"
+    );
+    gather_tile_core(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        |local, visit| {
+            if let Some(p) = positions[row_start + local] {
+                for cand in candidate_positions(p, cfg.block) {
+                    if let Some(cand_local) = lookup.get(cand) {
+                        if cand_local < local {
+                            visit(cand_local);
+                        }
+                    }
+                }
+            }
+        },
+    )
+}
+
+/// Recycled scratch for the matrix-level gather sweep: the flat
+/// position lookup plus a **per-m-tile candidate plan**. The candidate
+/// set of every row depends only on positions — not on the column
+/// group — so the plan is resolved once per m-tile and each of the
+/// tile's column groups replays it as flat index reads, skipping the
+/// per-row neighbourhood enumeration (and its allocation) entirely.
+#[derive(Clone, Debug)]
+pub struct GatherScratch {
+    lookup: PositionLookup,
+    /// `offsets[local]..offsets[local+1]` indexes `cands`.
+    offsets: Vec<u32>,
+    cands: Vec<u32>,
+    /// The `(row_start, row_count)` the current plan was built for;
+    /// [`gather_tile_planned`] refuses a mismatching tile.
+    planned: Option<(usize, usize)>,
+}
+
+impl GatherScratch {
+    /// Scratch for tiles positioned on `layouter`'s grid.
+    pub fn new(layouter: &crate::sic::ConvLayouter) -> Self {
+        GatherScratch {
+            lookup: PositionLookup::new(layouter),
+            offsets: Vec::new(),
+            cands: Vec::new(),
+            planned: None,
+        }
+    }
+
+    /// Plans one m-tile: registers its rows and resolves every row's
+    /// in-tile candidate list, in exactly the order the streaming
+    /// sweep enumerates (block scan order, earlier rows only).
+    pub fn plan_tile(
+        &mut self,
+        positions: &[Option<Fhw>],
+        row_start: usize,
+        row_count: usize,
+        block: crate::config::BlockSize,
+    ) {
+        assert!(
+            positions.len() >= row_start + row_count,
+            "positions too short"
+        );
+        self.lookup.begin_tile();
+        for local in 0..row_count {
+            if let Some(p) = positions[row_start + local] {
+                self.lookup.insert(p, local);
+            }
+        }
+        self.offsets.clear();
+        self.cands.clear();
+        self.offsets.push(0);
+        for local in 0..row_count {
+            if let Some(p) = positions[row_start + local] {
+                for cand in candidate_positions(p, block) {
+                    if let Some(cand_local) = self.lookup.get(cand) {
+                        if cand_local < local {
+                            self.cands.push(cand_local as u32);
+                        }
+                    }
+                }
+            }
+            self.offsets.push(self.cands.len() as u32);
+        }
+        self.planned = Some((row_start, row_count));
+    }
+
+    /// The planned candidate rows of tile-local row `local`.
+    #[inline]
+    pub fn row_candidates(&self, local: usize) -> &[u32] {
+        let lo = self.offsets[local] as usize;
+        let hi = self.offsets[local + 1] as usize;
+        &self.cands[lo..hi]
+    }
+}
+
+/// [`gather_tile`] over a tile plan prepared by
+/// [`GatherScratch::plan_tile`]: the hot path of the measured phase.
+///
+/// # Panics
+///
+/// Panics if the scratch's current plan is not for exactly this
+/// `(row_start, row_count)` tile — replaying another tile's candidate
+/// lists would silently corrupt the gather statistics.
+pub fn gather_tile_planned(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    cfg: &GatherConfig,
+    scratch: &GatherScratch,
+) -> GatherResult {
+    assert_eq!(
+        scratch.planned,
+        Some((row_start, row_count)),
+        "scratch plan is for a different tile"
+    );
+    gather_tile_core(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        |local, visit| {
+            for &cand in scratch.row_candidates(local) {
+                visit(cand as usize);
+            }
+        },
+    )
+}
+
+/// The tile sweep itself. `cands_for(local, visit)` must call `visit`
+/// with the tile-local indices of `local`'s candidates, in block scan
+/// order, earlier rows only — the contract every caller above
+/// discharges identically.
+fn gather_tile_core(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    cfg: &GatherConfig,
+    mut cands_for: impl FnMut(usize, &mut dyn FnMut(usize)),
+) -> GatherResult {
     assert!(
         row_start + row_count <= acts.rows(),
         "row range out of bounds"
     );
     assert!(col_range.end <= acts.cols(), "column range out of bounds");
-    assert!(
-        positions.len() >= row_start + row_count,
-        "positions too short"
-    );
 
     let width = col_range.len();
-    // Position → tile-local row index, for candidate lookup.
-    let mut pos_to_row: HashMap<Fhw, usize> = HashMap::with_capacity(row_count);
-    for local in 0..row_count {
-        if let Some(p) = positions[row_start + local] {
-            pos_to_row.insert(p, local);
-        }
-    }
-
     let mut norms = Vec::with_capacity(row_count);
     let mut map = SimilarityMap::with_capacity(row_count);
     let mut compact_rows: Vec<f32> = Vec::new();
+    // Norms of the compact rows, pushed as uniques land: a compact row
+    // is byte-identical to its source row, so its (deterministic) norm
+    // is too — reusing it spares the matcher a full re-norm pass per
+    // matched row without moving a single bit.
+    let mut compact_norms: Vec<f32> = Vec::new();
     let mut fidelity = vec![1.0f32; row_count];
     let mut comparisons: u64 = 0;
     let mut matches: u64 = 0;
     let mut dot_ops: u64 = 0;
 
+    // Indexing `fidelity[local]` directly (not via iter_mut) keeps the
+    // closure below free to borrow the surrounding state.
+    #[allow(clippy::needless_range_loop)]
     for local in 0..row_count {
         let row = &acts.row(row_start + local)[col_range.clone()];
         let norm = l2_norm(row);
@@ -111,24 +302,15 @@ pub fn gather_tile(
         dot_ops += width as u64; // the norm's squared-sum pass
 
         let mut best: Option<(usize, f32)> = None;
-        if let Some(p) = positions[row_start + local] {
-            for cand in candidate_positions(p, cfg.block) {
-                let Some(&cand_local) = pos_to_row.get(&cand) else {
-                    continue;
-                };
-                if cand_local >= local {
-                    // Only earlier rows are resident when the key streams in.
-                    continue;
-                }
-                let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
-                let cos = cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
-                comparisons += 1;
-                dot_ops += width as u64;
-                if cos >= cfg.threshold && best.is_none_or(|(_, b)| cos > b) {
-                    best = Some((cand_local, cos));
-                }
+        cands_for(local, &mut |cand_local| {
+            let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
+            let cos = cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
+            comparisons += 1;
+            dot_ops += width as u64;
+            if cos >= cfg.threshold && best.is_none_or(|(_, b)| cos > b) {
+                best = Some((cand_local, cos));
             }
-        }
+        });
 
         match best {
             Some((cand_local, _)) => {
@@ -139,11 +321,12 @@ pub fn gather_tile(
                 let rep_start = rep as usize * width;
                 let rep_row = &compact_rows[rep_start..rep_start + width];
                 fidelity[local] =
-                    cosine_similarity_with_norms(row, norm, rep_row, l2_norm(rep_row));
+                    cosine_similarity_with_norms(row, norm, rep_row, compact_norms[rep as usize]);
             }
             None => {
                 map.push_unique();
                 compact_rows.extend_from_slice(row);
+                compact_norms.push(norm);
             }
         }
     }
@@ -290,6 +473,52 @@ mod tests {
             .collect();
         let r = gather_tile(&acts, 0, 16, 0..8, &positions, &cfg());
         assert_eq!(r.cycles, 8 * 16);
+    }
+
+    #[test]
+    fn indexed_lookup_path_is_bit_identical() {
+        use crate::sic::layout::ConvLayouter;
+        let layouter = ConvLayouter::new(4, 4);
+        let positions: Vec<Option<Fhw>> = (0..32)
+            .map(|t| {
+                // Sprinkle in positionless (text) rows.
+                if t % 7 == 3 {
+                    None
+                } else {
+                    Some(layouter.position_of(t))
+                }
+            })
+            .collect();
+        let acts = Matrix::from_fn(32, 16, |r, c| ((r / 2 + c) as f32).sin());
+        let mut lookup = PositionLookup::new(&layouter);
+        for (row_start, row_count) in [(0usize, 16usize), (16, 16), (8, 8)] {
+            lookup.begin_tile();
+            for local in 0..row_count {
+                if let Some(p) = positions[row_start + local] {
+                    lookup.insert(p, local);
+                }
+            }
+            for col_range in [0..16, 0..8, 8..16] {
+                let reference = gather_tile(
+                    &acts,
+                    row_start,
+                    row_count,
+                    col_range.clone(),
+                    &positions,
+                    &cfg(),
+                );
+                let indexed = gather_tile_indexed(
+                    &acts,
+                    row_start,
+                    row_count,
+                    col_range,
+                    &positions,
+                    &cfg(),
+                    &lookup,
+                );
+                assert_eq!(indexed, reference);
+            }
+        }
     }
 
     #[test]

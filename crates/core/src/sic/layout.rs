@@ -97,6 +97,74 @@ impl ConvLayouter {
     }
 }
 
+/// A flat, layouter-indexed `Fhw → tile-local row` map — the
+/// workspace-resident replacement for the per-tile `HashMap` the
+/// gather unit used to rebuild for every `(m-tile, col-tile)` pair.
+///
+/// Positions index a dense array at `(f·H + r)·W + c`; tile
+/// generations are distinguished by an epoch stamp, so starting a new
+/// tile is O(1) (no clearing) and stale entries from previous tiles,
+/// layers or stages can never leak into a lookup. The array grows to
+/// the high-water frame count and is then allocation-free.
+#[derive(Clone, Debug)]
+pub struct PositionLookup {
+    grid_h: usize,
+    grid_w: usize,
+    epoch: u32,
+    slots: Vec<(u32, u32)>,
+}
+
+impl PositionLookup {
+    /// A lookup for positions on `layouter`'s frame grid.
+    pub fn new(layouter: &ConvLayouter) -> Self {
+        PositionLookup {
+            grid_h: layouter.grid_h,
+            grid_w: layouter.grid_w,
+            epoch: 1,
+            slots: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn index_of(&self, p: Fhw) -> usize {
+        debug_assert!(p.r < self.grid_h && p.c < self.grid_w);
+        (p.f * self.grid_h + p.r) * self.grid_w + p.c
+    }
+
+    /// Starts a new tile generation: previously inserted entries become
+    /// invisible without touching the array.
+    pub fn begin_tile(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: stale stamps could alias the new
+            // generation, so clear once every 2^32 tiles.
+            self.slots.iter_mut().for_each(|s| *s = (0, 0));
+            self.epoch = 1;
+        }
+    }
+
+    /// Registers `p` as tile-local row `local` in the current tile.
+    pub fn insert(&mut self, p: Fhw, local: usize) {
+        let idx = self.index_of(p);
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, (0, 0));
+        }
+        self.slots[idx] = (self.epoch, local as u32);
+    }
+
+    /// Looks up the tile-local row of `p` in the current tile.
+    #[inline]
+    pub fn get(&self, p: Fhw) -> Option<usize> {
+        let idx = self.index_of(p);
+        match self.slots.get(idx) {
+            // `epoch` is always ≥ 1, so default-initialised `(0, 0)`
+            // slots can never match.
+            Some(&(epoch, local)) if epoch == self.epoch => Some(local as usize),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +254,38 @@ mod tests {
         let l = ConvLayouter::new(8, 8);
         let bytes = 8 * l.bank_depth() * 32 * 2;
         assert!(bytes <= 16 * 1024, "{bytes}");
+    }
+
+    #[test]
+    fn position_lookup_matches_hashmap_semantics() {
+        use std::collections::HashMap;
+        let l = ConvLayouter::new(4, 5);
+        let mut lookup = PositionLookup::new(&l);
+        let mut reference: HashMap<Fhw, usize> = HashMap::new();
+        lookup.begin_tile();
+        for (local, token) in [3usize, 17, 8, 39].iter().enumerate() {
+            let p = l.position_of(*token);
+            lookup.insert(p, local);
+            reference.insert(p, local);
+        }
+        for token in 0..40 {
+            let p = l.position_of(token);
+            assert_eq!(lookup.get(p), reference.get(&p).copied(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn position_lookup_tiles_do_not_leak() {
+        let l = ConvLayouter::new(2, 2);
+        let mut lookup = PositionLookup::new(&l);
+        let p = Fhw { f: 1, r: 1, c: 0 };
+        lookup.begin_tile();
+        lookup.insert(p, 7);
+        assert_eq!(lookup.get(p), Some(7));
+        lookup.begin_tile();
+        assert_eq!(lookup.get(p), None, "stale entry visible after begin_tile");
+        // Unseen positions (beyond the high-water mark) are absent.
+        assert_eq!(lookup.get(Fhw { f: 9, r: 0, c: 0 }), None);
     }
 
     #[test]

@@ -15,8 +15,11 @@ pub mod layout;
 pub mod map;
 pub mod scatter;
 
-pub use gather::{gather_tile, GatherConfig, GatherResult};
-pub use layout::{BankAddress, ConvLayouter, Fhw};
+pub use gather::{
+    gather_tile, gather_tile_indexed, gather_tile_planned, GatherConfig, GatherResult,
+    GatherScratch,
+};
+pub use layout::{BankAddress, ConvLayouter, Fhw, PositionLookup};
 pub use map::SimilarityMap;
 pub use scatter::{scatter, scatter_cycles, scatter_ops};
 
@@ -107,6 +110,32 @@ impl SimilarityConcentrator {
     /// `positions[row]` is each row's decoded (F,H,W) position (`None`
     /// for text tokens).
     pub fn gather_matrix(&self, acts: &Matrix, positions: &[Option<Fhw>]) -> MatrixGatherStats {
+        self.gather_matrix_impl(acts, positions, None)
+    }
+
+    /// [`SimilarityConcentrator::gather_matrix`] over a recycled
+    /// [`GatherScratch`]: each m-tile's candidate neighbourhoods are
+    /// resolved **once** through the flat position lookup and replayed
+    /// across all of the tile's column groups, instead of rebuilding a
+    /// `HashMap` and re-enumerating block neighbourhoods per
+    /// `(m-tile, col-tile)` pair. Statistics are byte-identical to
+    /// [`SimilarityConcentrator::gather_matrix`] (asserted in
+    /// `tests/batch_determinism.rs`).
+    pub fn gather_matrix_with(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        scratch: &mut GatherScratch,
+    ) -> MatrixGatherStats {
+        self.gather_matrix_impl(acts, positions, Some(scratch))
+    }
+
+    fn gather_matrix_impl(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        mut scratch: Option<&mut GatherScratch>,
+    ) -> MatrixGatherStats {
         let width = acts.cols();
         let v_len = self.vector_len.min(width.max(1));
         let col_ranges = vector_ranges(width, v_len);
@@ -129,15 +158,28 @@ impl SimilarityConcentrator {
                 continue;
             }
             stats.tile_heights.push(row_count);
+            if let Some(scratch) = scratch.as_deref_mut() {
+                scratch.plan_tile(positions, row_start, row_count, self.gather.block);
+            }
             for col_range in &col_ranges {
-                let r = gather_tile(
-                    acts,
-                    row_start,
-                    row_count,
-                    col_range.clone(),
-                    positions,
-                    &self.gather,
-                );
+                let r = match scratch.as_deref() {
+                    Some(scratch) => gather_tile_planned(
+                        acts,
+                        row_start,
+                        row_count,
+                        col_range.clone(),
+                        &self.gather,
+                        scratch,
+                    ),
+                    None => gather_tile(
+                        acts,
+                        row_start,
+                        row_count,
+                        col_range.clone(),
+                        positions,
+                        &self.gather,
+                    ),
+                };
                 stats.tile_p.push(r.p());
                 stats.total_vectors += row_count as u64;
                 stats.unique_vectors += r.p() as u64;
@@ -259,6 +301,23 @@ mod tests {
         let acts = Matrix::identity(4);
         let stats = concentrator(1024, 4).gather_matrix(&acts, &positions);
         assert!(stats.row_fidelity.iter().all(|&f| (f - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn recycled_scratch_stats_are_byte_identical() {
+        let layouter = ConvLayouter::new(4, 4);
+        let mut scratch = GatherScratch::new(&layouter);
+        let conc = concentrator(16, 32);
+        // Reuse one scratch across several matrices (as the stage
+        // workspace does across layers); every call must match the
+        // fresh HashMap-per-tile reference.
+        for seed in 0..3 {
+            let positions = grid_positions(2, 4, 4);
+            let acts = Matrix::from_fn(32, 64, |r, c| ((r * 3 + c + seed) as f32 * 0.7).sin());
+            let reference = conc.gather_matrix(&acts, &positions);
+            let reused = conc.gather_matrix_with(&acts, &positions, &mut scratch);
+            assert_eq!(reused, reference);
+        }
     }
 
     #[test]

@@ -158,10 +158,33 @@ impl SystolicModel {
     }
 
     /// Times one GEMM.
+    ///
+    /// Every full-width n-tile of a given `(m-tile, k-sub-tile)` costs
+    /// exactly the same cycles and scatter ops, so the model evaluates
+    /// one representative and multiplies — collapsing the
+    /// `m_tiles × n_tiles × k_subtiles` sweep (hundreds of thousands of
+    /// iterations for paper-scale FFN GEMMs) to
+    /// `m_tiles × k_subtiles × {full, ragged}`. Integer sums of equal
+    /// terms are exact, so cycle counts, MACs, utilisation and the
+    /// Fig. 13 sub-tile samples are identical to the naive triple loop
+    /// (asserted in `naive_and_collapsed_sweeps_agree`).
     pub fn time(&self, work: &GemmWork) -> GemmTiming {
-        let n_tiles = work.n.div_ceil(self.pe_cols).max(1);
         let k_subs = work.k_subtiles(self.pe_rows);
         let fill = self.fill_drain();
+        // Column tiles as (count, width) groups: the full-width tiles
+        // plus at most one ragged remainder (a degenerate GEMM with
+        // n = 0 still sweeps one zero-width tile, like the naive loop).
+        let full_n_tiles = (work.n / self.pe_cols) as u64;
+        let ragged_n = work.n % self.pe_cols;
+        let mut col_groups: [(u64, usize); 2] = [(full_n_tiles, self.pe_cols), (0, 0)];
+        if ragged_n > 0 || full_n_tiles == 0 {
+            col_groups[1] = (1, ragged_n);
+        }
+        let first_n_width = if full_n_tiles > 0 {
+            self.pe_cols
+        } else {
+            ragged_n
+        };
         let mut cycles: u64 = 0;
         let mut scatter_ops: u128 = 0;
         let mut subtile_samples = Vec::new();
@@ -171,31 +194,35 @@ impl SystolicModel {
             if tile_height == 0 {
                 continue;
             }
-            for nt in 0..n_tiles {
-                let n_width = self.pe_cols.min(work.n - nt * self.pe_cols);
-                for ks in 0..k_subs {
-                    let p = work.rows_for(mt, ks, self.pe_rows);
-                    let k_depth = self.pe_rows.min(work.k - ks * self.pe_rows);
-                    let stream = p as u64 + fill;
-                    let subtile_cycles = match work.scatter_accumulators {
-                        Some(acc) if acc > 0 => {
-                            // Scatter reconstructs the full tile_height×n
-                            // outputs; it overlaps the stream and binds
-                            // when slower.
-                            let ops = tile_height as u64 * n_width as u64;
-                            scatter_ops += ops as u128;
-                            stream.max(ops.div_ceil(acc as u64))
-                        }
-                        _ => stream,
-                    };
-                    cycles += subtile_cycles;
-                    if nt == 0 {
-                        let macs = p as u64 * k_depth as u64 * n_width as u64;
-                        let util = macs as f64
-                            / (subtile_cycles as f64 * (self.pe_rows * self.pe_cols) as f64);
-                        subtile_samples.push((p, util));
+            for ks in 0..k_subs {
+                let p = work.rows_for(mt, ks, self.pe_rows);
+                let k_depth = self.pe_rows.min(work.k - ks * self.pe_rows);
+                let stream = p as u64 + fill;
+                // Sub-tile cycles of one column tile of `n_width`.
+                let tile_cycles = |n_width: usize| match work.scatter_accumulators {
+                    Some(acc) if acc > 0 => {
+                        // Scatter reconstructs the full tile_height×n
+                        // outputs; it overlaps the stream and binds
+                        // when slower.
+                        let ops = tile_height as u64 * n_width as u64;
+                        stream.max(ops.div_ceil(acc as u64))
+                    }
+                    _ => stream,
+                };
+                for &(count, n_width) in &col_groups {
+                    if count == 0 {
+                        continue;
+                    }
+                    cycles += count * tile_cycles(n_width);
+                    if work.scatter_accumulators.is_some_and(|acc| acc > 0) {
+                        scatter_ops += count as u128 * tile_height as u128 * n_width as u128;
                     }
                 }
+                // Samples cover the first column tile only, as before.
+                let macs = p as u64 * k_depth as u64 * first_n_width as u64;
+                let util = macs as f64
+                    / (tile_cycles(first_n_width) as f64 * (self.pe_rows * self.pe_cols) as f64);
+                subtile_samples.push((p, util));
             }
         }
 
@@ -347,6 +374,94 @@ mod tests {
         let psum = 1024 * 32 * (2 * 112 - 1) * 4;
         assert!(bytes as f64 > psum as f64 * 0.5);
         assert!(bytes > psum as u64);
+    }
+
+    /// The original `m_tiles × n_tiles × k_subtiles` sweep, kept as the
+    /// specification the collapsed model must match bit-for-bit.
+    fn naive_time(model: &SystolicModel, work: &GemmWork) -> GemmTiming {
+        let n_tiles = work.n.div_ceil(model.pe_cols).max(1);
+        let k_subs = work.k_subtiles(model.pe_rows);
+        let fill = model.fill_drain();
+        let mut cycles: u64 = 0;
+        let mut scatter_ops: u128 = 0;
+        let mut subtile_samples = Vec::new();
+        for mt in 0..work.m_tiles() {
+            let tile_height = work.tile_height(mt);
+            if tile_height == 0 {
+                continue;
+            }
+            for nt in 0..n_tiles {
+                let n_width = model.pe_cols.min(work.n - nt * model.pe_cols);
+                for ks in 0..k_subs {
+                    let p = work.rows_for(mt, ks, model.pe_rows);
+                    let k_depth = model.pe_rows.min(work.k - ks * model.pe_rows);
+                    let stream = p as u64 + fill;
+                    let subtile_cycles = match work.scatter_accumulators {
+                        Some(acc) if acc > 0 => {
+                            let ops = tile_height as u64 * n_width as u64;
+                            scatter_ops += ops as u128;
+                            stream.max(ops.div_ceil(acc as u64))
+                        }
+                        _ => stream,
+                    };
+                    cycles += subtile_cycles;
+                    if nt == 0 {
+                        let macs = p as u64 * k_depth as u64 * n_width as u64;
+                        let util = macs as f64
+                            / (subtile_cycles as f64 * (model.pe_rows * model.pe_cols) as f64);
+                        subtile_samples.push((p, util));
+                    }
+                }
+            }
+        }
+        cycles *= work.batch as u64;
+        let macs = work.effective_macs(model.pe_rows);
+        let utilization = if cycles == 0 {
+            0.0
+        } else {
+            macs as f64 / (cycles as f64 * (model.pe_rows * model.pe_cols) as f64)
+        };
+        GemmTiming {
+            cycles,
+            macs,
+            utilization,
+            subtile_samples,
+            scatter_ops: scatter_ops * work.batch as u128,
+        }
+    }
+
+    #[test]
+    fn naive_and_collapsed_sweeps_agree() {
+        let m = model();
+        let shapes = [
+            (1024usize, 3584usize, 18944usize, 1usize), // paper FFN: 592 n-tiles
+            (1500, 100, 50, 2),                         // ragged everywhere
+            (6381, 128, 6381, 28),                      // attention logits
+            (64, 32, 32, 1),                            // single full tile
+            (64, 32, 7, 1),                             // ragged-only n
+            (100, 32, 0, 1),                            // degenerate n = 0
+        ];
+        for (mm, kk, nn, batch) in shapes {
+            for (sparse, scatter) in [(false, None), (true, Some(64)), (true, None)] {
+                let mut work = GemmWork::dense("t", mm, kk, nn, batch, 1024);
+                if sparse {
+                    let slots = work.m_tiles() * work.k_subtiles(m.pe_rows);
+                    work.subtile_rows = Some((0..slots).map(|i| 37 + 91 * (i % 11)).collect());
+                }
+                work.scatter_accumulators = scatter;
+                let collapsed = m.time(&work);
+                let naive = naive_time(&m, &work);
+                assert_eq!(collapsed.cycles, naive.cycles, "{mm}x{kk}x{nn}");
+                assert_eq!(collapsed.macs, naive.macs);
+                assert_eq!(collapsed.scatter_ops, naive.scatter_ops);
+                assert_eq!(collapsed.utilization.to_bits(), naive.utilization.to_bits());
+                assert_eq!(collapsed.subtile_samples.len(), naive.subtile_samples.len());
+                for (a, b) in collapsed.subtile_samples.iter().zip(&naive.subtile_samples) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,19 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Reshapes the matrix to `rows × cols` in place, reusing the
+    /// existing allocation where possible. Elements beyond the old
+    /// total length are zero; all others keep their raw storage values
+    /// reinterpreted in the new shape — callers are expected to
+    /// overwrite every row before reading. This is the recycling
+    /// primitive behind the executor's activation workspaces: a buffer
+    /// resized every layer allocates only on high-water-mark growth.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Borrows row `r` as a slice.
     ///
     /// # Panics
@@ -519,6 +532,17 @@ mod tests {
         let tiles: Vec<_> = TileIter::new(3, 2, 100, 100).collect();
         assert_eq!(tiles.len(), 1);
         assert_eq!((tiles[0].row_count, tiles[0].col_count), (3, 2));
+    }
+
+    #[test]
+    fn resize_reuses_storage_and_zeroes_growth() {
+        let mut m = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f32);
+        m.resize(2, 8);
+        assert_eq!((m.rows(), m.cols()), (2, 8));
+        assert_eq!(m.row(1)[7], 15.0);
+        m.resize(3, 16);
+        assert_eq!(m.len(), 48);
+        assert_eq!(m.row(2)[15], 0.0, "grown elements are zero");
     }
 
     #[test]

@@ -153,6 +153,20 @@ pub fn fake_quantize(m: &Matrix) -> Matrix {
     QuantizedTensor::quantize(m).dequantize()
 }
 
+/// In-place [`fake_quantize`]: identical arithmetic (per-row absmax
+/// scale, quantise + dequantise each element) without materialising a
+/// [`QuantizedTensor`]. Reused activation workspaces quantise through
+/// here so the hot path stays allocation-free.
+pub fn fake_quantize_in_place(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let params = QuantParams::from_absmax(row);
+        for v in row.iter_mut() {
+            *v = params.dequantize(params.quantize(*v));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +224,15 @@ mod tests {
         let once = fake_quantize(&m);
         let twice = fake_quantize(&once);
         assert_eq!(once, twice, "values already on the grid must not move");
+    }
+
+    #[test]
+    fn in_place_fake_quantize_matches_allocating_path() {
+        let m = Matrix::from_fn(7, 24, |r, c| ((r * 31 + c * 17) % 53) as f32 / 9.0 - 2.5);
+        let reference = fake_quantize(&m);
+        let mut in_place = m.clone();
+        fake_quantize_in_place(&mut in_place);
+        assert_eq!(in_place, reference);
     }
 
     #[test]

@@ -19,11 +19,40 @@
 //! granularity reveals substantially more redundancy.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use focus_tensor::Matrix;
 
 use crate::dataset::RedundancyProfile;
-use crate::scene::{hash_words, ContentKey, Scene};
+use crate::scene::{fnv1a_fold, hash_words, ContentKey, Scene, FNV_OFFSET_BASIS};
+
+/// FNV-1a for the synthesiser's memo-cache keys. The caches sit on the
+/// row-synthesis hot path and are probed a few times per token row;
+/// SipHash's per-lookup cost is pure overhead there (a memo's hash
+/// function cannot affect synthesised values, only lookup speed; `Eq`
+/// still guards exactness). The fold itself is
+/// [`crate::scene::fnv1a_fold`] — one definition of the constants.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET_BASIS)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a_fold(self.0, bytes);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// Elements per stability group: the finest granularity at which
 /// redundancy exists (the paper's Fig. 2(b) sweeps down to size 8).
@@ -127,7 +156,12 @@ pub struct ActivationSynthesizer<'a> {
     seed: u64,
     layers: usize,
     cache_salt: u64,
-    appearance_cache: HashMap<(ContentKey, usize), Vec<f32>>,
+    appearance_cache: HashMap<(ContentKey, usize), Vec<f32>, FnvBuild>,
+    /// Per-(content, width) group-stability flags — a pure function of
+    /// the content key within one (layer, stage) context, shared by
+    /// every token showing that content (flushed with the context,
+    /// like the appearance memo).
+    stability_cache: HashMap<(ContentKey, usize), Vec<bool>, FnvBuild>,
 }
 
 impl<'a> ActivationSynthesizer<'a> {
@@ -141,7 +175,8 @@ impl<'a> ActivationSynthesizer<'a> {
             seed,
             layers,
             cache_salt: u64::MAX,
-            appearance_cache: HashMap::new(),
+            appearance_cache: HashMap::default(),
+            stability_cache: HashMap::default(),
         }
     }
 
@@ -175,6 +210,13 @@ impl<'a> ActivationSynthesizer<'a> {
     }
 
     /// Synthesises the deterministic (noise-free) part of one token row.
+    ///
+    /// The blends accumulate straight into `out` between `appearance`
+    /// calls (each borrows the memo mutably, so only one component
+    /// slice is live at a time) — no per-row temporaries. The two-term
+    /// mixes sum in the opposite operand order from the formulae in
+    /// the comments; IEEE-754 addition is commutative, so the rows are
+    /// bit-identical either way.
     fn deterministic_row(&mut self, token: usize, width: usize, salt: u64, out: &mut [f32]) {
         let patch = self.scene.patch_by_index(token).clone();
         match patch.primary {
@@ -184,12 +226,13 @@ impl<'a> ActivationSynthesizer<'a> {
                 let texture = self.redundancy.bg_texture_var.clamp(0.0, 1.0);
                 let w_scene = ((1.0 - texture) as f32).sqrt();
                 let w_pos = (texture as f32).sqrt();
-                let scene_app = self
-                    .appearance(ContentKey::Scene { epoch }, width, salt)
-                    .to_vec();
                 let pos_app = self.appearance(patch.primary, width, salt);
-                for i in 0..width {
-                    out[i] = w_scene * scene_app[i] + w_pos * pos_app[i];
+                for (o, &a) in out.iter_mut().zip(pos_app) {
+                    *o = w_pos * a;
+                }
+                let scene_app = self.appearance(ContentKey::Scene { epoch }, width, salt);
+                for (o, &a) in out.iter_mut().zip(scene_app) {
+                    *o += w_scene * a;
                 }
             }
             ContentKey::Object { epoch, object, .. } => {
@@ -203,15 +246,18 @@ impl<'a> ActivationSynthesizer<'a> {
                     lr: i16::MAX,
                     lc: i16::MAX,
                 };
-                let core = self.appearance(core_key, width, salt).to_vec();
                 let cell = self.appearance(patch.primary, width, salt);
-                for i in 0..width {
-                    out[i] = w_core * core[i] + w_cell * cell[i];
+                for (o, &a) in out.iter_mut().zip(cell) {
+                    *o = w_cell * a;
+                }
+                let core = self.appearance(core_key, width, salt);
+                for (o, &a) in out.iter_mut().zip(core) {
+                    *o += w_core * a;
                 }
             }
             ContentKey::Scene { .. } => {
-                let app = self.appearance(patch.primary, width, salt).to_vec();
-                out.copy_from_slice(&app);
+                let app = self.appearance(patch.primary, width, salt);
+                out.copy_from_slice(app);
             }
         }
         // Sub-patch motion blends the neighbouring content. The blend
@@ -223,9 +269,9 @@ impl<'a> ActivationSynthesizer<'a> {
         const MOTION_DAMPING: f32 = 0.5;
         if let Some((secondary, phi)) = patch.secondary {
             let phi = MOTION_DAMPING * phi;
-            let sec = self.appearance(secondary, width, salt).to_vec();
-            for i in 0..width {
-                out[i] = (1.0 - phi) * out[i] + phi * sec[i];
+            let sec = self.appearance(secondary, width, salt);
+            for (o, &s) in out.iter_mut().zip(sec) {
+                *o = (1.0 - phi) * *o + phi * s;
             }
         }
     }
@@ -245,6 +291,7 @@ impl<'a> ActivationSynthesizer<'a> {
         let salt = self.context_salt(layer, stage);
         if salt != self.cache_salt {
             self.appearance_cache.clear();
+            self.stability_cache.clear();
             self.cache_salt = salt;
         }
         self.deterministic_row(token, width, salt, out);
@@ -257,25 +304,35 @@ impl<'a> ActivationSynthesizer<'a> {
         // `sf`, while the 32-dim fraction equals the block-tier
         // stability `s32 = α·sf` — without the `sf⁴` collapse a flat
         // i.i.d. model would force on vector-level matching.
-        let patch = self.scene.patch_by_index(token);
-        let key = patch.primary;
-        let sf = self.stable_fraction_for(key, layer);
-        const BLOCK_TIER: f64 = 0.72;
-        let s32 = BLOCK_TIER * sf;
-        let s8 = ((sf - s32) / (1.0 - s32)).clamp(0.0, 1.0);
+        //
+        // The flags are a pure function of (content, width) within the
+        // current context, so tokens repeating a content key — the
+        // scene's redundancy itself — share one memoised pattern. The
+        // additive noise below stays strictly per (token, group).
+        let key = self.scene.patch_by_index(token).primary;
+        if !self.stability_cache.contains_key(&(key, width)) {
+            let sf = self.stable_fraction_for(key, layer);
+            const BLOCK_TIER: f64 = 0.72;
+            let s32 = BLOCK_TIER * sf;
+            let s8 = ((sf - s32) / (1.0 - s32)).clamp(0.0, 1.0);
+            let stability_seed = key.stable_hash(salt ^ 0xABCD);
+            let groups_per_block = 32 / GROUP;
+            let pattern: Vec<bool> = (0..width / GROUP)
+                .map(|g| {
+                    let block = g / groups_per_block;
+                    let block_stable =
+                        unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
+                    block_stable || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8
+                })
+                .collect();
+            self.stability_cache.insert((key, width), pattern);
+        }
+        let pattern = &self.stability_cache[&(key, width)];
         let sigma = self.redundancy.noise_sigma as f32;
-        let stability_seed = key.stable_hash(salt ^ 0xABCD);
-        let groups_per_block = 32 / GROUP;
-        for g in 0..width / GROUP {
-            let block = g / groups_per_block;
-            let block_stable = unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
-            let group_stable =
-                block_stable || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8;
-            if !group_stable {
-                let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
-                for v in out[g * GROUP..(g + 1) * GROUP].iter_mut() {
-                    *v += sigma * rng.next_normal();
-                }
+        for (g, _) in pattern.iter().enumerate().filter(|(_, &stable)| !stable) {
+            let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
+            for v in out[g * GROUP..(g + 1) * GROUP].iter_mut() {
+                *v += sigma * rng.next_normal();
             }
         }
     }
@@ -291,11 +348,28 @@ impl<'a> ActivationSynthesizer<'a> {
         width: usize,
     ) -> Matrix {
         let mut m = Matrix::zeros(tokens.len(), width);
+        self.activations_into(tokens, layer, stage, width, &mut m);
+        m
+    }
+
+    /// Like [`ActivationSynthesizer::activations`], but synthesises
+    /// into `out`, resizing it in place. Rows are fully overwritten, so
+    /// a recycled buffer yields values bit-identical to a fresh
+    /// allocation; together with the memo cache this makes the
+    /// synthesiser safe to keep resident across layers and stages.
+    pub fn activations_into(
+        &mut self,
+        tokens: &[usize],
+        layer: usize,
+        stage: Stage,
+        width: usize,
+        out: &mut Matrix,
+    ) {
+        out.resize(tokens.len(), width);
         for (i, &t) in tokens.iter().enumerate() {
             let row_start = i; // rows are in `tokens` order
-            self.token_row(t, layer, stage, m.row_mut(row_start));
+            self.token_row(t, layer, stage, out.row_mut(row_start));
         }
-        m
     }
 
     /// Cosine-similarity samples between temporally adjacent tokens at
@@ -456,6 +530,27 @@ mod tests {
         let mut row = vec![0.0; 64];
         syn.token_row(200, 2, Stage::FfnAct, &mut row);
         assert_eq!(m.row(1), &row[..]);
+    }
+
+    #[test]
+    fn recycled_buffer_synthesis_is_bit_identical() {
+        let scene = make_scene();
+        let mut fresh = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut reused = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let mut buf = Matrix::zeros(0, 0);
+        // Drive the reused synthesiser through several (layer, stage,
+        // shape) contexts; every call must match a fresh allocation.
+        let calls = [
+            (vec![0usize, 5, 9, 300], 2, Stage::PvOut, 64),
+            (vec![1usize, 2], 2, Stage::FfnAct, 128),
+            (vec![7usize, 8, 9], 4, Stage::OProjOut, 64),
+            (vec![0usize], 4, Stage::PvOut, 32),
+        ];
+        for (tokens, layer, stage, width) in calls {
+            reused.activations_into(&tokens, layer, stage, width, &mut buf);
+            let expect = fresh.activations(&tokens, layer, stage, width);
+            assert_eq!(buf, expect);
+        }
     }
 
     #[test]

@@ -13,11 +13,42 @@
 
 use crate::dataset::RedundancyProfile;
 
+#[cfg(test)]
+mod hash_tests {
+    use super::{fnv1a, hash_words};
+
+    #[test]
+    fn streamed_hash_matches_buffered_reference() {
+        for (salt, words) in [
+            (0u64, vec![]),
+            (42, vec![7u64]),
+            (0xDEAD_BEEF, vec![1, 2, 3, u64::MAX]),
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&salt.to_le_bytes());
+            for w in &words {
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+            assert_eq!(hash_words(salt, &words), fnv1a(&buf));
+        }
+    }
+}
+
 /// Deterministic 64-bit FNV-1a hash, used to derive per-content RNG
 /// seeds that are stable across runs and platforms (std's `DefaultHasher`
 /// makes no cross-version guarantee).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_fold(FNV_OFFSET_BASIS, bytes)
+}
+
+/// The FNV-1a offset basis — the start state of every fold.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One streaming step of the FNV-1a fold: continues hash state `h`
+/// over `bytes`. `fnv1a`, [`hash_words`] and the synthesiser's cache
+/// hasher all share this single definition of the constants.
+#[inline]
+pub fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -25,14 +56,17 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Convenience: hash a sequence of u64 words with a salt.
+/// Convenience: hash a sequence of u64 words with a salt. Streams the
+/// FNV-1a fold over the words' little-endian bytes directly — the hash
+/// is identical to concatenating the bytes first, and this sits on the
+/// row-synthesis hot path (tens of calls per token row), so it must
+/// not allocate.
 pub fn hash_words(salt: u64, words: &[u64]) -> u64 {
-    let mut buf = Vec::with_capacity((words.len() + 1) * 8);
-    buf.extend_from_slice(&salt.to_le_bytes());
-    for w in words {
-        buf.extend_from_slice(&w.to_le_bytes());
+    let mut h = fnv1a_fold(FNV_OFFSET_BASIS, &salt.to_le_bytes());
+    for &w in words {
+        h = fnv1a_fold(h, &w.to_le_bytes());
     }
-    fnv1a(&buf)
+    h
 }
 
 /// The latent identity of what a patch shows.

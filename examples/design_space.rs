@@ -3,8 +3,9 @@
 //! a deployment would actually tune (Table I ships 0.9).
 //!
 //! The six threshold variants are independent pipeline runs, so they
-//! batch through [`BatchRunner`] and sweep at machine width; results
-//! come back in sweep order, identical to a serial loop.
+//! batch through [`BatchRunner`] — cycle simulation included, sharing
+//! one engine inside the parallel region — and sweep at machine width;
+//! results come back in sweep order, identical to a serial loop.
 //!
 //! ```sh
 //! cargo run --release --example design_space
@@ -13,7 +14,7 @@
 use focus::core::exec::{BatchJob, BatchRunner};
 use focus::core::pipeline::FocusPipeline;
 use focus::core::FocusConfig;
-use focus::sim::{ArchConfig, Engine};
+use focus::sim::ArchConfig;
 use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 fn main() {
@@ -42,11 +43,10 @@ fn main() {
             }
         })
         .collect();
-    let results = BatchRunner::run_jobs(&jobs);
+    let results = BatchRunner::run_jobs_sim(&jobs);
 
     let mut base_seconds = None;
-    for (&threshold, result) in thresholds.iter().zip(&results) {
-        let rep = Engine::new(ArchConfig::focus()).run(&result.work_items);
+    for (&threshold, (result, rep)) in thresholds.iter().zip(&results) {
         let base = *base_seconds.get_or_insert(rep.seconds);
         println!(
             "{threshold:>9.3} {:>9.1}% {:>11.1}% {:>10.2} {:>8.2}x",

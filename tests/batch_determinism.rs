@@ -8,11 +8,18 @@
 //! a 1-CPU box would silently degenerate to the serial path and prove
 //! nothing.
 
-use focus::core::exec::{BatchJob, BatchRunner};
+use focus::core::exec::{
+    BatchJob, BatchRunner, ConcentrationStage, ExecMode, GatherStage, LayerCtx, StageOutput,
+    StageWorkspace,
+};
 use focus::core::pipeline::{FocusPipeline, PipelineResult};
-use focus::core::FocusConfig;
+use focus::core::sic::{ConvLayouter, Fhw};
+use focus::core::{FocusConfig, RetentionSchedule};
 use focus::sim::ArchConfig;
+use focus::tensor::DataType;
+use focus::vlm::embedding::Stage;
 use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+use proptest::prelude::*;
 
 /// Forces the shim's thread pool wide open regardless of core count.
 fn force_parallel_pool() {
@@ -114,6 +121,101 @@ fn run_jobs_matches_sequential_over_configs() {
     for (i, job) in jobs.iter().enumerate() {
         let serial = job.pipeline.run(&job.workload, &job.arch);
         assert_identical(&batched[i], &serial, &format!("config {i}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cross-layer pipelined executor (SEC of layer l+1 overlapped
+    /// with the gathers of layer l, recycled stage workspaces, flat
+    /// gather lookups) is **bit-identical** to the pre-workspace serial
+    /// schedule, for arbitrary retention schedules, precisions and
+    /// models, on a forced multi-thread pool. (The pool width is set
+    /// once, like every other test in this binary — the env var is
+    /// process-global, so mutating it per case would race with tests
+    /// running concurrently.)
+    #[test]
+    fn pipelined_executor_matches_serial_over_schedules(
+        prune_layers in proptest::collection::btree_set(1usize..28, 0..6),
+        ratios in proptest::collection::vec(0.08f64..0.95, 0..6),
+        model_pick in 0usize..3,
+        int8 in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        // Assemble a valid schedule: strictly increasing layers with
+        // non-increasing retention ratios.
+        let layers: Vec<usize> = prune_layers.into_iter().collect();
+        let mut ratios = ratios;
+        ratios.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let entries: Vec<(usize, f64)> = layers.into_iter().zip(ratios).collect();
+        let mut cfg = FocusConfig::paper();
+        cfg.schedule = RetentionSchedule::new(entries);
+
+        let model = ModelKind::VIDEO_MODELS[model_pick];
+        let wl = Workload::new(model, DatasetKind::VideoMme, WorkloadScale::tiny(), seed);
+        let mut pipeline = FocusPipeline::with_config(cfg);
+        if int8 == 1 {
+            pipeline.dtype = DataType::Int8;
+        }
+        let arch = ArchConfig::focus();
+        let serial = pipeline.clone().with_exec_mode(ExecMode::Serial).run(&wl, &arch);
+        let pipelined = pipeline.with_exec_mode(ExecMode::Pipelined).run(&wl, &arch);
+        assert_identical(
+            &pipelined,
+            &serial,
+            &format!("schedule seed {seed}, int8 {int8}"),
+        );
+    }
+}
+
+/// Workspace reuse (resident synthesiser, recycled activation matrix,
+/// flat position lookup) produces `MatrixGatherStats` byte-identical
+/// to the fresh-synthesizer reference path, across layers, shrinking
+/// retained sets and both precisions.
+#[test]
+fn workspace_reuse_matches_fresh_synthesizer_stats() {
+    let wl = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        42,
+    );
+    let scaled = wl.scaled_model();
+    let layouter = ConvLayouter::new(scaled.grid_h, scaled.grid_w);
+    let m_img = wl.image_tokens_scaled();
+    for dtype in [DataType::Fp16, DataType::Int8] {
+        for stage in Stage::GATHER_POINTS {
+            let gather = GatherStage::new(&FocusConfig::paper(), stage, dtype);
+            // ONE workspace serves every layer; the reference path
+            // builds everything fresh per call.
+            let mut ws = StageWorkspace::new(&wl);
+            for (layer, keep_every) in [(0usize, 1usize), (3, 2), (7, 3), (14, 5), (27, 2)] {
+                let retained: Vec<usize> = (0..m_img).step_by(keep_every).collect();
+                let positions: Vec<Option<Fhw>> = retained
+                    .iter()
+                    .map(|&t| Some(layouter.position_of(t)))
+                    .collect();
+                let ctx = LayerCtx {
+                    workload: &wl,
+                    layer,
+                    retained: &retained,
+                    positions: &positions,
+                };
+                let (
+                    StageOutput::Gathered { stats: fresh, .. },
+                    StageOutput::Gathered { stats: reused, .. },
+                ) = (gather.run_fresh(&ctx), gather.run(&ctx, &mut ws))
+                else {
+                    panic!("gather stages always gather");
+                };
+                assert_eq!(
+                    reused, fresh,
+                    "stats diverged at layer {layer}, stage {stage:?}, {dtype}"
+                );
+            }
+        }
     }
 }
 
