@@ -8,22 +8,36 @@
 //!   phase: serial stage sweep, a fresh `activation_synthesizer()` and
 //!   per-tile `HashMap` per gather call, one `Engine::new` per result
 //!   after the fact.
-//! * `measured/pipelined_batched_fig09_grid` — the reworked phase:
+//! * `measured/pipelined_batched_fig09_grid` — the PR 2 phase:
 //!   recycled stage workspaces, flat gather lookups, SEC of layer l+1
 //!   overlapped with the gathers of layer l, and one shared engine
 //!   inside the parallel batch.
+//! * `measured/graph_batched_fig09_grid` — the task-graph schedule:
+//!   every workload's `Sec`/`Synth`/`Gather`/`Fold`/`Lower` nodes on
+//!   **one** work-stealing scheduler (depth 2), stages interleaving
+//!   across request boundaries, simulation in the `Finish` nodes.
+//! * `synthesis/activation_synthesis_fig09_grid` — the `Synth` nodes
+//!   alone (Box–Muller activation synthesis + fp16 rounding) over the
+//!   exact measured-layer walk of the grid, isolating the RNG-bound
+//!   share of the measured phase (ROADMAP item (e)).
 //!
 //! Under `cargo bench` (not `--test` smoke mode) the grid comparison
 //! also writes a `BENCH_batch.json` throughput snapshot to the repo
-//! root for the perf trajectory.
+//! root for the perf trajectory (schema-checked by
+//! `tests/bench_snapshot_schema.rs`).
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
 use focus_bench::{video_grid, EVAL_SEED};
-use focus_core::exec::{BatchRunner, ExecMode};
+use focus_core::exec::{
+    BatchRunner, ExecMode, GatherStage, LayerCtx, LayerExecutor, StageWorkspace,
+};
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
+use focus_core::FocusConfig;
 use focus_sim::{ArchConfig, Engine, SimReport};
+use focus_tensor::DataType;
+use focus_vlm::embedding::Stage;
 use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 const BATCH: u64 = 6;
@@ -54,7 +68,7 @@ fn fig09_grid_workloads() -> Vec<Workload> {
 /// layer concurrent, but every gather call resynthesises from scratch
 /// (`ExecMode::Serial`), layers are barriers, and the cycle engine is
 /// rebuilt and run **serially per result** after the batch — exactly
-/// the `run_focus_many`/`focus_outcome` shape this PR replaced.
+/// the `run_focus_many`/`focus_outcome` shape PR 2 replaced.
 fn serial_resynthesis(wls: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
     let runner = BatchRunner::new(
         FocusPipeline::paper().with_exec_mode(ExecMode::Serial),
@@ -70,15 +84,75 @@ fn serial_resynthesis(wls: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
         .collect()
 }
 
-/// The reworked measured phase: pipelined executor over recycled
+/// The PR 2 measured phase: pipelined executor over recycled
 /// workspaces, one shared engine inside the parallel batch.
 fn pipelined_batched(runner: &BatchRunner, wls: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
     runner.run_many_sim(wls)
 }
 
+/// The task-graph measured phase: all workloads' stage task graphs on
+/// one work-stealing scheduler, cross-request interleaving included.
+fn graph_runner() -> BatchRunner {
+    BatchRunner::new(
+        FocusPipeline::paper().with_exec_mode(ExecMode::Graph {
+            depth: ExecMode::DEFAULT_GRAPH_DEPTH,
+        }),
+        ArchConfig::focus(),
+    )
+}
+
+/// The measured-layer walk of one workload: every `(layer, retained)`
+/// pair whose gathers actually run, captured once so the synthesis
+/// bench replays exactly the `Synth` node inputs of the grid.
+fn measured_walk(wl: &Workload) -> Vec<(usize, Vec<usize>)> {
+    let pipeline = FocusPipeline::paper().with_exec_mode(ExecMode::Serial);
+    let mut exec = LayerExecutor::new(&pipeline, wl);
+    let mut retained: Vec<usize> = (0..wl.image_tokens_scaled()).collect();
+    let mut walk = Vec::new();
+    for layer in 0..exec.layers() {
+        let record = exec.run_layer(layer, &mut retained);
+        if record.measured {
+            walk.push((layer, retained.clone()));
+        }
+    }
+    walk
+}
+
+/// Runs just the `Synth` node work — Box–Muller activation synthesis
+/// plus fp16 rounding — of one workload's measured walk.
+fn synthesis_pass(
+    wl: &Workload,
+    walk: &[(usize, Vec<usize>)],
+    stages: &[GatherStage],
+    ws: &mut [StageWorkspace<'_>],
+) {
+    for (layer, retained) in walk {
+        for (si, stage) in stages.iter().enumerate() {
+            let ctx = LayerCtx {
+                workload: wl,
+                layer: *layer,
+                retained,
+                positions: &[],
+            };
+            stage.synth(&ctx, &mut ws[si]);
+        }
+    }
+}
+
+/// The pipelined-schedule runner, **pinned** — every comparison leg in
+/// this bench names its schedule, so a `FOCUS_EXEC_MODE` override
+/// (honoured by `FocusPipeline::paper()` elsewhere) cannot silently
+/// relabel what a leg measures or what the snapshot records.
+fn pipelined_runner() -> BatchRunner {
+    BatchRunner::new(
+        FocusPipeline::paper().with_exec_mode(ExecMode::Pipelined),
+        ArchConfig::focus(),
+    )
+}
+
 fn bench_serial(c: &mut Criterion) {
     let wls = workloads();
-    let pipeline = FocusPipeline::paper();
+    let pipeline = FocusPipeline::paper().with_exec_mode(ExecMode::Pipelined);
     let arch = ArchConfig::focus();
     c.bench_function("batch/serial_6_tiny_pipelines", |b| {
         b.iter(|| {
@@ -91,7 +165,7 @@ fn bench_serial(c: &mut Criterion) {
 
 fn bench_batch_runner(c: &mut Criterion) {
     let wls = workloads();
-    let runner = BatchRunner::paper();
+    let runner = pipelined_runner();
     c.bench_function("batch/runner_6_tiny_pipelines", |b| {
         b.iter(|| runner.run_many(&wls))
     });
@@ -106,16 +180,61 @@ fn bench_measured_old(c: &mut Criterion) {
 
 fn bench_measured_new(c: &mut Criterion) {
     let wls = fig09_grid_workloads();
-    let runner = BatchRunner::paper();
+    let runner = pipelined_runner();
     c.bench_function("measured/pipelined_batched_fig09_grid", |b| {
         b.iter(|| pipelined_batched(&runner, &wls))
+    });
+}
+
+fn bench_measured_graph(c: &mut Criterion) {
+    let wls = fig09_grid_workloads();
+    let runner = graph_runner();
+    c.bench_function("measured/graph_batched_fig09_grid", |b| {
+        b.iter(|| runner.run_many_sim(&wls))
+    });
+}
+
+/// The synthesis-only fixture: the grid's measured walks, the four
+/// gather stages at paper config/fp16, and one workspace set per
+/// workload. One constructor serves both the criterion leg and the
+/// snapshot so they can never drift apart.
+#[allow(clippy::type_complexity)]
+fn synthesis_fixture(
+    wls: &[Workload],
+) -> (
+    Vec<Vec<(usize, Vec<usize>)>>,
+    Vec<GatherStage>,
+    Vec<Vec<StageWorkspace<'_>>>,
+) {
+    let walks = wls.iter().map(measured_walk).collect();
+    let stages: Vec<GatherStage> = Stage::GATHER_POINTS
+        .iter()
+        .map(|&s| GatherStage::new(&FocusConfig::paper(), s, DataType::Fp16))
+        .collect();
+    let ws = wls
+        .iter()
+        .map(|wl| stages.iter().map(|_| StageWorkspace::new(wl)).collect())
+        .collect();
+    (walks, stages, ws)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let wls = fig09_grid_workloads();
+    let (walks, stages, mut ws) = synthesis_fixture(&wls);
+    c.bench_function("synthesis/activation_synthesis_fig09_grid", |b| {
+        b.iter(|| {
+            for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
+                synthesis_pass(wl, walk, &stages, ws);
+            }
+        })
     });
 }
 
 criterion_group! {
     name = batch;
     config = Criterion::default().sample_size(10);
-    targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new
+    targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new,
+        bench_measured_graph, bench_synthesis
 }
 
 fn median_secs(samples: &mut [Duration]) -> f64 {
@@ -128,12 +247,25 @@ fn median_secs(samples: &mut [Duration]) -> f64 {
 /// expose its collected samples, so the snapshot takes a few of its
 /// own — kept to 3 to bound the duplicate work; the processes are
 /// already warm from the criterion pass.)
+///
+/// The snapshot forces a pool of ≥ 2 workers: the cross-layer and
+/// cross-request overlap of the pipelined/graph schedules only pays
+/// with real concurrency, and the acceptance tracking compares the two
+/// under ≥ 2 threads.
 fn write_snapshot() {
     const SAMPLES: usize = 3;
+    if rayon::current_num_threads() < 2 {
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+    }
     let wls = fig09_grid_workloads();
-    let runner = BatchRunner::paper();
+    let runner = pipelined_runner();
+    let graph_runner = graph_runner();
+    let (walks, stages, mut ws) = synthesis_fixture(&wls);
+
     let mut old = Vec::with_capacity(SAMPLES);
     let mut new = Vec::with_capacity(SAMPLES);
+    let mut graph = Vec::with_capacity(SAMPLES);
+    let mut synth = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t = Instant::now();
         criterion::black_box(serial_resynthesis(&wls));
@@ -141,20 +273,37 @@ fn write_snapshot() {
         let t = Instant::now();
         criterion::black_box(pipelined_batched(&runner, &wls));
         new.push(t.elapsed());
+        let t = Instant::now();
+        criterion::black_box(graph_runner.run_many_sim(&wls));
+        graph.push(t.elapsed());
+        let t = Instant::now();
+        for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
+            synthesis_pass(wl, walk, &stages, ws);
+        }
+        synth.push(t.elapsed());
     }
     let (old_s, new_s) = (median_secs(&mut old), median_secs(&mut new));
+    let (graph_s, synth_s) = (median_secs(&mut graph), median_secs(&mut synth));
     let speedup = old_s / new_s;
+    let graph_vs_pipelined = new_s / graph_s;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"speedup\": {:.3},\n  \"threads\": {}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
+        rayon::current_num_threads(),
         old_s,
         new_s,
+        graph_s,
+        synth_s,
         speedup,
-        rayon::current_num_threads(),
+        graph_vs_pipelined,
+        synth_s / new_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
     match std::fs::write(path, &json) {
-        Ok(()) => println!("\nBENCH_batch.json snapshot: speedup {speedup:.2}x\n{json}"),
+        Ok(()) => println!(
+            "\nBENCH_batch.json snapshot: speedup {speedup:.2}x, \
+             graph vs pipelined {graph_vs_pipelined:.2}x\n{json}"
+        ),
         Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
     }
 }

@@ -6,6 +6,7 @@ use focus_core::exec::BatchRunner;
 use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 fn main() {
+    focus_bench::announce_exec_mode();
     let mut cells = Vec::new();
     for model in ModelKind::VIDEO_MODELS {
         for dataset in DatasetKind::VIDEO {

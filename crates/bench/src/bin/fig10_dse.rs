@@ -21,6 +21,7 @@ use focus_sim::{ArchConfig, AreaModel};
 use focus_vlm::{DatasetKind, ModelKind};
 
 fn main() {
+    focus_bench::announce_exec_mode();
     let wl = workload(ModelKind::LlavaVideo7B, DatasetKind::VideoMme);
 
     // ---------------- (a) m-tile size ----------------

@@ -11,6 +11,7 @@ use focus_sim::ArchConfig;
 use focus_tensor::DataType;
 
 fn main() {
+    focus_bench::announce_exec_mode();
     println!("Table IV — influence of INT8 quantization (degradation vs FP16)\n");
     let mut rows = Vec::new();
     // Three pipeline variants per grid cell, all independent: batch

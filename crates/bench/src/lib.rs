@@ -38,6 +38,18 @@ use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 /// The seed every shipped experiment uses (reports are deterministic).
 pub const EVAL_SEED: u64 = 42;
 
+/// Announces the measured-phase schedule in effect when the
+/// `FOCUS_EXEC_MODE` override is set — every pipeline built through
+/// [`FocusPipeline::paper`]/`with_config` honours it, so any figure
+/// reproduces under `serial`, `pipelined` or `graph[:N]` without code
+/// edits (results are bit-identical; only throughput differs). Silent
+/// when unset: the default schedule needs no banner.
+pub fn announce_exec_mode() {
+    if let Some(mode) = focus_core::exec::ExecMode::from_env() {
+        println!("[exec] measured-phase schedule override: {mode:?}\n");
+    }
+}
+
 /// The shared cycle engine for the Focus architecture. Engines are
 /// immutable during [`Engine::run`], so every runner in the process —
 /// including the parallel batch regions — borrows one instance instead

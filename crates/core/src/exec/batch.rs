@@ -13,6 +13,7 @@ use rayon::prelude::*;
 use focus_sim::{ArchConfig, Engine, SimReport};
 use focus_vlm::Workload;
 
+use crate::exec::{run_graph_batch, ExecMode};
 use crate::pipeline::{FocusPipeline, PipelineResult};
 
 /// One self-contained unit of batched work: a pipeline configuration
@@ -60,7 +61,23 @@ impl BatchRunner {
     /// Runs every workload, in parallel, returning results in input
     /// order — element `i` is exactly what
     /// `self.pipeline().run(&workloads[i], arch)` returns.
+    ///
+    /// Under [`ExecMode::Graph`] the workloads are not fanned out as
+    /// whole runs: every workload's task graph feeds **one**
+    /// work-stealing scheduler, so stage-level interleaving crosses
+    /// request boundaries (a fast request's lowering overlaps a slow
+    /// request's synthesis).
     pub fn run_many(&self, workloads: &[Workload]) -> Vec<PipelineResult> {
+        if let ExecMode::Graph { depth } = self.pipeline.exec_mode {
+            return run_graph_batch(
+                workloads
+                    .iter()
+                    .map(|wl| (&self.pipeline, wl, &self.arch, depth, None)),
+            )
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect();
+        }
         workloads
             .par_iter()
             .map(|wl| self.pipeline.run(wl, &self.arch))
@@ -69,8 +86,21 @@ impl BatchRunner {
 
     /// Runs heterogeneous jobs (each with its own pipeline/arch), in
     /// parallel, results in input order. This is what config sweeps
-    /// use: same workload, many configurations.
+    /// use: same workload, many configurations. A batch of all-graph
+    /// jobs shares one task scheduler (see [`BatchRunner::run_many`]);
+    /// mixed batches fall back to whole-run fan-out, where graph jobs
+    /// still schedule their own graphs internally.
     pub fn run_jobs(jobs: &[BatchJob]) -> Vec<PipelineResult> {
+        if let Some(depths) = all_graph_depths(jobs) {
+            return run_graph_batch(
+                jobs.iter()
+                    .zip(depths)
+                    .map(|(job, depth)| (&job.pipeline, &job.workload, &job.arch, depth, None)),
+            )
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect();
+        }
         jobs.par_iter().map(BatchJob::run).collect()
     }
 
@@ -78,9 +108,21 @@ impl BatchRunner {
     /// simulation through the batch: **one** [`Engine`] is built for
     /// the runner's architecture and shared (it is immutable during
     /// `run`) across the parallel region, so per-result engine
-    /// rebuilds and the serial post-pass both disappear.
+    /// rebuilds and the serial post-pass both disappear. Under
+    /// [`ExecMode::Graph`] the simulation rides in each workload's
+    /// `Finish` task node, still borrowing the one shared engine.
     pub fn run_many_sim(&self, workloads: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
         let engine = Engine::new(self.arch.clone());
+        if let ExecMode::Graph { depth } = self.pipeline.exec_mode {
+            return run_graph_batch(
+                workloads
+                    .iter()
+                    .map(|wl| (&self.pipeline, wl, &self.arch, depth, Some(&engine))),
+            )
+            .into_iter()
+            .map(|(result, report)| (result, report.expect("engine attached")))
+            .collect();
+        }
         workloads
             .par_iter()
             .map(|wl| {
@@ -110,6 +152,22 @@ impl BatchRunner {
                 },
             )
             .collect();
+        if let Some(depths) = all_graph_depths(jobs) {
+            return run_graph_batch(jobs.iter().zip(&engine_idx).zip(depths).map(
+                |((job, &i), depth)| {
+                    (
+                        &job.pipeline,
+                        &job.workload,
+                        &job.arch,
+                        depth,
+                        Some(&engines[i]),
+                    )
+                },
+            ))
+            .into_iter()
+            .map(|(result, report)| (result, report.expect("engine attached")))
+            .collect();
+        }
         let pairs: Vec<(&BatchJob, &Engine)> = jobs
             .iter()
             .zip(engine_idx)
@@ -124,6 +182,21 @@ impl BatchRunner {
             })
             .collect()
     }
+}
+
+/// The per-job graph depths when **every** job (of a non-empty batch)
+/// runs under [`ExecMode::Graph`] — the condition for fusing the batch
+/// into one scheduler.
+fn all_graph_depths(jobs: &[BatchJob]) -> Option<Vec<usize>> {
+    if jobs.is_empty() {
+        return None;
+    }
+    jobs.iter()
+        .map(|job| match job.pipeline.exec_mode {
+            ExecMode::Graph { depth } => Some(depth),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Deterministic parallel map over a slice: `f` applied to every item,

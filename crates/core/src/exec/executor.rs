@@ -13,7 +13,15 @@ use crate::exec::stage::{
     ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
 };
 use crate::pipeline::{FocusPipeline, SecLayerStats};
-use crate::sic::{ConvLayouter, Fhw};
+use crate::sic::{ConvLayouter, Fhw, MatrixGatherStats};
+
+/// Environment variable overriding the measured-phase schedule
+/// (`serial`, `pipelined`, `graph` or `graph:N`) for every pipeline
+/// built through [`FocusPipeline::paper`]/`with_config` — so any
+/// figure binary can be reproduced under any schedule without code
+/// edits. Results are bit-identical across schedules; only throughput
+/// differs.
+pub const EXEC_MODE_ENV: &str = "FOCUS_EXEC_MODE";
 
 /// How the executor schedules the stage graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,14 +34,82 @@ pub enum ExecMode {
     /// bit-exactness baseline and as the honest pre-PR side of the
     /// old-vs-new throughput bench.
     Serial,
-    /// The streaming schedule: the four gather stages of a layer run
-    /// concurrently over recycled workspaces, and the semantic stage
-    /// of layer *l+1* (which only needs the post-prune retained set)
-    /// overlaps the gathers of layer *l* — mirroring the hardware,
-    /// where SEC sits on the attention path while SIC works the FC
-    /// outputs of the previous layer.
+    /// The hand-rolled streaming schedule: the four gather stages of a
+    /// layer run concurrently over recycled workspaces, and the
+    /// semantic stage of layer *l+1* (which only needs the post-prune
+    /// retained set) overlaps the gathers of layer *l* — a fixed
+    /// two-slot software pipeline mirroring one hardware overlap.
     #[default]
     Pipelined,
+    /// The general task-graph schedule: every layer decomposes into
+    /// `Sec`, per-stage `Synth` and `Gather`, `Fold` and `Lower` task
+    /// nodes with explicit data dependencies, driven by the
+    /// work-stealing [`crate::exec::TaskScheduler`]. `depth` is the
+    /// number of layers whose synthesis/gather work may be in flight
+    /// at once (each in-flight layer holds one workspace per gather
+    /// stage); the SEC chain and the fold/lowering tail stream ahead
+    /// and behind without further barriers, and
+    /// [`crate::exec::BatchRunner`] feeds many workloads' graphs into
+    /// one scheduler so stages of different requests interleave.
+    Graph {
+        /// Cross-layer synthesis window (≥ 1); 2 matches the hardware's
+        /// double-buffered activation stream.
+        depth: usize,
+    },
+}
+
+impl ExecMode {
+    /// Default pipeline depth of [`ExecMode::Graph`] when none is
+    /// given (`FOCUS_EXEC_MODE=graph`).
+    pub const DEFAULT_GRAPH_DEPTH: usize = 2;
+
+    /// Parses a schedule name: `serial`, `pipelined`, `graph` or
+    /// `graph:N` (N ≥ 1).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim() {
+            "serial" => Some(ExecMode::Serial),
+            "pipelined" => Some(ExecMode::Pipelined),
+            "graph" => Some(ExecMode::Graph {
+                depth: ExecMode::DEFAULT_GRAPH_DEPTH,
+            }),
+            other => {
+                let depth = other.strip_prefix("graph:")?.parse::<usize>().ok()?;
+                (depth >= 1).then_some(ExecMode::Graph { depth })
+            }
+        }
+    }
+
+    /// The schedule requested via [`EXEC_MODE_ENV`], if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but unparsable — a silently
+    /// ignored override would fake a measurement.
+    pub fn from_env() -> Option<ExecMode> {
+        let raw = std::env::var(EXEC_MODE_ENV).ok()?;
+        match ExecMode::parse(&raw) {
+            Some(mode) => Some(mode),
+            None => panic!(
+                "{EXEC_MODE_ENV}={raw:?} is not a schedule; \
+                 expected serial, pipelined, graph or graph:N"
+            ),
+        }
+    }
+
+    /// [`ExecMode::from_env`] or the default schedule.
+    pub fn env_or_default() -> ExecMode {
+        ExecMode::from_env().unwrap_or_default()
+    }
+
+    /// Workspace ring length per gather stage: how many layers' worth
+    /// of synthesis may be in flight under this schedule.
+    pub(crate) fn ring(self) -> usize {
+        match self {
+            ExecMode::Serial => 0,
+            ExecMode::Pipelined => 1,
+            ExecMode::Graph { depth } => depth.max(1),
+        }
+    }
 }
 
 /// What one layer's pass through the stage graph produced. Counters
@@ -58,6 +134,56 @@ pub struct LayerRecord {
     /// Mean reconstruction fidelity per retained row (post-prune
     /// order), when measured.
     pub fidelity: Option<Vec<f64>>,
+}
+
+impl LayerRecord {
+    /// A record with no gather measurements yet.
+    pub(crate) fn empty(retained_in: usize, measured: bool, sec: Option<SecLayerStats>) -> Self {
+        LayerRecord {
+            retained_in,
+            measured,
+            stage_ratio: [1.0; 4],
+            stage_samples: Default::default(),
+            stage_col_tiles: [1; 4],
+            comparisons: 0,
+            matches: 0,
+            sec,
+            fidelity: None,
+        }
+    }
+}
+
+/// Folds the four gather stages' statistics into `record` in fixed
+/// stage order — identical arithmetic order to a serial stage sweep,
+/// so every schedule (serial loop, rayon fan-out, task graph) produces
+/// bit-identical records. `retained_len` is the post-prune retained
+/// count of the layer (the fidelity vector's length).
+pub(crate) fn fold_gathers(
+    record: &mut LayerRecord,
+    outputs: impl IntoIterator<Item = MatrixGatherStats>,
+    retained_len: usize,
+) {
+    let stages_n = Stage::GATHER_POINTS.len();
+    let mut fidelity = vec![0.0f64; retained_len];
+    for (si, stats) in outputs.into_iter().enumerate() {
+        record.stage_ratio[si] = stats.retained_ratio();
+        record.stage_col_tiles[si] = stats.col_tiles;
+        record.stage_samples[si] = stats
+            .tile_p
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let h = stats.tile_heights[i / stats.col_tiles.max(1)].max(1);
+                p as f64 / h as f64
+            })
+            .collect();
+        record.comparisons += stats.comparisons;
+        record.matches += stats.matches;
+        for (row, &f) in stats.row_fidelity.iter().enumerate() {
+            fidelity[row] += f as f64 / stages_n as f64;
+        }
+    }
+    record.fidelity = Some(fidelity);
 }
 
 /// A semantic-stage result computed ahead of its layer, while the
@@ -87,6 +213,15 @@ struct SecAhead {
 /// current layer's gathers. Stage outputs are folded in fixed stage
 /// order, so results are bit-identical to a serial sweep
 /// (`tests/batch_determinism.rs` proves it property-style).
+///
+/// Under [`ExecMode::Graph`] the whole measured phase is instead
+/// expressed as one explicit task graph and driven by the
+/// work-stealing [`crate::exec::TaskScheduler`]
+/// (see [`crate::exec::graph`]); this type then serves as the node
+/// inventory — stages, workspaces, measurement predicate — that the
+/// graph builder borrows. Calling [`LayerExecutor::run_layer`]
+/// directly in graph mode degrades gracefully to the pipelined
+/// two-slot schedule.
 pub struct LayerExecutor<'w> {
     workload: &'w Workload,
     layers: usize,
@@ -97,13 +232,19 @@ pub struct LayerExecutor<'w> {
     layouter: ConvLayouter,
     semantic: SemanticStage<'w>,
     gathers: Vec<GatherStage>,
-    /// One workspace per gather stage, lock-per-stage so the four
-    /// stages run concurrently without sharing mutable state. (The
-    /// semantic stage needs no workspace and runs through its inherent
-    /// `prune_layer`.)
+    /// Workspace ring: `ring` slots per gather stage (flattened
+    /// `stage * ring + slot`), lock-per-slot so concurrent stage nodes
+    /// never share mutable state. Pipelined mode uses one slot per
+    /// stage; graph mode keeps `depth` slots so `depth` layers'
+    /// synthesis can be in flight. (The semantic stage needs no
+    /// workspace and runs through its inherent `prune_layer`.)
     gather_ws: Vec<Mutex<StageWorkspace<'w>>>,
     /// The prefetched semantic result for the next layer, if any.
     sec_ahead: Option<SecAhead>,
+    /// Speculative SEC prefetches discarded because the caller
+    /// deviated from the sequential layer walk (each one costs a
+    /// recompute). Zero on any in-order walk.
+    discards: u64,
 }
 
 impl<'w> LayerExecutor<'w> {
@@ -125,14 +266,11 @@ impl<'w> LayerExecutor<'w> {
             .map(|&s| GatherStage::new(config, s, pipeline.dtype))
             .collect();
         // Serial mode only ever calls `run_fresh`, which builds its own
-        // state — don't charge it four idle workspaces.
-        let gather_ws = match mode {
-            ExecMode::Serial => Vec::new(),
-            ExecMode::Pipelined => gathers
-                .iter()
-                .map(|_| Mutex::new(StageWorkspace::new(workload)))
-                .collect(),
-        };
+        // state — don't charge it idle workspaces (ring = 0).
+        let gather_ws = gathers
+            .iter()
+            .flat_map(|_| (0..mode.ring()).map(|_| Mutex::new(StageWorkspace::new(workload))))
+            .collect();
         LayerExecutor {
             workload,
             layers: scaled.layers,
@@ -145,6 +283,7 @@ impl<'w> LayerExecutor<'w> {
             gathers,
             gather_ws,
             sec_ahead: None,
+            discards: 0,
         }
     }
 
@@ -158,6 +297,12 @@ impl<'w> LayerExecutor<'w> {
         self.mode
     }
 
+    /// SEC prefetches discarded (and recomputed) so far; stays zero on
+    /// the sequential layer walk.
+    pub fn prefetch_discards(&self) -> u64 {
+        self.discards
+    }
+
     /// The stage-graph nodes, semantic first, in fold order.
     pub fn stages(&self) -> Vec<&dyn ConcentrationStage> {
         let mut v: Vec<&dyn ConcentrationStage> = vec![&self.semantic];
@@ -165,9 +310,31 @@ impl<'w> LayerExecutor<'w> {
         v
     }
 
+    /// The semantic stage node.
+    pub(crate) fn semantic(&self) -> &SemanticStage<'w> {
+        &self.semantic
+    }
+
+    /// The gather stage nodes, in fold order.
+    pub(crate) fn gather_stages(&self) -> &[GatherStage] {
+        &self.gathers
+    }
+
+    /// The layouter mapping retained tokens to (frame, row, col).
+    pub(crate) fn layouter(&self) -> &ConvLayouter {
+        &self.layouter
+    }
+
+    /// The workspace of `stage` at ring slot `slot` (`slot <
+    /// mode.ring()`); exclusive access is the caller's contract
+    /// (dependency edges in graph mode, per-layer sequencing here).
+    pub(crate) fn workspace(&self, stage: usize, slot: usize) -> &Mutex<StageWorkspace<'w>> {
+        &self.gather_ws[stage * self.mode.ring() + slot]
+    }
+
     /// Whether the gather stages measure at `layer` (every `stride`
     /// layers, the final layer, and every pruning layer).
-    fn measures_at(&self, layer: usize) -> bool {
+    pub(crate) fn measures_at(&self, layer: usize) -> bool {
         self.enable_sic
             && (layer.is_multiple_of(self.stride)
                 || layer + 1 == self.layers
@@ -185,6 +352,7 @@ impl<'w> LayerExecutor<'w> {
                 return ahead.output;
             }
             // Out-of-sequence call: discard and recompute (pure stage).
+            self.discards += 1;
         }
         let ctx = LayerCtx {
             workload: self.workload,
@@ -198,7 +366,8 @@ impl<'w> LayerExecutor<'w> {
     /// Runs one layer of the stage graph, updating `retained` in
     /// place. Layers are expected in sequential order (`0..layers`);
     /// any other order still returns correct results, it merely wastes
-    /// the cross-layer prefetch.
+    /// the cross-layer prefetch (counted in
+    /// [`LayerExecutor::prefetch_discards`]).
     pub fn run_layer(&mut self, layer: usize, retained: &mut Vec<usize>) -> LayerRecord {
         let retained_in = retained.len();
 
@@ -211,17 +380,7 @@ impl<'w> LayerExecutor<'w> {
 
         // --- Similarity concentration (FC stages, concurrent). ---
         let measured = self.measures_at(layer);
-        let mut record = LayerRecord {
-            retained_in,
-            measured,
-            stage_ratio: [1.0; 4],
-            stage_samples: Default::default(),
-            stage_col_tiles: [1; 4],
-            comparisons: 0,
-            matches: 0,
-            sec,
-            fidelity: None,
-        };
+        let mut record = LayerRecord::empty(retained_in, measured, sec);
         if !measured {
             return record;
         }
@@ -242,19 +401,27 @@ impl<'w> LayerExecutor<'w> {
             // were), but everything rebuilt fresh per call and a
             // barrier at the layer boundary.
             ExecMode::Serial => self.gathers.par_iter().map(|g| g.run_fresh(&ctx)).collect(),
-            ExecMode::Pipelined => {
+            ExecMode::Pipelined | ExecMode::Graph { .. } => {
                 // The next layer's semantic stage reads only the
                 // post-prune retained set — exactly what `retained`
                 // holds now — so it can stream alongside this layer's
                 // gathers, as the hardware overlaps SEC(l+1) with the
-                // FC gathers of layer l.
+                // FC gathers of layer l. (Graph mode reaching here —
+                // a direct `run_layer` call rather than the task
+                // graph — degrades to this same two-slot pipeline,
+                // cycling its deeper workspace ring.)
+                let slot = layer % self.mode.ring();
                 let next = layer + 1;
                 let workload = self.workload;
                 let semantic = &self.semantic;
                 let (outputs, ahead) = rayon::join(
                     || {
-                        let tasks: Vec<(&GatherStage, &Mutex<StageWorkspace<'w>>)> =
-                            self.gathers.iter().zip(self.gather_ws.iter()).collect();
+                        let tasks: Vec<(&GatherStage, &Mutex<StageWorkspace<'w>>)> = self
+                            .gathers
+                            .iter()
+                            .enumerate()
+                            .map(|(si, g)| (g, self.workspace(si, slot)))
+                            .collect();
                         tasks
                             .par_iter()
                             .map(|(g, ws)| g.run(&ctx, &mut ws.lock().unwrap()))
@@ -284,30 +451,51 @@ impl<'w> LayerExecutor<'w> {
 
         // Fold in fixed stage order: identical arithmetic order to the
         // serial loop, so parallel == serial bit-for-bit.
-        let stages_n = Stage::GATHER_POINTS.len();
-        let mut fidelity = vec![0.0f64; retained.len()];
-        for (si, out) in outputs.into_iter().enumerate() {
-            let StageOutput::Gathered { stats, .. } = out else {
-                unreachable!("gather stages always gather");
-            };
-            record.stage_ratio[si] = stats.retained_ratio();
-            record.stage_col_tiles[si] = stats.col_tiles;
-            record.stage_samples[si] = stats
-                .tile_p
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| {
-                    let h = stats.tile_heights[i / stats.col_tiles.max(1)].max(1);
-                    p as f64 / h as f64
-                })
-                .collect();
-            record.comparisons += stats.comparisons;
-            record.matches += stats.matches;
-            for (row, &f) in stats.row_fidelity.iter().enumerate() {
-                fidelity[row] += f as f64 / stages_n as f64;
-            }
-        }
-        record.fidelity = Some(fidelity);
+        fold_gathers(
+            &mut record,
+            outputs.into_iter().map(|out| {
+                let StageOutput::Gathered { stats, .. } = out else {
+                    unreachable!("gather stages always gather");
+                };
+                stats
+            }),
+            retained.len(),
+        );
         record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_parses_all_schedules() {
+        assert_eq!(ExecMode::parse("serial"), Some(ExecMode::Serial));
+        assert_eq!(ExecMode::parse("pipelined"), Some(ExecMode::Pipelined));
+        assert_eq!(
+            ExecMode::parse("graph"),
+            Some(ExecMode::Graph {
+                depth: ExecMode::DEFAULT_GRAPH_DEPTH
+            })
+        );
+        assert_eq!(
+            ExecMode::parse("graph:4"),
+            Some(ExecMode::Graph { depth: 4 })
+        );
+        assert_eq!(
+            ExecMode::parse(" graph:1 "),
+            Some(ExecMode::Graph { depth: 1 })
+        );
+        assert_eq!(ExecMode::parse("graph:0"), None);
+        assert_eq!(ExecMode::parse("graph:"), None);
+        assert_eq!(ExecMode::parse("turbo"), None);
+    }
+
+    #[test]
+    fn ring_lengths_follow_the_schedule() {
+        assert_eq!(ExecMode::Serial.ring(), 0);
+        assert_eq!(ExecMode::Pipelined.ring(), 1);
+        assert_eq!(ExecMode::Graph { depth: 3 }.ring(), 3);
     }
 }

@@ -1,0 +1,698 @@
+//! The task-graph schedule: the measured + lowering phases of a
+//! pipeline run decomposed into explicit task nodes with data
+//! dependencies, driven by a small work-stealing scheduler.
+//!
+//! # Node inventory (per transformer layer `l`)
+//!
+//! | node | work | depends on |
+//! |---|---|---|
+//! | `Sec(l)` | semantic pruning → retained set + positions | `Sec(l-1)` |
+//! | `Synth(l,s)` | activation synthesis (Box–Muller) for gather stage `s` | `Sec(l)`, `Gather(l',s)` of the layer `depth` measured-layers back (workspace ring) |
+//! | `Gather(l,s)` | similarity gather over the synthesised activations | `Synth(l,s)` |
+//! | `Fold(l)` | stats accumulation into the measured run (fixed stage order) | `Gather(l,0..4)`, `Sec(l)`, `Fold(l-1)` |
+//! | `Lower(l)` | the layer's 7-GEMM lowering to paper-scale work items | `Fold(l)` |
+//! | `Finish` | result assembly (+ optional cycle simulation) | every `Lower(l)` |
+//!
+//! Only the `Sec` chain and the `Fold` chain are sequential — they
+//! carry the retained-token walk and the in-order statistics fold that
+//! make results bit-identical to [`ExecMode::Serial`].
+//! Everything else floats: layer *l*'s fold and lowering overlap layer
+//! *l+1*'s synthesis and SEC at any depth, and when
+//! [`crate::exec::BatchRunner`] feeds several workloads' graphs into
+//! one [`TaskScheduler`], stages of *different requests* interleave on
+//! the same workers — the streaming-serving shape of the paper's
+//! architecture.
+//!
+//! Determinism does not rest on the schedule: every node is a pure
+//! function of its input slots (write-once [`OnceLock`]s guarded by
+//! the dependency edges), and the two sequential chains pin every
+//! order-sensitive reduction. The scheduler therefore never discards
+//! or recomputes work — [`SchedStats::recomputes`] exists to assert
+//! that, next to the pipelined executor's prefetch-discard counter.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use focus_sim::{ArchConfig, Engine, SimReport};
+use focus_vlm::Workload;
+
+use crate::exec::executor::{fold_gathers, ExecMode, LayerExecutor, LayerRecord};
+use crate::exec::stage::LayerCtx;
+use crate::pipeline::lower::LayerLowered;
+use crate::pipeline::measure::MeasureAccum;
+use crate::pipeline::{FocusPipeline, PipelineResult, SecLayerStats};
+use crate::sic::{Fhw, MatrixGatherStats};
+
+/// Handle to a node added to a [`TaskGraph`], used to declare
+/// dependencies of later nodes. Only valid within the graph that
+/// returned it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskId(usize);
+
+struct TaskNode<'s> {
+    run: Box<dyn Fn() + Send + Sync + 's>,
+    deps: Vec<usize>,
+}
+
+/// A directed acyclic graph of tasks. Nodes are closures over shared
+/// state the caller owns; edges declare data dependencies. Build one
+/// per unit of work (e.g. one pipeline run) and hand a batch of graphs
+/// to [`TaskScheduler::run`] — the scheduler interleaves nodes across
+/// graphs freely.
+#[derive(Default)]
+pub struct TaskGraph<'s> {
+    nodes: Vec<TaskNode<'s>>,
+}
+
+impl<'s> TaskGraph<'s> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Adds a node that runs `run` once every task in `deps` has
+    /// completed. Dependencies must be handles from **this** graph
+    /// (later nodes may only depend on earlier ones, so graphs are
+    /// acyclic by construction).
+    pub fn add(&mut self, deps: &[TaskId], run: impl Fn() + Send + Sync + 's) -> TaskId {
+        for d in deps {
+            assert!(d.0 < self.nodes.len(), "dependency from another graph");
+        }
+        self.nodes.push(TaskNode {
+            run: Box::new(run),
+            deps: deps.iter().map(|d| d.0).collect(),
+        });
+        TaskId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// What [`TaskScheduler::run`] did for one graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Task nodes executed (= the graph's node count on completion).
+    pub tasks: u64,
+    /// Tasks a worker stole from another worker's queue.
+    pub stolen: u64,
+    /// Tasks discarded and re-executed. Structurally zero: dependency
+    /// edges are exact, so the scheduler never speculates — unlike the
+    /// pipelined executor's SEC prefetch, whose discards
+    /// [`PipelineResult::prefetch_discards`] counts through the same
+    /// channel.
+    pub recomputes: u64,
+}
+
+/// Flattened node in the scheduler's shared arena.
+struct FlatNode<'s> {
+    run: Box<dyn Fn() + Send + Sync + 's>,
+    dependents: Vec<usize>,
+    graph: usize,
+}
+
+struct Shared<'s> {
+    nodes: Vec<FlatNode<'s>>,
+    pending: Vec<AtomicUsize>,
+    remaining: AtomicUsize,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Wakeup generation: bumped (under the lock) whenever work is
+    /// pushed or the run ends, so a worker that scanned empty queues
+    /// before the bump never sleeps through it.
+    version: Mutex<u64>,
+    wakeup: Condvar,
+    abort: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    executed: Vec<AtomicU64>,
+    stolen: Vec<AtomicU64>,
+}
+
+impl Shared<'_> {
+    fn bump_and_notify(&self) {
+        let mut v = self.version.lock().unwrap();
+        *v += 1;
+        drop(v);
+        self.wakeup.notify_all();
+    }
+
+    /// Pops the worker's own deque LIFO, then steals FIFO from peers.
+    fn find_task(&self, worker: usize) -> Option<usize> {
+        if let Some(t) = self.queues[worker].lock().unwrap().pop_back() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(t) = self.queues[victim].lock().unwrap().pop_front() {
+                self.stolen[self.nodes[t].graph].fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs node `task` on `worker`, then releases its dependents.
+    fn exec(&self, worker: usize, task: usize) {
+        let node = &self.nodes[task];
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (node.run)())) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+            self.abort.store(true, Ordering::SeqCst);
+            self.bump_and_notify();
+            return;
+        }
+        self.executed[node.graph].fetch_add(1, Ordering::Relaxed);
+        let mut released = false;
+        for &d in &node.dependents {
+            if self.pending[d].fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.queues[worker].lock().unwrap().push_back(d);
+                released = true;
+            }
+        }
+        let left = self.remaining.fetch_sub(1, Ordering::SeqCst) - 1;
+        if released || left == 0 {
+            self.bump_and_notify();
+        }
+    }
+
+    fn worker(&self, worker: usize) {
+        loop {
+            if self.abort.load(Ordering::SeqCst) {
+                return;
+            }
+            // Read the generation BEFORE scanning: a push that the scan
+            // misses bumps it afterwards, so the wait below returns
+            // immediately instead of sleeping through the wakeup.
+            let seen = *self.version.lock().unwrap();
+            if let Some(task) = self.find_task(worker) {
+                self.exec(worker, task);
+                continue;
+            }
+            if self.remaining.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let mut v = self.version.lock().unwrap();
+            while *v == seen
+                && self.remaining.load(Ordering::SeqCst) != 0
+                && !self.abort.load(Ordering::SeqCst)
+            {
+                v = self.wakeup.wait(v).unwrap();
+            }
+        }
+    }
+}
+
+/// A small work-stealing scheduler for [`TaskGraph`]s.
+///
+/// Each worker keeps a LIFO deque of ready tasks (tasks it unblocked
+/// run next, data-hot) and steals FIFO from its peers when it runs
+/// dry. Initially ready tasks are dealt round-robin so a batch of
+/// graphs starts spread across workers. Task closures are pure in
+/// their declared dependencies, so the (nondeterministic) execution
+/// order cannot affect results — `tests/batch_determinism.rs` proves
+/// the end-to-end claim property-style.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskScheduler {
+    threads: usize,
+}
+
+impl Default for TaskScheduler {
+    fn default() -> Self {
+        TaskScheduler::new()
+    }
+}
+
+impl TaskScheduler {
+    /// A scheduler as wide as the rayon pool
+    /// ([`rayon::current_num_threads`], honouring `RAYON_NUM_THREADS`).
+    pub fn new() -> Self {
+        TaskScheduler::with_threads(rayon::current_num_threads())
+    }
+
+    /// A scheduler with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        TaskScheduler {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every graph to completion, interleaving nodes across
+    /// graphs, and returns per-graph statistics (in input order).
+    ///
+    /// Panics in task closures are re-raised on the calling thread,
+    /// like the rayon shim.
+    pub fn run(&self, graphs: Vec<TaskGraph<'_>>) -> Vec<SchedStats> {
+        let n_graphs = graphs.len();
+        let mut nodes: Vec<FlatNode<'_>> = Vec::new();
+        let mut pending: Vec<AtomicUsize> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (g, graph) in graphs.into_iter().enumerate() {
+            let base = nodes.len();
+            for node in graph.nodes {
+                let id = nodes.len();
+                pending.push(AtomicUsize::new(node.deps.len()));
+                edges.extend(node.deps.iter().map(|&d| (base + d, id)));
+                nodes.push(FlatNode {
+                    run: node.run,
+                    dependents: Vec::new(),
+                    graph: g,
+                });
+            }
+        }
+        for (from, to) in edges {
+            nodes[from].dependents.push(to);
+        }
+        let total = nodes.len();
+        if total == 0 {
+            return vec![SchedStats::default(); n_graphs];
+        }
+
+        let threads = self.threads.min(total);
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        // Deal the initially ready nodes (one `Sec(0)` per pipeline
+        // graph) round-robin so a batch starts spread across workers.
+        let mut next_worker = 0;
+        for (id, p) in pending.iter().enumerate() {
+            if p.load(Ordering::Relaxed) == 0 {
+                queues[next_worker % threads].lock().unwrap().push_back(id);
+                next_worker += 1;
+            }
+        }
+        assert!(next_worker > 0, "task graphs must have a root");
+
+        let shared = Shared {
+            nodes,
+            pending,
+            remaining: AtomicUsize::new(total),
+            queues,
+            version: Mutex::new(0),
+            wakeup: Condvar::new(),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            executed: (0..n_graphs).map(|_| AtomicU64::new(0)).collect(),
+            stolen: (0..n_graphs).map(|_| AtomicU64::new(0)).collect(),
+        };
+        std::thread::scope(|s| {
+            for w in 1..threads {
+                let shared = &shared;
+                s.spawn(move || shared.worker(w));
+            }
+            shared.worker(0);
+        });
+        if let Some(payload) = shared.panic.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        (0..n_graphs)
+            .map(|g| SchedStats {
+                tasks: shared.executed[g].load(Ordering::Relaxed),
+                stolen: shared.stolen[g].load(Ordering::Relaxed),
+                recomputes: 0,
+            })
+            .collect()
+    }
+}
+
+/// The `Sec(l)` node's output slot: everything downstream nodes of the
+/// layer read.
+struct LayerInput {
+    /// Retained tokens entering the layer.
+    retained_in: usize,
+    /// Post-prune retained set (what the gathers and the next layer's
+    /// SEC see).
+    retained: Vec<usize>,
+    /// `(frame, row, col)` positions of `retained` (empty when the
+    /// layer does not measure).
+    positions: Vec<Option<Fhw>>,
+    /// SEC statistics when this layer pruned.
+    sec: Option<SecLayerStats>,
+    /// Whether the gather stages run at this layer.
+    measured: bool,
+}
+
+/// One pipeline run expressed as a task graph: the shared state every
+/// node reads and writes, plus the builder that wires the nodes into a
+/// [`TaskGraph`]. [`crate::exec::BatchRunner`] builds one per workload
+/// and runs them all on one scheduler.
+pub(crate) struct PipelineGraph<'w> {
+    pipeline: &'w FocusPipeline,
+    workload: &'w Workload,
+    arch: &'w ArchConfig,
+    /// When present, `Finish` also runs the cycle simulation.
+    engine: Option<&'w Engine>,
+    depth: usize,
+    /// Node inventory: stages, workspace ring, measurement predicate.
+    exec: LayerExecutor<'w>,
+    /// The initial retained set (`0..m_img`), `Sec(0)`'s input.
+    initial: Vec<usize>,
+    m_img: usize,
+    inputs: Vec<OnceLock<LayerInput>>,
+    /// Per-(layer, stage) gather statistics, consumed by `Fold`.
+    gathered: Vec<Mutex<Option<MatrixGatherStats>>>,
+    accum: Mutex<Option<MeasureAccum>>,
+    lowered: Vec<Mutex<Option<LayerLowered>>>,
+    result: Mutex<Option<(PipelineResult, Option<SimReport>)>>,
+}
+
+impl<'w> PipelineGraph<'w> {
+    /// Prepares the shared state of one run at pipeline depth `depth`
+    /// (≥ 1 in-flight layers of synthesis per gather stage).
+    pub(crate) fn new(
+        pipeline: &'w FocusPipeline,
+        workload: &'w Workload,
+        arch: &'w ArchConfig,
+        depth: usize,
+        engine: Option<&'w Engine>,
+    ) -> Self {
+        let depth = depth.max(1);
+        let exec = LayerExecutor::with_mode(pipeline, workload, ExecMode::Graph { depth });
+        let layers_n = exec.layers();
+        let m_img = workload.image_tokens_scaled();
+        let stages_n = exec.gather_stages().len();
+        PipelineGraph {
+            pipeline,
+            workload,
+            arch,
+            engine,
+            depth,
+            exec,
+            initial: (0..m_img).collect(),
+            m_img,
+            inputs: (0..layers_n).map(|_| OnceLock::new()).collect(),
+            gathered: (0..layers_n * stages_n).map(|_| Mutex::new(None)).collect(),
+            accum: Mutex::new(Some(MeasureAccum::new(m_img, layers_n))),
+            lowered: (0..layers_n).map(|_| Mutex::new(None)).collect(),
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Wires this run's nodes into `graph`.
+    pub(crate) fn build<'s>(&'s self, graph: &mut TaskGraph<'s>) {
+        let layers_n = self.exec.layers();
+        let stages_n = self.exec.gather_stages().len();
+        let mut prev_sec: Option<TaskId> = None;
+        let mut prev_fold: Option<TaskId> = None;
+        // Gather nodes of earlier measured layers, for the workspace
+        // ring edges.
+        let mut measured_gathers: Vec<Vec<TaskId>> = Vec::new();
+        let mut lower_ids: Vec<TaskId> = Vec::new();
+        for layer in 0..layers_n {
+            let sec = graph.add(prev_sec.as_slice(), move || self.sec_task(layer));
+            let mut fold_deps: Vec<TaskId> = Vec::new();
+            if self.exec.measures_at(layer) {
+                let ord = measured_gathers.len();
+                let slot = ord % self.depth;
+                // A ring slot frees once the gather `depth` measured
+                // layers back has consumed it.
+                let ring_frees: Vec<Option<TaskId>> = match ord.checked_sub(self.depth) {
+                    Some(prior) => measured_gathers[prior].iter().map(|&g| Some(g)).collect(),
+                    None => vec![None; stages_n],
+                };
+                let mut gathers = Vec::with_capacity(stages_n);
+                for (stage, ring_free) in ring_frees.into_iter().enumerate() {
+                    let mut synth_deps = vec![sec];
+                    synth_deps.extend(ring_free);
+                    let synth = graph.add(&synth_deps, move || self.synth_task(layer, stage, slot));
+                    let gather = graph.add(&[synth], move || self.gather_task(layer, stage, slot));
+                    gathers.push(gather);
+                }
+                fold_deps.extend(&gathers);
+                measured_gathers.push(gathers);
+            }
+            fold_deps.push(sec);
+            fold_deps.extend(prev_fold);
+            let fold = graph.add(&fold_deps, move || self.fold_task(layer));
+            let lower = graph.add(&[fold], move || self.lower_task(layer));
+            lower_ids.push(lower);
+            prev_sec = Some(sec);
+            prev_fold = Some(fold);
+        }
+        graph.add(&lower_ids, move || self.finish_task());
+    }
+
+    /// The layer's finished [`LayerInput`] (its `Sec` node ran).
+    fn input(&self, layer: usize) -> &LayerInput {
+        self.inputs[layer].get().expect("Sec node ran first")
+    }
+
+    fn sec_task(&self, layer: usize) {
+        let prev: &[usize] = if layer == 0 {
+            &self.initial
+        } else {
+            &self.input(layer - 1).retained
+        };
+        let ctx = LayerCtx {
+            workload: self.workload,
+            layer,
+            retained: prev,
+            positions: &[],
+        };
+        let (retained, sec) = match self.exec.semantic().prune_layer(&ctx) {
+            Some((kept, stats)) => (kept, Some(stats)),
+            None => (prev.to_vec(), None),
+        };
+        let measured = self.exec.measures_at(layer);
+        let positions: Vec<Option<Fhw>> = if measured {
+            retained
+                .iter()
+                .map(|&t| Some(self.exec.layouter().position_of(t)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let set = self.inputs[layer].set(LayerInput {
+            retained_in: prev.len(),
+            retained,
+            positions,
+            sec,
+            measured,
+        });
+        assert!(set.is_ok(), "Sec({layer}) ran twice");
+    }
+
+    /// Context of a measured layer, borrowing the `Sec` node's output.
+    fn ctx(&self, layer: usize) -> LayerCtx<'_> {
+        let input = self.input(layer);
+        LayerCtx {
+            workload: self.workload,
+            layer,
+            retained: &input.retained,
+            positions: &input.positions,
+        }
+    }
+
+    fn synth_task(&self, layer: usize, stage: usize, slot: usize) {
+        let ws = self.exec.workspace(stage, slot);
+        self.exec.gather_stages()[stage].synth(&self.ctx(layer), &mut ws.lock().unwrap());
+    }
+
+    fn gather_task(&self, layer: usize, stage: usize, slot: usize) {
+        let ws = self.exec.workspace(stage, slot);
+        let stats =
+            self.exec.gather_stages()[stage].gather(&self.ctx(layer), &mut ws.lock().unwrap());
+        let stages_n = self.exec.gather_stages().len();
+        *self.gathered[layer * stages_n + stage].lock().unwrap() = Some(stats);
+    }
+
+    fn fold_task(&self, layer: usize) {
+        let input = self.input(layer);
+        let mut record = LayerRecord::empty(input.retained_in, input.measured, input.sec.clone());
+        if input.measured {
+            let stages_n = self.exec.gather_stages().len();
+            let outputs: Vec<MatrixGatherStats> = (0..stages_n)
+                .map(|s| {
+                    self.gathered[layer * stages_n + s]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("gather node ran")
+                })
+                .collect();
+            fold_gathers(&mut record, outputs, input.retained.len());
+        }
+        let mut accum = self.accum.lock().unwrap();
+        accum
+            .as_mut()
+            .expect("accum taken only at finish")
+            .absorb(layer, record, &input.retained);
+    }
+
+    fn lower_task(&self, layer: usize) {
+        // Clone the two finalised layer stats out of the accumulator so
+        // the (expensive) lowering runs outside its lock — `Lower`
+        // nodes of different layers stay concurrent.
+        let (stats, prev) = {
+            let accum = self.accum.lock().unwrap();
+            let layer_stats = accum.as_ref().expect("accum live").layer_stats();
+            (
+                layer_stats[layer].clone(),
+                (layer > 0).then(|| layer_stats[layer - 1].clone()),
+            )
+        };
+        let lowered = self.pipeline.lower_layer(
+            self.workload,
+            self.arch,
+            self.m_img,
+            layer,
+            &stats,
+            prev.as_ref(),
+        );
+        *self.lowered[layer].lock().unwrap() = Some(lowered);
+    }
+
+    fn finish_task(&self) {
+        let accum = self.accum.lock().unwrap().take().expect("finish runs once");
+        // The graph never discards work; the counter is patched from
+        // the scheduler's stats at collection.
+        let run = accum.finish(self.workload, 0);
+        let per_layer: Vec<LayerLowered> = self
+            .lowered
+            .iter()
+            .map(|slot| slot.lock().unwrap().take().expect("lower node ran"))
+            .collect();
+        let result = self
+            .pipeline
+            .assemble(self.workload, self.arch, run, per_layer);
+        let report = self.engine.map(|engine| engine.run(&result.work_items));
+        *self.result.lock().unwrap() = Some((result, report));
+    }
+
+    /// Consumes the run: the assembled result (and the cycle report if
+    /// an engine was attached), with the scheduler's recompute counter
+    /// folded into the result's discard statistics.
+    pub(crate) fn take_result(self, stats: SchedStats) -> (PipelineResult, Option<SimReport>) {
+        let (mut result, report) = self
+            .result
+            .into_inner()
+            .unwrap()
+            .expect("scheduler completed the graph");
+        result.prefetch_discards = stats.recomputes;
+        (result, report)
+    }
+}
+
+/// Builds one [`PipelineGraph`] per job and runs them all on **one**
+/// work-stealing scheduler, so stage-level interleaving crosses
+/// request boundaries. Results come back in job order; each carries a
+/// cycle report iff its job supplied an engine.
+pub(crate) fn run_graph_batch<'w>(
+    jobs: impl IntoIterator<
+        Item = (
+            &'w FocusPipeline,
+            &'w Workload,
+            &'w ArchConfig,
+            usize,
+            Option<&'w Engine>,
+        ),
+    >,
+) -> Vec<(PipelineResult, Option<SimReport>)> {
+    let states: Vec<PipelineGraph<'w>> = jobs
+        .into_iter()
+        .map(|(pipeline, workload, arch, depth, engine)| {
+            PipelineGraph::new(pipeline, workload, arch, depth, engine)
+        })
+        .collect();
+    let graphs: Vec<TaskGraph<'_>> = states
+        .iter()
+        .map(|state| {
+            let mut graph = TaskGraph::new();
+            state.build(&mut graph);
+            graph
+        })
+        .collect();
+    let stats = TaskScheduler::new().run(graphs);
+    states
+        .into_iter()
+        .zip(stats)
+        .map(|(state, s)| state.take_result(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn scheduler_respects_dependencies() {
+        // A diamond per graph: root fans out to two middles joined by a
+        // sink that checks both ran.
+        let order = Mutex::new(Vec::<u32>::new());
+        let mut graph = TaskGraph::new();
+        let root = graph.add(&[], || order.lock().unwrap().push(0));
+        let a = graph.add(&[root], || order.lock().unwrap().push(1));
+        let b = graph.add(&[root], || order.lock().unwrap().push(2));
+        graph.add(&[a, b], || order.lock().unwrap().push(3));
+        let stats = TaskScheduler::with_threads(4).run(vec![graph]);
+        assert_eq!(
+            stats,
+            vec![SchedStats {
+                tasks: 4,
+                stolen: stats[0].stolen,
+                recomputes: 0
+            }]
+        );
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn scheduler_interleaves_many_graphs() {
+        let counter = AtomicU32::new(0);
+        let graphs: Vec<TaskGraph<'_>> = (0..5)
+            .map(|_| {
+                let mut g = TaskGraph::new();
+                let mut prev = None;
+                for _ in 0..10 {
+                    let deps: Vec<TaskId> = prev.into_iter().collect();
+                    prev = Some(g.add(&deps, || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                g
+            })
+            .collect();
+        let stats = TaskScheduler::with_threads(3).run(graphs);
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert!(stats.iter().all(|s| s.tasks == 10 && s.recomputes == 0));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(TaskScheduler::new().run(Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn task_panics_propagate() {
+        let mut graph = TaskGraph::new();
+        let root = graph.add(&[], || {});
+        graph.add(&[root], || panic!("task boom"));
+        // A sibling chain that must not deadlock while the panic aborts
+        // the run.
+        let mut prev = root;
+        for _ in 0..4 {
+            prev = graph.add(&[prev], || {});
+        }
+        TaskScheduler::with_threads(2).run(vec![graph]);
+    }
+}

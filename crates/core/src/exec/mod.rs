@@ -17,21 +17,34 @@
 //!   through one streaming loop per layer; in [`ExecMode::Pipelined`]
 //!   (the default) the semantic stage of layer *l+1* overlaps the
 //!   gathers of layer *l*, as the hardware streams;
+//! * [`TaskGraph`] / [`TaskScheduler`] ([`graph`] module) — the
+//!   general schedule behind [`ExecMode::Graph`]: each layer
+//!   decomposes into `Sec`/`Synth`/`Gather`/`Fold`/`Lower` task nodes
+//!   with explicit dependencies, and a work-stealing scheduler
+//!   overlaps layer *l*'s fold/lowering with layer *l+1*'s synthesis
+//!   and SEC at any pipeline depth — across workload boundaries when
+//!   batched;
 //! * [`BatchRunner`] — fans whole `FocusPipeline::run` calls out
 //!   across cores (`run_many` for workload grids, `run_jobs` for
 //!   config sweeps, and the `_sim` variants that carry cycle
-//!   simulation through the parallel region), with results
-//!   bit-identical to the serial loop.
+//!   simulation through the parallel region); under graph mode it
+//!   instead feeds every workload's task graph into **one** scheduler,
+//!   with results still bit-identical to the serial loop.
 //!
 //! Every level of parallelism preserves determinism the same way: the
-//! parallel units are pure, and reductions happen in submission order.
+//! parallel units are pure, and reductions happen in submission order
+//! (or along an explicitly sequential dependency chain).
 
 mod batch;
 mod executor;
+pub mod graph;
 mod stage;
 
+pub(crate) use graph::{run_graph_batch, PipelineGraph};
+
 pub use batch::{par_map, BatchJob, BatchRunner};
-pub use executor::{ExecMode, LayerExecutor, LayerRecord};
+pub use executor::{ExecMode, LayerExecutor, LayerRecord, EXEC_MODE_ENV};
+pub use graph::{SchedStats, TaskGraph, TaskId, TaskScheduler};
 pub use stage::{
     ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
 };

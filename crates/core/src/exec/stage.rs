@@ -241,23 +241,38 @@ impl ConcentrationStage for GatherStage {
     }
 
     fn run(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> StageOutput {
+        self.synth(ctx, ws);
+        StageOutput::Gathered {
+            stage: self.stage,
+            stats: self.gather(ctx, ws),
+        }
+    }
+}
+
+impl GatherStage {
+    /// The *Synth* node of the task graph: synthesises (and quantises)
+    /// this stage's activations for the layer into the workspace's
+    /// recycled buffer. The synthesiser's memo cache stays warm across
+    /// calls, bit-identical to a fresh build: rows are pure functions
+    /// of (scene, seed, layer, stage) and every row is fully
+    /// overwritten.
+    pub fn synth(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) {
         let width = self.stage.width(ctx.workload.scaled_model());
-        // Synthesis writes into the recycled buffer; the synthesiser's
-        // memo cache stays warm across calls. Both are bit-identical to
-        // the fresh path: rows are pure functions of (scene, seed,
-        // layer, stage) and every row is fully overwritten.
         ws.syn
             .activations_into(ctx.retained, ctx.layer, self.stage, width, &mut ws.acts);
         match self.dtype {
             DataType::Fp16 => ws.acts.round_to_f16(),
             DataType::Int8 => fake_quantize_in_place(&mut ws.acts),
         }
-        let stats = self
-            .concentrator
-            .gather_matrix_with(&ws.acts, ctx.positions, &mut ws.gather);
-        StageOutput::Gathered {
-            stage: self.stage,
-            stats,
-        }
+    }
+
+    /// The *Gather* node of the task graph: runs the similarity gather
+    /// over the activations a prior [`GatherStage::synth`] call left in
+    /// `ws.acts`. Split from [`ConcentrationStage::run`] so the
+    /// graph scheduler can overlap one layer's gathers with another
+    /// layer's synthesis at any pipeline depth.
+    pub fn gather(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> MatrixGatherStats {
+        self.concentrator
+            .gather_matrix_with(&ws.acts, ctx.positions, &mut ws.gather)
     }
 }

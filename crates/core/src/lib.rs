@@ -25,15 +25,20 @@
 //!   [`RetentionSchedule`], [`BlockSize`]);
 //! * [`sec`] / [`sic`] — the two concentration mechanisms;
 //! * [`exec`] — the execution engine: the
-//!   [`exec::ConcentrationStage`] trait (one graph node), the
-//!   [`exec::LayerExecutor`] (drives SEC plus the four independent SIC
-//!   gather stages through one streaming loop, gathers in parallel),
-//!   and the [`exec::BatchRunner`] (fans whole pipeline runs across
-//!   cores with results bit-identical to serial execution);
-//! * [`pipeline`] — the two pipeline phases split by concern:
-//!   `measure` (the stage graph at measured scale), `lower` (the
-//!   shared [`focus_vlm::trace::layer_lowering`] GEMM table applied at
-//!   paper scale), `stats` (the per-layer records and
+//!   [`exec::ConcentrationStage`] trait (one stage-node body), the
+//!   [`exec::LayerExecutor`] (the serial/pipelined layer loop), the
+//!   [`exec::TaskGraph`]/[`exec::TaskScheduler`] pair behind
+//!   [`exec::ExecMode::Graph`] (every layer decomposed into
+//!   `Sec`/`Synth`/`Gather`/`Fold`/`Lower` task nodes on a
+//!   work-stealing scheduler, cross-layer and cross-workload overlap
+//!   at any depth), and the [`exec::BatchRunner`] (fans whole
+//!   pipeline runs across cores — or fuses a graph-mode batch into
+//!   one scheduler — with results bit-identical to serial execution);
+//! * [`pipeline`] — the pipeline phases split by concern:
+//!   `measure` (per-layer absorption shared by every schedule),
+//!   `lower` (the shared [`focus_vlm::trace::layer_lowering`] GEMM
+//!   table applied at paper scale, one layer at a time so the graph
+//!   schedule streams it), `stats` (the per-layer records and
 //!   [`pipeline::PipelineResult`]);
 //! * [`unit`] — the hardware inventory (area shares, overlap
 //!   guarantees).

@@ -24,9 +24,9 @@
 //! are *computed* at paper scale from those measurements (DESIGN.md
 //! §2). Batch many runs with [`crate::exec::BatchRunner`].
 
-mod lower;
-mod measure;
-mod stats;
+pub(crate) mod lower;
+pub(crate) mod measure;
+pub(crate) mod stats;
 
 pub use stats::{LayerStats, PipelineResult, SecLayerStats};
 
@@ -36,7 +36,8 @@ use focus_vlm::accuracy::AccuracyModel;
 use focus_vlm::Workload;
 
 use crate::config::FocusConfig;
-use crate::exec::ExecMode;
+use crate::exec::graph::{TaskGraph, TaskScheduler};
+use crate::exec::{ExecMode, PipelineGraph};
 
 /// The configured pipeline.
 #[derive(Clone, Debug)]
@@ -53,23 +54,30 @@ pub struct FocusPipeline {
 }
 
 impl FocusPipeline {
-    /// A pipeline with the Table I configuration.
+    /// A pipeline with the Table I configuration. The measured-phase
+    /// schedule defaults to [`ExecMode::Pipelined`] but honours the
+    /// [`crate::exec::EXEC_MODE_ENV`] environment override
+    /// (`FOCUS_EXEC_MODE=serial|pipelined|graph[:N]`), so every figure
+    /// binary can be reproduced under any schedule without code edits
+    /// — results are bit-identical across schedules.
     pub fn paper() -> Self {
         FocusPipeline {
             focus: FocusConfig::paper(),
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
-            exec_mode: ExecMode::default(),
+            exec_mode: ExecMode::env_or_default(),
         }
     }
 
-    /// A pipeline with a custom Focus configuration.
+    /// A pipeline with a custom Focus configuration (the schedule
+    /// honours the environment override, as in
+    /// [`FocusPipeline::paper`]).
     pub fn with_config(focus: FocusConfig) -> Self {
         FocusPipeline {
             focus,
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
-            exec_mode: ExecMode::default(),
+            exec_mode: ExecMode::env_or_default(),
         }
     }
 
@@ -81,8 +89,37 @@ impl FocusPipeline {
 
     /// Runs the measured phase and lowers to paper scale.
     pub fn run(&self, workload: &Workload, arch: &ArchConfig) -> PipelineResult {
-        let measured = self.measure(workload);
-        self.lower(workload, arch, measured)
+        match self.exec_mode {
+            ExecMode::Graph { depth } => {
+                self.run_graph(workload, arch, depth, &TaskScheduler::new())
+            }
+            ExecMode::Serial | ExecMode::Pipelined => {
+                let measured = self.measure(workload);
+                self.lower(workload, arch, measured)
+            }
+        }
+    }
+
+    /// Runs the whole pipeline — measured phase **and** lowering — as
+    /// one task graph on `scheduler`, at cross-layer pipeline depth
+    /// `depth` (see [`ExecMode::Graph`]). Bit-identical to
+    /// [`FocusPipeline::run`] under any mode, for any depth, thread
+    /// count and workload — `tests/batch_determinism.rs` proves it
+    /// property-style. [`FocusPipeline::run`] routes here when the
+    /// mode is [`ExecMode::Graph`]; call it directly to pin the
+    /// scheduler width (e.g. in tests and benches).
+    pub fn run_graph(
+        &self,
+        workload: &Workload,
+        arch: &ArchConfig,
+        depth: usize,
+        scheduler: &TaskScheduler,
+    ) -> PipelineResult {
+        let state = PipelineGraph::new(self, workload, arch, depth, None);
+        let mut graph = TaskGraph::new();
+        state.build(&mut graph);
+        let stats = scheduler.run(vec![graph]);
+        state.take_result(stats[0]).0
     }
 }
 

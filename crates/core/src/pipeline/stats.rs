@@ -73,6 +73,13 @@ pub struct PipelineResult {
     pub sic_comparisons: u64,
     /// Total matcher hits (measured scale).
     pub sic_matches: u64,
+    /// Speculative work the schedule discarded and recomputed: SEC
+    /// prefetches thrown away by the pipelined executor on
+    /// out-of-sequence layer walks, plus task recomputes in the graph
+    /// scheduler (structurally zero there — dependencies are exact).
+    /// Always zero on the sequential layer walk;
+    /// `tests/batch_determinism.rs` asserts it.
+    pub prefetch_discards: u64,
 }
 
 impl PipelineResult {
@@ -103,36 +110,5 @@ pub(crate) struct MeasuredRun {
     pub sic_comparisons: u64,
     pub sic_matches: u64,
     pub m_img_scaled: usize,
-}
-
-/// Copies measured stage samples onto unmeasured layers (nearest
-/// measured layer at or below; the first measured layer otherwise).
-pub(crate) fn propagate_measurements(layers: &mut [LayerStats]) {
-    let measured_idx: Vec<usize> = layers
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.measured)
-        .map(|(i, _)| i)
-        .collect();
-    if measured_idx.is_empty() {
-        return;
-    }
-    for i in 0..layers.len() {
-        if layers[i].measured {
-            continue;
-        }
-        let src = *measured_idx
-            .iter()
-            .rev()
-            .find(|&&m| m < i)
-            .unwrap_or(&measured_idx[0]);
-        let (ratio, samples, cols) = (
-            layers[src].stage_ratio,
-            layers[src].stage_samples.clone(),
-            layers[src].stage_col_tiles,
-        );
-        layers[i].stage_ratio = ratio;
-        layers[i].stage_samples = samples;
-        layers[i].stage_col_tiles = cols;
-    }
+    pub prefetch_discards: u64,
 }

@@ -8,6 +8,12 @@
 //! GEMM. [`SimilarityConcentrator`] applies gathering across a whole
 //! activation matrix and aggregates the statistics the pipeline and the
 //! cycle model consume.
+//!
+//! The recycled [`GatherScratch`] (flat position lookup + per-m-tile
+//! candidate plan) is the SIC half of
+//! [`crate::exec::StageWorkspace`]; the task-graph schedule keeps a
+//! ring of them per gather stage so several layers' gathers can be in
+//! flight without sharing mutable state.
 
 pub mod block;
 pub mod gather;

@@ -86,6 +86,10 @@ impl<T> Strategy for OneOf<T> {
     }
 }
 
+// The arithmetic widens to i128 before subtracting/adding: a range
+// like `-100i8..100` spans more than the type's positive half, so
+// in-type subtraction (and in-type offset addition) would overflow.
+// i128 holds every value of every type below, u64 included.
 macro_rules! int_range_strategy {
     ($($ty:ty),*) => {
         $(
@@ -93,8 +97,8 @@ macro_rules! int_range_strategy {
                 type Value = $ty;
                 fn generate(&self, rng: &mut TestRng) -> $ty {
                     assert!(self.start < self.end, "empty integer range strategy");
-                    let span = (self.end - self.start) as u128;
-                    self.start + (rng.next_u64() as u128 % span) as $ty
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
                 }
             }
         )*
@@ -102,6 +106,23 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty integer range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Range<u128> {
     type Value = u128;
@@ -162,6 +183,29 @@ mod tests {
             let f = (-2.0f32..5.0).generate(&mut rng);
             assert!((-2.0..5.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn wide_signed_ranges_do_not_overflow() {
+        let mut rng = TestRng::from_name("wide_signed_ranges_do_not_overflow");
+        for _ in 0..500 {
+            let v = (-100i8..100).generate(&mut rng);
+            assert!((-100..100).contains(&v));
+            let w = (i64::MIN..=i64::MAX).generate(&mut rng);
+            let _ = w; // any i64 is in range; the point is no panic
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_both_ends() {
+        let mut rng = TestRng::from_name("inclusive_ranges_reach_both_ends");
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&v));
+            seen[v] = true;
+        }
+        assert!(seen[1] && seen[4], "both bounds must be generable");
     }
 
     #[test]

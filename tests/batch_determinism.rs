@@ -9,8 +9,8 @@
 //! nothing.
 
 use focus::core::exec::{
-    BatchJob, BatchRunner, ConcentrationStage, ExecMode, GatherStage, LayerCtx, StageOutput,
-    StageWorkspace,
+    BatchJob, BatchRunner, ConcentrationStage, ExecMode, GatherStage, LayerCtx, LayerExecutor,
+    StageOutput, StageWorkspace, TaskScheduler,
 };
 use focus::core::pipeline::{FocusPipeline, PipelineResult};
 use focus::core::sic::{ConvLayouter, Fhw};
@@ -56,6 +56,11 @@ fn assert_identical(parallel: &PipelineResult, serial: &PipelineResult, what: &s
         (serial.sic_comparisons, serial.sic_matches),
         "{what}: matcher counters"
     );
+    // Sequential layer walks never waste speculative work, under any
+    // schedule: the pipelined prefetch always redeems, and the graph
+    // scheduler's dependencies are exact.
+    assert_eq!(parallel.prefetch_discards, 0, "{what}: discards");
+    assert_eq!(serial.prefetch_discards, 0, "{what}: serial discards");
 }
 
 #[test]
@@ -127,21 +132,26 @@ fn run_jobs_matches_sequential_over_configs() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// The cross-layer pipelined executor (SEC of layer l+1 overlapped
-    /// with the gathers of layer l, recycled stage workspaces, flat
-    /// gather lookups) is **bit-identical** to the pre-workspace serial
-    /// schedule, for arbitrary retention schedules, precisions and
-    /// models, on a forced multi-thread pool. (The pool width is set
-    /// once, like every other test in this binary — the env var is
-    /// process-global, so mutating it per case would race with tests
-    /// running concurrently.)
+    /// Every schedule of the execution engine — the hand-rolled
+    /// cross-layer pipeline (SEC of layer l+1 overlapped with the
+    /// gathers of layer l) and the task-graph scheduler at pipeline
+    /// depths 1..=4 on 1..=4 workers — is **bit-identical** to the
+    /// pre-workspace serial schedule, for arbitrary retention
+    /// schedules, precisions and models, on a forced multi-thread
+    /// pool. (The pool width is set once, like every other test in
+    /// this binary — the env var is process-global, so mutating it per
+    /// case would race with tests running concurrently; the graph
+    /// scheduler's worker count is an explicit parameter instead, so
+    /// it *can* vary per case.)
     #[test]
-    fn pipelined_executor_matches_serial_over_schedules(
+    fn all_exec_modes_match_serial_over_schedules(
         prune_layers in proptest::collection::btree_set(1usize..28, 0..6),
         ratios in proptest::collection::vec(0.08f64..0.95, 0..6),
         model_pick in 0usize..3,
         int8 in 0usize..2,
         seed in 0u64..1000,
+        depth in 1usize..=4,
+        threads in 1usize..=4,
     ) {
         force_parallel_pool();
         // Assemble a valid schedule: strictly increasing layers with
@@ -161,13 +171,103 @@ proptest! {
         }
         let arch = ArchConfig::focus();
         let serial = pipeline.clone().with_exec_mode(ExecMode::Serial).run(&wl, &arch);
-        let pipelined = pipeline.with_exec_mode(ExecMode::Pipelined).run(&wl, &arch);
+        let pipelined = pipeline.clone().with_exec_mode(ExecMode::Pipelined).run(&wl, &arch);
         assert_identical(
             &pipelined,
             &serial,
-            &format!("schedule seed {seed}, int8 {int8}"),
+            &format!("pipelined, schedule seed {seed}, int8 {int8}"),
+        );
+        let graph = pipeline.run_graph(&wl, &arch, depth, &TaskScheduler::with_threads(threads));
+        assert_identical(
+            &graph,
+            &serial,
+            &format!("graph depth {depth} x{threads}, schedule seed {seed}, int8 {int8}"),
         );
     }
+}
+
+/// The graph-mode batch path — every workload's task graph on **one**
+/// scheduler, simulation in the `Finish` nodes — returns exactly what
+/// per-workload serial runs plus fresh engines produce.
+#[test]
+fn graph_batch_matches_sequential_runs() {
+    force_parallel_pool();
+    let workloads: Vec<Workload> = [(1u64), 7, 13]
+        .into_iter()
+        .map(|seed| {
+            Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                seed,
+            )
+        })
+        .collect();
+    let pipeline = FocusPipeline::paper().with_exec_mode(ExecMode::Graph { depth: 2 });
+    let runner = BatchRunner::new(pipeline.clone(), ArchConfig::focus());
+    let arch = ArchConfig::focus();
+    let serial_pipeline = FocusPipeline::paper().with_exec_mode(ExecMode::Serial);
+
+    let batched = runner.run_many_sim(&workloads);
+    assert_eq!(batched.len(), workloads.len());
+    for (i, wl) in workloads.iter().enumerate() {
+        let serial = serial_pipeline.run(wl, &arch);
+        let serial_rep = focus::sim::Engine::new(ArchConfig::focus()).run(&serial.work_items);
+        assert_identical(&batched[i].0, &serial, &format!("graph batch cell {i}"));
+        assert_eq!(batched[i].1, serial_rep, "graph batch report {i}");
+    }
+
+    // The sim-less path agrees too.
+    let plain = runner.run_many(&workloads);
+    for (i, (r, _)) in batched.iter().enumerate() {
+        assert_identical(&plain[i], r, &format!("graph run_many cell {i}"));
+    }
+
+    // And heterogeneous all-graph job batches fuse into one scheduler.
+    let jobs: Vec<BatchJob> = workloads
+        .iter()
+        .zip([1usize, 2, 4])
+        .map(|(wl, depth)| BatchJob {
+            pipeline: FocusPipeline::paper().with_exec_mode(ExecMode::Graph { depth }),
+            workload: wl.clone(),
+            arch: ArchConfig::focus(),
+        })
+        .collect();
+    let job_results = BatchRunner::run_jobs_sim(&jobs);
+    for (i, (job, (r, rep))) in jobs.iter().zip(&job_results).enumerate() {
+        let serial = serial_pipeline.run(&job.workload, &job.arch);
+        let serial_rep = focus::sim::Engine::new(job.arch.clone()).run(&serial.work_items);
+        assert_identical(r, &serial, &format!("graph job {i}"));
+        assert_eq!(*rep, serial_rep, "graph job report {i}");
+    }
+}
+
+/// The discard counter is live: an out-of-sequence layer walk throws
+/// the pipelined executor's SEC prefetch away (and recomputes), and
+/// the counter says so — while the sequential walk above stays at
+/// zero.
+#[test]
+fn out_of_sequence_walk_counts_prefetch_discards() {
+    let wl = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        42,
+    );
+    let pipeline = FocusPipeline::paper().with_exec_mode(ExecMode::Pipelined);
+    let mut exec = LayerExecutor::new(&pipeline, &wl);
+    let m_img = wl.image_tokens_scaled();
+
+    // Layer 0 prefetches SEC(1); jumping to layer 7 must discard it.
+    let mut retained: Vec<usize> = (0..m_img).collect();
+    exec.run_layer(0, &mut retained);
+    assert_eq!(exec.prefetch_discards(), 0);
+    exec.run_layer(7, &mut retained);
+    assert_eq!(
+        exec.prefetch_discards(),
+        1,
+        "the out-of-sequence walk must discard the layer-1 prefetch"
+    );
 }
 
 /// Workspace reuse (resident synthesiser, recycled activation matrix,

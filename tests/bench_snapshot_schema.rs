@@ -1,0 +1,65 @@
+//! Shape check of the committed `BENCH_batch.json` perf-trajectory
+//! snapshot (written by `cargo bench -p focus-bench --bench batch`).
+//!
+//! ROADMAP item (f): until CI has a stable-timing runner the
+//! *numbers* cannot be asserted, but the file's **schema** can — keys
+//! present, counters positive, the snapshot taken with ≥ 2 workers so
+//! the cross-layer/cross-request overlap is actually exercised. A
+//! bench rework that changes or drops keys without regenerating the
+//! committed snapshot fails here instead of rotting silently.
+//!
+//! Deliberately **no timing assertions**: values are machine-
+//! dependent.
+
+use std::path::Path;
+
+/// Extracts a numeric field from the flat one-object snapshot (no
+/// serde_json in this offline workspace; the format is ours).
+fn field(json: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let at = json
+        .find(&tag)
+        .unwrap_or_else(|| panic!("snapshot key {key:?} missing"));
+    let rest = &json[at + tag.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated value for {key:?}"));
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("value of {key:?} is not numeric: {e}"))
+}
+
+#[test]
+fn bench_snapshot_has_the_expected_shape() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_batch.json");
+    let json = std::fs::read_to_string(&path)
+        .expect("BENCH_batch.json must be committed at the repo root");
+
+    assert!(
+        json.contains("\"bench\": \"measured_phase_fig09_grid_tiny\""),
+        "snapshot must identify the tracked bench"
+    );
+    for key in [
+        "cells",
+        "threads",
+        "serial_resynthesis_s",
+        "pipelined_batched_s",
+        "graph_batched_s",
+        "synthesis_only_s",
+        "speedup",
+        "graph_vs_pipelined",
+        "synthesis_share",
+    ] {
+        let v = field(&json, key);
+        assert!(
+            v > 0.0,
+            "snapshot counter {key:?} must be positive, got {v}"
+        );
+    }
+    assert_eq!(field(&json, "cells"), 9.0, "the Fig. 9 grid has 9 cells");
+    assert!(
+        field(&json, "threads") >= 2.0,
+        "the snapshot must be taken with >= 2 workers (the overlap under test)"
+    );
+}
