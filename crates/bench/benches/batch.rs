@@ -20,18 +20,25 @@
 //!   alone (Box–Muller activation synthesis + fp16 rounding) over the
 //!   exact measured-layer walk of the grid, isolating the RNG-bound
 //!   share of the measured phase (ROADMAP item (e)).
+//! * `service_throughput/staggered_fig09_grid` — the serving shape:
+//!   the nine grid cells submitted one by one (mixed priorities, a
+//!   small arrival gap) into the persistent `FocusService`, measured
+//!   as jobs/sec against the batch-fused graph leg above, which
+//!   submits the same cells as one burst.
 //!
 //! Under `cargo bench` (not `--test` smoke mode) the grid comparison
 //! also writes a `BENCH_batch.json` throughput snapshot to the repo
 //! root for the perf trajectory (schema-checked by
 //! `tests/bench_snapshot_schema.rs`).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, Criterion};
 use focus_bench::{video_grid, EVAL_SEED};
 use focus_core::exec::{
-    BatchRunner, ExecMode, GatherStage, LayerCtx, LayerExecutor, StageWorkspace,
+    BatchJob, BatchRunner, ExecMode, FocusService, GatherStage, JobHandle, LayerCtx, LayerExecutor,
+    Priority, StageWorkspace,
 };
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
 use focus_core::FocusConfig;
@@ -90,8 +97,9 @@ fn pipelined_batched(runner: &BatchRunner, wls: &[Workload]) -> Vec<(PipelineRes
     runner.run_many_sim(wls)
 }
 
-/// The task-graph measured phase: all workloads' stage task graphs on
-/// one work-stealing scheduler, cross-request interleaving included.
+/// The task-graph measured phase: all workloads submitted as one
+/// burst into the shared `FocusService`, cross-request interleaving
+/// included.
 fn graph_runner() -> BatchRunner {
     BatchRunner::new(
         FocusPipeline::paper().with_exec_mode(ExecMode::Graph {
@@ -99,6 +107,43 @@ fn graph_runner() -> BatchRunner {
         }),
         ArchConfig::focus(),
     )
+}
+
+/// Arrival gap between staggered submissions: small against the ~100ms
+/// of work per grid cell, large enough that requests genuinely arrive
+/// one by one while earlier ones run.
+const STAGGER: Duration = Duration::from_micros(500);
+
+/// The serving leg: the grid cells submitted **one at a time** (mixed
+/// priorities, `STAGGER` apart) into the persistent process-wide
+/// [`FocusService`] — requests land while earlier ones are still in
+/// flight, the streaming regime the batch-fused legs never exercise.
+fn staggered_service(wls: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
+    let service = FocusService::global();
+    let engine = Arc::new(Engine::new(ArchConfig::focus()));
+    let priorities = [Priority::Normal, Priority::High, Priority::Low];
+    let handles: Vec<JobHandle> = wls
+        .iter()
+        .enumerate()
+        .map(|(i, wl)| {
+            std::thread::sleep(STAGGER);
+            let job = BatchJob {
+                pipeline: FocusPipeline::paper().with_exec_mode(ExecMode::Graph {
+                    depth: ExecMode::DEFAULT_GRAPH_DEPTH,
+                }),
+                workload: wl.clone(),
+                arch: ArchConfig::focus(),
+            };
+            service.submit_sim(job, Arc::clone(&engine), priorities[i % priorities.len()])
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| {
+            let (result, report) = h.wait_sim();
+            (result, report.expect("engine attached"))
+        })
+        .collect()
 }
 
 /// The measured-layer walk of one workload: every `(layer, retained)`
@@ -194,6 +239,13 @@ fn bench_measured_graph(c: &mut Criterion) {
     });
 }
 
+fn bench_service_throughput(c: &mut Criterion) {
+    let wls = fig09_grid_workloads();
+    c.bench_function("service_throughput/staggered_fig09_grid", |b| {
+        b.iter(|| staggered_service(&wls))
+    });
+}
+
 /// The synthesis-only fixture: the grid's measured walks, the four
 /// gather stages at paper config/fp16, and one workspace set per
 /// workload. One constructor serves both the criterion leg and the
@@ -234,7 +286,7 @@ criterion_group! {
     name = batch;
     config = Criterion::default().sample_size(10);
     targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new,
-        bench_measured_graph, bench_synthesis
+        bench_measured_graph, bench_service_throughput, bench_synthesis
 }
 
 fn median_secs(samples: &mut [Duration]) -> f64 {
@@ -248,15 +300,12 @@ fn median_secs(samples: &mut [Duration]) -> f64 {
 /// own — kept to 3 to bound the duplicate work; the processes are
 /// already warm from the criterion pass.)
 ///
-/// The snapshot forces a pool of ≥ 2 workers: the cross-layer and
-/// cross-request overlap of the pipelined/graph schedules only pays
-/// with real concurrency, and the acceptance tracking compares the two
-/// under ≥ 2 threads.
+/// `main` forces a pool of ≥ 2 workers before any leg runs: the
+/// cross-layer and cross-request overlap of the pipelined/graph/
+/// service schedules only pays with real concurrency, and the
+/// acceptance tracking compares them under ≥ 2 threads.
 fn write_snapshot() {
     const SAMPLES: usize = 3;
-    if rayon::current_num_threads() < 2 {
-        std::env::set_var("RAYON_NUM_THREADS", "2");
-    }
     let wls = fig09_grid_workloads();
     let runner = pipelined_runner();
     let graph_runner = graph_runner();
@@ -265,6 +314,7 @@ fn write_snapshot() {
     let mut old = Vec::with_capacity(SAMPLES);
     let mut new = Vec::with_capacity(SAMPLES);
     let mut graph = Vec::with_capacity(SAMPLES);
+    let mut service = Vec::with_capacity(SAMPLES);
     let mut synth = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t = Instant::now();
@@ -277,6 +327,9 @@ fn write_snapshot() {
         criterion::black_box(graph_runner.run_many_sim(&wls));
         graph.push(t.elapsed());
         let t = Instant::now();
+        criterion::black_box(staggered_service(&wls));
+        service.push(t.elapsed());
+        let t = Instant::now();
         for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
             synthesis_pass(wl, walk, &stages, ws);
         }
@@ -284,15 +337,21 @@ fn write_snapshot() {
     }
     let (old_s, new_s) = (median_secs(&mut old), median_secs(&mut new));
     let (graph_s, synth_s) = (median_secs(&mut graph), median_secs(&mut synth));
+    let service_s = median_secs(&mut service);
     let speedup = old_s / new_s;
     let graph_vs_pipelined = new_s / graph_s;
+    let service_jobs_per_s = wls.len() as f64 / service_s;
+    let service_workers = FocusService::global().stats().workers;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
         rayon::current_num_threads(),
         old_s,
         new_s,
         graph_s,
+        service_s,
+        service_jobs_per_s,
+        service_workers,
         synth_s,
         speedup,
         graph_vs_pipelined,
@@ -302,7 +361,8 @@ fn write_snapshot() {
     match std::fs::write(path, &json) {
         Ok(()) => println!(
             "\nBENCH_batch.json snapshot: speedup {speedup:.2}x, \
-             graph vs pipelined {graph_vs_pipelined:.2}x\n{json}"
+             graph vs pipelined {graph_vs_pipelined:.2}x, \
+             service {service_jobs_per_s:.1} jobs/s\n{json}"
         ),
         Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
     }
@@ -314,6 +374,13 @@ fn main() {
         // actual measurement there.
         println!("(criterion shim: skipping benchmarks outside `cargo bench`)");
         return;
+    }
+    // Force a pool of ≥ 2 workers *before* the first bench touches the
+    // global `FocusService` (its width is fixed at first use): the
+    // cross-layer and cross-request overlap only pays with real
+    // concurrency, and the snapshot tracks it under ≥ 2 threads.
+    if rayon::current_num_threads() < 2 {
+        std::env::set_var("RAYON_NUM_THREADS", "2");
     }
     batch();
     if !criterion::running_in_test_mode() {

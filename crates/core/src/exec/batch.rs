@@ -7,13 +7,22 @@
 //! loop**: each run is a pure function of `(pipeline, workload, arch)`
 //! and results are collected in submission order (see
 //! `tests/batch_determinism.rs`).
+//!
+//! Under [`ExecMode::Graph`] a batch is not fanned out as whole runs:
+//! every job is submitted into the process-wide
+//! [`FocusService`] — the same persistent pool that serves streaming
+//! requests — so a batch is just a burst of admissions whose stages
+//! interleave with whatever else the service is running.
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use focus_sim::{ArchConfig, Engine, SimReport};
 use focus_vlm::Workload;
 
-use crate::exec::{run_graph_batch, ExecMode};
+use crate::exec::service::{FocusService, JobHandle};
+use crate::exec::{ExecMode, Priority};
 use crate::pipeline::{FocusPipeline, PipelineResult};
 
 /// One self-contained unit of batched work: a pipeline configuration
@@ -33,6 +42,30 @@ impl BatchJob {
     pub fn run(&self) -> PipelineResult {
         self.pipeline.run(&self.workload, &self.arch)
     }
+}
+
+/// Submits owned jobs into the shared [`FocusService`] and waits for
+/// them in submission order — the graph-mode spine of every batch
+/// entry point below.
+///
+/// Each submission clones its job out of the caller's borrow: an
+/// admitted request must own its inputs, because the service (and the
+/// request) outlives this call's stack frame. The copy is O(scene
+/// descriptor) — microseconds against the seconds of measured-phase
+/// work a job represents — which is why the borrowed zero-copy batch
+/// path was not kept alongside the serving path.
+fn through_service(
+    jobs: impl IntoIterator<Item = (BatchJob, Option<Arc<Engine>>)>,
+) -> Vec<(PipelineResult, Option<SimReport>)> {
+    let service = FocusService::global();
+    let handles: Vec<JobHandle> = jobs
+        .into_iter()
+        .map(|(job, engine)| match engine {
+            Some(engine) => service.submit_sim(job, engine, Priority::Normal),
+            None => service.submit(job, Priority::Normal),
+        })
+        .collect();
+    handles.into_iter().map(JobHandle::wait_sim).collect()
 }
 
 /// Runs many workloads through one pipeline configuration in parallel.
@@ -58,25 +91,34 @@ impl BatchRunner {
         &self.pipeline
     }
 
+    /// One owned service job per workload.
+    fn jobs_for(&self, workloads: &[Workload]) -> Vec<BatchJob> {
+        workloads
+            .iter()
+            .map(|wl| BatchJob {
+                pipeline: self.pipeline.clone(),
+                workload: wl.clone(),
+                arch: self.arch.clone(),
+            })
+            .collect()
+    }
+
     /// Runs every workload, in parallel, returning results in input
     /// order — element `i` is exactly what
     /// `self.pipeline().run(&workloads[i], arch)` returns.
     ///
     /// Under [`ExecMode::Graph`] the workloads are not fanned out as
-    /// whole runs: every workload's task graph feeds **one**
-    /// work-stealing scheduler, so stage-level interleaving crosses
-    /// request boundaries (a fast request's lowering overlaps a slow
-    /// request's synthesis).
+    /// whole runs: every workload is submitted into the shared
+    /// [`FocusService`], so stage-level interleaving crosses request
+    /// boundaries (a fast request's lowering overlaps a slow request's
+    /// synthesis) and the batch shares workers with any concurrent
+    /// submitter.
     pub fn run_many(&self, workloads: &[Workload]) -> Vec<PipelineResult> {
-        if let ExecMode::Graph { depth } = self.pipeline.exec_mode {
-            return run_graph_batch(
-                workloads
-                    .iter()
-                    .map(|wl| (&self.pipeline, wl, &self.arch, depth, None)),
-            )
-            .into_iter()
-            .map(|(result, _)| result)
-            .collect();
+        if let ExecMode::Graph { .. } = self.pipeline.exec_mode {
+            return through_service(self.jobs_for(workloads).into_iter().map(|j| (j, None)))
+                .into_iter()
+                .map(|(result, _)| result)
+                .collect();
         }
         workloads
             .par_iter()
@@ -87,19 +129,16 @@ impl BatchRunner {
     /// Runs heterogeneous jobs (each with its own pipeline/arch), in
     /// parallel, results in input order. This is what config sweeps
     /// use: same workload, many configurations. A batch of all-graph
-    /// jobs shares one task scheduler (see [`BatchRunner::run_many`]);
-    /// mixed batches fall back to whole-run fan-out, where graph jobs
-    /// still schedule their own graphs internally.
+    /// jobs streams through the shared [`FocusService`] (see
+    /// [`BatchRunner::run_many`]); mixed batches fall back to
+    /// whole-run fan-out, where graph jobs still submit their own
+    /// graphs individually.
     pub fn run_jobs(jobs: &[BatchJob]) -> Vec<PipelineResult> {
-        if let Some(depths) = all_graph_depths(jobs) {
-            return run_graph_batch(
-                jobs.iter()
-                    .zip(depths)
-                    .map(|(job, depth)| (&job.pipeline, &job.workload, &job.arch, depth, None)),
-            )
-            .into_iter()
-            .map(|(result, _)| result)
-            .collect();
+        if all_graph(jobs) {
+            return through_service(jobs.iter().map(|j| (j.clone(), None)))
+                .into_iter()
+                .map(|(result, _)| result)
+                .collect();
         }
         jobs.par_iter().map(BatchJob::run).collect()
     }
@@ -109,15 +148,16 @@ impl BatchRunner {
     /// the runner's architecture and shared (it is immutable during
     /// `run`) across the parallel region, so per-result engine
     /// rebuilds and the serial post-pass both disappear. Under
-    /// [`ExecMode::Graph`] the simulation rides in each workload's
-    /// `Finish` task node, still borrowing the one shared engine.
+    /// [`ExecMode::Graph`] the simulation rides in each request's
+    /// `Finish` node on the shared service, still borrowing the one
+    /// engine.
     pub fn run_many_sim(&self, workloads: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
-        let engine = Engine::new(self.arch.clone());
-        if let ExecMode::Graph { depth } = self.pipeline.exec_mode {
-            return run_graph_batch(
-                workloads
-                    .iter()
-                    .map(|wl| (&self.pipeline, wl, &self.arch, depth, Some(&engine))),
+        let engine = Arc::new(Engine::new(self.arch.clone()));
+        if let ExecMode::Graph { .. } = self.pipeline.exec_mode {
+            return through_service(
+                self.jobs_for(workloads)
+                    .into_iter()
+                    .map(|j| (j, Some(Arc::clone(&engine)))),
             )
             .into_iter()
             .map(|(result, report)| (result, report.expect("engine attached")))
@@ -136,43 +176,32 @@ impl BatchRunner {
     /// Like [`BatchRunner::run_jobs`], but with simulation folded into
     /// the parallel region: one [`Engine`] is constructed per
     /// *distinct* [`ArchConfig`] in the job list (config sweeps share
-    /// one arch across hundreds of jobs) and jobs borrow their engine
+    /// one arch across hundreds of jobs) and jobs share their engine
     /// by reference.
     pub fn run_jobs_sim(jobs: &[BatchJob]) -> Vec<(PipelineResult, SimReport)> {
-        let mut engines: Vec<Engine> = Vec::new();
-        let engine_idx: Vec<usize> = jobs
+        let mut engines: Vec<Arc<Engine>> = Vec::new();
+        let engine_for: Vec<Arc<Engine>> = jobs
             .iter()
-            .map(
-                |job| match engines.iter().position(|e| *e.arch() == job.arch) {
-                    Some(i) => i,
-                    None => {
-                        engines.push(Engine::new(job.arch.clone()));
-                        engines.len() - 1
-                    }
-                },
-            )
+            .map(|job| match engines.iter().find(|e| *e.arch() == job.arch) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    let e = Arc::new(Engine::new(job.arch.clone()));
+                    engines.push(Arc::clone(&e));
+                    e
+                }
+            })
             .collect();
-        if let Some(depths) = all_graph_depths(jobs) {
-            return run_graph_batch(jobs.iter().zip(&engine_idx).zip(depths).map(
-                |((job, &i), depth)| {
-                    (
-                        &job.pipeline,
-                        &job.workload,
-                        &job.arch,
-                        depth,
-                        Some(&engines[i]),
-                    )
-                },
-            ))
+        if all_graph(jobs) {
+            return through_service(
+                jobs.iter()
+                    .zip(engine_for)
+                    .map(|(job, engine)| (job.clone(), Some(engine))),
+            )
             .into_iter()
             .map(|(result, report)| (result, report.expect("engine attached")))
             .collect();
         }
-        let pairs: Vec<(&BatchJob, &Engine)> = jobs
-            .iter()
-            .zip(engine_idx)
-            .map(|(job, i)| (job, &engines[i]))
-            .collect();
+        let pairs: Vec<(&BatchJob, &Arc<Engine>)> = jobs.iter().zip(&engine_for).collect();
         pairs
             .par_iter()
             .map(|(job, engine)| {
@@ -184,19 +213,14 @@ impl BatchRunner {
     }
 }
 
-/// The per-job graph depths when **every** job (of a non-empty batch)
-/// runs under [`ExecMode::Graph`] — the condition for fusing the batch
-/// into one scheduler.
-fn all_graph_depths(jobs: &[BatchJob]) -> Option<Vec<usize>> {
-    if jobs.is_empty() {
-        return None;
-    }
-    jobs.iter()
-        .map(|job| match job.pipeline.exec_mode {
-            ExecMode::Graph { depth } => Some(depth),
-            _ => None,
-        })
-        .collect()
+/// Whether **every** job of a non-empty batch runs under
+/// [`ExecMode::Graph`] — the condition for streaming the batch through
+/// the shared service (each submission carries its own depth).
+fn all_graph(jobs: &[BatchJob]) -> bool {
+    !jobs.is_empty()
+        && jobs
+            .iter()
+            .all(|job| matches!(job.pipeline.exec_mode, ExecMode::Graph { .. }))
 }
 
 /// Deterministic parallel map over a slice: `f` applied to every item,

@@ -63,18 +63,40 @@ impl ExecMode {
     /// given (`FOCUS_EXEC_MODE=graph`).
     pub const DEFAULT_GRAPH_DEPTH: usize = 2;
 
+    /// The schedule forms [`ExecMode::parse`] accepts, for error
+    /// messages.
+    pub const VALID_FORMS: &'static str = "`serial`, `pipelined`, `graph` or `graph:N` (N >= 1)";
+
     /// Parses a schedule name: `serial`, `pipelined`, `graph` or
-    /// `graph:N` (N ≥ 1).
-    pub fn parse(s: &str) -> Option<ExecMode> {
-        match s.trim() {
-            "serial" => Some(ExecMode::Serial),
-            "pipelined" => Some(ExecMode::Pipelined),
-            "graph" => Some(ExecMode::Graph {
+    /// `graph:N` (N ≥ 1). Malformed input — a zero or non-numeric
+    /// depth, trailing junk, an unknown name — is an error naming the
+    /// valid forms, never a silent fallback.
+    pub fn parse(s: &str) -> Result<ExecMode, String> {
+        let trimmed = s.trim();
+        match trimmed {
+            "serial" => Ok(ExecMode::Serial),
+            "pipelined" => Ok(ExecMode::Pipelined),
+            "graph" => Ok(ExecMode::Graph {
                 depth: ExecMode::DEFAULT_GRAPH_DEPTH,
             }),
             other => {
-                let depth = other.strip_prefix("graph:")?.parse::<usize>().ok()?;
-                (depth >= 1).then_some(ExecMode::Graph { depth })
+                let Some(depth) = other.strip_prefix("graph:") else {
+                    return Err(format!(
+                        "unknown schedule {other:?}; expected {}",
+                        ExecMode::VALID_FORMS
+                    ));
+                };
+                match depth.parse::<usize>() {
+                    Ok(0) => Err(format!(
+                        "graph depth must be >= 1, got {other:?}; expected {}",
+                        ExecMode::VALID_FORMS
+                    )),
+                    Ok(depth) => Ok(ExecMode::Graph { depth }),
+                    Err(e) => Err(format!(
+                        "bad graph depth {depth:?} ({e}); expected {}",
+                        ExecMode::VALID_FORMS
+                    )),
+                }
             }
         }
     }
@@ -83,16 +105,14 @@ impl ExecMode {
     ///
     /// # Panics
     ///
-    /// Panics when the variable is set but unparsable — a silently
-    /// ignored override would fake a measurement.
+    /// Panics when the variable is set but malformed (including
+    /// `graph:0` and trailing junk) — a silently ignored or
+    /// reinterpreted override would fake a measurement.
     pub fn from_env() -> Option<ExecMode> {
         let raw = std::env::var(EXEC_MODE_ENV).ok()?;
         match ExecMode::parse(&raw) {
-            Some(mode) => Some(mode),
-            None => panic!(
-                "{EXEC_MODE_ENV}={raw:?} is not a schedule; \
-                 expected serial, pipelined, graph or graph:N"
-            ),
+            Ok(mode) => Some(mode),
+            Err(why) => panic!("{EXEC_MODE_ENV}={raw:?} rejected: {why}"),
         }
     }
 
@@ -471,25 +491,42 @@ mod tests {
 
     #[test]
     fn exec_mode_parses_all_schedules() {
-        assert_eq!(ExecMode::parse("serial"), Some(ExecMode::Serial));
-        assert_eq!(ExecMode::parse("pipelined"), Some(ExecMode::Pipelined));
+        assert_eq!(ExecMode::parse("serial"), Ok(ExecMode::Serial));
+        assert_eq!(ExecMode::parse("pipelined"), Ok(ExecMode::Pipelined));
         assert_eq!(
             ExecMode::parse("graph"),
-            Some(ExecMode::Graph {
+            Ok(ExecMode::Graph {
                 depth: ExecMode::DEFAULT_GRAPH_DEPTH
             })
         );
-        assert_eq!(
-            ExecMode::parse("graph:4"),
-            Some(ExecMode::Graph { depth: 4 })
-        );
+        assert_eq!(ExecMode::parse("graph:4"), Ok(ExecMode::Graph { depth: 4 }));
         assert_eq!(
             ExecMode::parse(" graph:1 "),
-            Some(ExecMode::Graph { depth: 1 })
+            Ok(ExecMode::Graph { depth: 1 })
         );
-        assert_eq!(ExecMode::parse("graph:0"), None);
-        assert_eq!(ExecMode::parse("graph:"), None);
-        assert_eq!(ExecMode::parse("turbo"), None);
+    }
+
+    #[test]
+    fn exec_mode_rejects_malformed_schedules_loudly() {
+        // Every rejection is a hard error that names the valid forms —
+        // the override can never silently fall back or reinterpret.
+        for bad in [
+            "graph:0",   // depth below the floor
+            "graph:",    // missing depth
+            "graph:x",   // non-numeric depth
+            "graph:2x",  // trailing junk inside the depth
+            "graph: 2",  // embedded whitespace is junk too
+            "graph:2:3", // extra component
+            "turbo",     // unknown schedule
+            "",          // empty override
+        ] {
+            let err = ExecMode::parse(bad).expect_err(bad);
+            assert!(
+                err.contains(ExecMode::VALID_FORMS),
+                "{bad:?} error must name the valid forms, got: {err}"
+            );
+        }
+        assert!(ExecMode::parse("graph:0").unwrap_err().contains(">= 1"));
     }
 
     #[test]

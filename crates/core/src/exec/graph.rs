@@ -1,6 +1,9 @@
 //! The task-graph schedule: the measured + lowering phases of a
 //! pipeline run decomposed into explicit task nodes with data
-//! dependencies, driven by a small work-stealing scheduler.
+//! dependencies, driven by a small work-stealing scheduler core that
+//! admits graphs **dynamically** — batches drain through it, and the
+//! persistent [`crate::exec::FocusService`] keeps its workers parked
+//! between requests instead of tearing the pool down.
 //!
 //! # Node inventory (per transformer layer `l`)
 //!
@@ -9,19 +12,21 @@
 //! | `Sec(l)` | semantic pruning → retained set + positions | `Sec(l-1)` |
 //! | `Synth(l,s)` | activation synthesis (Box–Muller) for gather stage `s` | `Sec(l)`, `Gather(l',s)` of the layer `depth` measured-layers back (workspace ring) |
 //! | `Gather(l,s)` | similarity gather over the synthesised activations | `Synth(l,s)` |
-//! | `Fold(l)` | stats accumulation into the measured run (fixed stage order) | `Gather(l,0..4)`, `Sec(l)`, `Fold(l-1)` |
-//! | `Lower(l)` | the layer's 7-GEMM lowering to paper-scale work items | `Fold(l)` |
+//! | `FoldStats(l)` | pure statistics fold of the four gathers (parallel-safe) | `Gather(l,0..4)` |
+//! | `Absorb(l)` | in-order absorption into the measured run | `FoldStats(l)`, `Sec(l)`, `Absorb(l-1)` |
+//! | `Lower(l)` | the layer's 7-GEMM lowering to paper-scale work items | `Absorb(l)` |
 //! | `Finish` | result assembly (+ optional cycle simulation) | every `Lower(l)` |
 //!
-//! Only the `Sec` chain and the `Fold` chain are sequential — they
+//! Only the `Sec` chain and the `Absorb` chain are sequential — they
 //! carry the retained-token walk and the in-order statistics fold that
-//! make results bit-identical to [`ExecMode::Serial`].
-//! Everything else floats: layer *l*'s fold and lowering overlap layer
-//! *l+1*'s synthesis and SEC at any depth, and when
-//! [`crate::exec::BatchRunner`] feeds several workloads' graphs into
-//! one [`TaskScheduler`], stages of *different requests* interleave on
-//! the same workers — the streaming-serving shape of the paper's
-//! architecture.
+//! make results bit-identical to [`ExecMode::Serial`]. The expensive
+//! per-layer statistics reduction (`FoldStats`) floats **outside** the
+//! ordered chain (ROADMAP item (j)): layer *l*'s fold and lowering
+//! overlap layer *l+1*'s synthesis and SEC at any depth, and when
+//! several jobs share one scheduler — a fused batch or the streaming
+//! [`crate::exec::FocusService`] — stages of *different requests*
+//! interleave on the same workers, the streaming-serving shape of the
+//! paper's architecture.
 //!
 //! Determinism does not rest on the schedule: every node is a pure
 //! function of its input slots (write-once [`OnceLock`]s guarded by
@@ -29,11 +34,27 @@
 //! order-sensitive reduction. The scheduler therefore never discards
 //! or recomputes work — [`SchedStats::recomputes`] exists to assert
 //! that, next to the pipelined executor's prefetch-discard counter.
+//!
+//! # Scheduler core
+//!
+//! [`Core`] is the shared engine behind both entry points: per-worker
+//! LIFO deques with FIFO stealing, global per-priority admission
+//! queues, and a version-counter park/unpark protocol whose sleep
+//! decision happens **under the state lock** (no lost-wakeup window —
+//! every producer publishes its push by bumping the version under the
+//! same lock a parking worker re-checks before it waits). All internal
+//! locking recovers from poisoning, so the first panic payload of a
+//! task body is always what propagates — never an opaque
+//! `PoisonError`. A panicked job is *skip-drained*: its remaining
+//! nodes release their dependents without running, so sibling jobs
+//! keep executing and the failed job's waiter gets the original
+//! payload.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use focus_sim::{ArchConfig, Engine, SimReport};
 use focus_vlm::Workload;
@@ -44,6 +65,57 @@ use crate::pipeline::lower::LayerLowered;
 use crate::pipeline::measure::MeasureAccum;
 use crate::pipeline::{FocusPipeline, PipelineResult, SecLayerStats};
 use crate::sic::{Fhw, MatrixGatherStats};
+
+/// Locks `m`, recovering the guard when the mutex was poisoned by a
+/// panicking holder. Scheduler-internal state stays valid across
+/// panics (queues of plain task references, a monotone counter), so
+/// recovering is always sound — and it guarantees the *original*
+/// panic payload is what a waiter sees, not a `PoisonError` unwrap.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_clean`].
+fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-request priority of a job submitted to the scheduler core (and
+/// to [`crate::exec::FocusService`]). Workers check the global
+/// [`Priority::High`] lane before their own deque, so a
+/// latency-sensitive arrival is picked up as soon as *any* worker
+/// finishes its current node — head-of-line blocking is bounded by
+/// one node, not one request. [`Priority::Normal`] and
+/// [`Priority::Low`] order the remaining global queues a worker
+/// consults once its local deque runs dry; already-running nodes are
+/// never preempted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: sweeps, prefetch, speculative requests.
+    Low,
+    /// The default service class.
+    #[default]
+    Normal,
+    /// Latency-sensitive interactive requests.
+    High,
+}
+
+impl Priority {
+    /// Number of priority levels (one global admission queue each).
+    pub const LEVELS: usize = 3;
+
+    /// Every priority, lowest to highest.
+    pub const ALL: [Priority; Priority::LEVELS] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Global-queue index; lower indices are popped first.
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
 
 /// Handle to a node added to a [`TaskGraph`], used to declare
 /// dependencies of later nodes. Only valid within the graph that
@@ -58,9 +130,9 @@ struct TaskNode<'s> {
 
 /// A directed acyclic graph of tasks. Nodes are closures over shared
 /// state the caller owns; edges declare data dependencies. Build one
-/// per unit of work (e.g. one pipeline run) and hand a batch of graphs
-/// to [`TaskScheduler::run`] — the scheduler interleaves nodes across
-/// graphs freely.
+/// per unit of work (e.g. one pipeline run) and hand it to
+/// [`TaskScheduler::run`] (batch) or inject it into a live [`Core`]
+/// (serving) — the scheduler interleaves nodes across graphs freely.
 #[derive(Default)]
 pub struct TaskGraph<'s> {
     nodes: Vec<TaskNode<'s>>,
@@ -98,7 +170,7 @@ impl<'s> TaskGraph<'s> {
     }
 }
 
-/// What [`TaskScheduler::run`] did for one graph.
+/// What the scheduler did for one graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedStats {
     /// Task nodes executed (= the graph's node count on completion).
@@ -113,116 +185,449 @@ pub struct SchedStats {
     pub recomputes: u64,
 }
 
-/// Flattened node in the scheduler's shared arena.
+/// Flattened node of one admitted job.
 struct FlatNode<'s> {
     run: Box<dyn Fn() + Send + Sync + 's>,
     dependents: Vec<usize>,
-    graph: usize,
 }
 
-struct Shared<'s> {
+/// One admitted graph: the job-tagged unit the core tracks from
+/// injection to completion. Task references are `(Arc<JobRun>, node)`
+/// pairs, so every queued task carries its job identity — the epoch
+/// tag that lets graphs come and go while workers stay up.
+pub(crate) struct JobRun<'s> {
+    /// Monotone admission id (unique per core).
+    pub(crate) id: u64,
     nodes: Vec<FlatNode<'s>>,
+    /// Unmet-dependency counters, one per node.
     pending: Vec<AtomicUsize>,
+    /// Nodes not yet executed (or skip-drained).
     remaining: AtomicUsize,
-    queues: Vec<Mutex<VecDeque<usize>>>,
-    /// Wakeup generation: bumped (under the lock) whenever work is
-    /// pushed or the run ends, so a worker that scanned empty queues
-    /// before the bump never sleeps through it.
-    version: Mutex<u64>,
-    wakeup: Condvar,
-    abort: AtomicBool,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    executed: Vec<AtomicU64>,
-    stolen: Vec<AtomicU64>,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    /// Set by the first panicking node; the rest of the job
+    /// skip-drains (dependents released, bodies not run).
+    panicked: AtomicBool,
+    /// The first panic's payload, re-raised to the job's waiter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
 }
 
-impl Shared<'_> {
-    fn bump_and_notify(&self) {
-        let mut v = self.version.lock().unwrap();
-        *v += 1;
-        drop(v);
-        self.wakeup.notify_all();
+impl JobRun<'_> {
+    /// Blocks until every node has executed or skip-drained.
+    pub(crate) fn wait_done(&self) {
+        let mut done = lock_clean(&self.done);
+        while !*done {
+            done = wait_clean(&self.done_cv, done);
+        }
     }
 
-    /// Pops the worker's own deque LIFO, then steals FIFO from peers.
-    fn find_task(&self, worker: usize) -> Option<usize> {
-        if let Some(t) = self.queues[worker].lock().unwrap().pop_back() {
-            return Some(t);
+    /// Whether the job has completed (all nodes executed or drained).
+    pub(crate) fn is_done(&self) -> bool {
+        *lock_clean(&self.done)
+    }
+
+    /// Takes the first panic payload, if a node panicked.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        lock_clean(&self.panic).take()
+    }
+
+    /// Scheduling statistics of this job so far.
+    pub(crate) fn stats(&self) -> SchedStats {
+        SchedStats {
+            tasks: self.executed.load(Ordering::SeqCst),
+            stolen: self.stolen.load(Ordering::SeqCst),
+            recomputes: 0,
         }
-        let n = self.queues.len();
-        for i in 1..n {
-            let victim = (worker + i) % n;
-            if let Some(t) = self.queues[victim].lock().unwrap().pop_front() {
-                self.stolen[self.nodes[t].graph].fetch_add(1, Ordering::Relaxed);
-                return Some(t);
+    }
+}
+
+type Task<'s> = (Arc<JobRun<'s>>, usize);
+
+/// State every producer and every parking worker agrees on under one
+/// lock: the global admission queues and the wakeup version counter.
+struct CoreState<'s> {
+    /// Bumped (under this lock) whenever a task is made visible in
+    /// *any* queue — global or a worker's local deque — or the core
+    /// shuts down. A worker about to park re-reads it under the same
+    /// lock, so a push between its queue scan and its wait cannot be
+    /// lost: either the version moved (rescan) or the wait starts
+    /// before the bump and the accompanying `notify_all` lands on it.
+    version: u64,
+    /// Global FIFO per priority (index 0 = highest). Roots of newly
+    /// injected jobs land here; workers pull from high to low.
+    ready: [VecDeque<Task<'s>>; Priority::LEVELS],
+    /// Graceful shutdown: workers exit when they would otherwise park.
+    shutdown: bool,
+}
+
+/// Arrival-ordered admission: `serving` is the ticket currently
+/// allowed to admit; holders of later tickets wait their turn even
+/// when their (smaller) request would fit.
+#[derive(Default)]
+struct AdmissionTickets {
+    next: u64,
+    serving: u64,
+}
+
+/// The scheduler core shared by the batch-scoped [`TaskScheduler`] and
+/// the persistent [`crate::exec::FocusService`]: job-tagged tasks,
+/// dynamic graph injection, per-priority admission, bounded in-flight
+/// nodes, and workers that park (not exit) when idle.
+pub(crate) struct Core<'s> {
+    state: Mutex<CoreState<'s>>,
+    /// Parked workers wait here; producers notify after bumping
+    /// `CoreState::version`.
+    work_cv: Condvar,
+    /// Per-worker deques: own pops are LIFO (data-hot), steals FIFO.
+    locals: Vec<Mutex<VecDeque<Task<'s>>>>,
+    /// Nodes admitted but not yet executed/drained, across all jobs.
+    inflight: AtomicUsize,
+    /// Admission bound: [`Core::inject`] blocks while the batch would
+    /// push `inflight` past this (backpressure), unless the core is
+    /// empty — an oversized single job is always admitted rather than
+    /// deadlocking.
+    max_inflight: usize,
+    /// FIFO admission tickets: submitters admit strictly in arrival
+    /// order, so a large request blocked on space cannot be starved by
+    /// a stream of small ones slipping past it.
+    admission: Mutex<AdmissionTickets>,
+    space_cv: Condvar,
+    admission_waiters: AtomicUsize,
+    /// Tasks currently queued in the global [`Priority::High`] lane —
+    /// the lock-free fast path workers probe before every node, so the
+    /// urgent-lane check costs one atomic load unless high-priority
+    /// work actually exists.
+    high_pending: AtomicUsize,
+    /// Workers currently blocked in the park wait.
+    parked: AtomicUsize,
+    /// Cumulative park entries (a parked worker does not re-enter; a
+    /// spinning one would).
+    parks: AtomicU64,
+    /// Jobs fully completed (executed or skip-drained).
+    jobs_done: AtomicU64,
+    next_job: AtomicU64,
+}
+
+impl<'s> Core<'s> {
+    /// A core with `threads` worker slots and an in-flight node bound.
+    pub(crate) fn new(threads: usize, max_inflight: usize) -> Self {
+        let threads = threads.max(1);
+        Core {
+            state: Mutex::new(CoreState {
+                version: 0,
+                ready: Default::default(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inflight: AtomicUsize::new(0),
+            max_inflight: max_inflight.max(1),
+            admission: Mutex::new(AdmissionTickets::default()),
+            space_cv: Condvar::new(),
+            admission_waiters: AtomicUsize::new(0),
+            high_pending: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker slots.
+    pub(crate) fn threads(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Workers currently parked on the wakeup condvar.
+    pub(crate) fn parked(&self) -> usize {
+        self.parked.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative number of times a worker entered the parked state.
+    pub(crate) fn parks(&self) -> u64 {
+        self.parks.load(Ordering::SeqCst)
+    }
+
+    /// Nodes admitted but not yet executed or drained.
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// In-flight node bound.
+    pub(crate) fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Jobs completed since the core started.
+    pub(crate) fn jobs_done(&self) -> u64 {
+        self.jobs_done.load(Ordering::SeqCst)
+    }
+
+    /// Makes `new_tasks` queued tasks visible to parked workers: the
+    /// version bump happens under the state lock **after** the tasks
+    /// are already in queues, so a worker that re-checks the version
+    /// before sleeping either sees the bump (and rescans) or is
+    /// already inside the wait when a notification lands. Wakes at
+    /// most `new_tasks` sleepers instead of the whole pool — a worker
+    /// counted in `parked` is committed to the wait (the counter is
+    /// incremented under the same lock), so the readout after the
+    /// bump is exact and nobody sleeps through work.
+    fn publish(&self, new_tasks: usize) {
+        let mut st = lock_clean(&self.state);
+        st.version += 1;
+        drop(st);
+        let sleepers = self.parked.load(Ordering::SeqCst);
+        for _ in 0..new_tasks.min(sleepers) {
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Blocks until `n` more nodes fit under the in-flight bound (or
+    /// the core is empty). Admission is strictly FIFO (ticketed): a
+    /// large request waiting for the core to drain holds its place,
+    /// so later small submissions queue behind it instead of starving
+    /// it. Node completions notify `space_cv`.
+    fn admit(&self, n: usize) {
+        let mut tickets = lock_clean(&self.admission);
+        let ticket = tickets.next;
+        tickets.next += 1;
+        self.admission_waiters.fetch_add(1, Ordering::SeqCst);
+        loop {
+            let cur = self.inflight.load(Ordering::SeqCst);
+            if tickets.serving == ticket && (cur == 0 || cur + n <= self.max_inflight) {
+                // Reserve under the admission lock: `inflight` can only
+                // shrink concurrently, so the check stays conservative.
+                self.inflight.fetch_add(n, Ordering::SeqCst);
+                tickets.serving += 1;
+                break;
+            }
+            tickets = wait_clean(&self.space_cv, tickets);
+        }
+        self.admission_waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(tickets);
+        // Hand the turn to the next ticket holder (it may already fit).
+        self.space_cv.notify_all();
+    }
+
+    /// Admits `graph` at `priority` — at any time, including while
+    /// workers are mid-batch — and returns its job handle. Blocks for
+    /// admission space (see [`Core::admit`]). An empty graph completes
+    /// immediately.
+    pub(crate) fn inject(&self, graph: TaskGraph<'s>, priority: Priority) -> Arc<JobRun<'s>> {
+        let total = graph.len();
+        let mut nodes: Vec<FlatNode<'s>> = Vec::with_capacity(total);
+        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(total);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (id, node) in graph.nodes.into_iter().enumerate() {
+            pending.push(AtomicUsize::new(node.deps.len()));
+            edges.extend(node.deps.iter().map(|&d| (d, id)));
+            nodes.push(FlatNode {
+                run: node.run,
+                dependents: Vec::new(),
+            });
+        }
+        for (from, to) in edges {
+            nodes[from].dependents.push(to);
+        }
+        let job = Arc::new(JobRun {
+            id: self.next_job.fetch_add(1, Ordering::SeqCst),
+            nodes,
+            pending,
+            remaining: AtomicUsize::new(total),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        if total == 0 {
+            *lock_clean(&job.done) = true;
+            self.jobs_done.fetch_add(1, Ordering::SeqCst);
+            return job;
+        }
+        self.admit(total);
+        let roots: Vec<usize> = job
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.load(Ordering::SeqCst) == 0)
+            .map(|(id, _)| id)
+            .collect();
+        debug_assert!(!roots.is_empty(), "a non-empty DAG has a root");
+        let n_roots = roots.len();
+        {
+            let mut st = lock_clean(&self.state);
+            for r in roots {
+                st.ready[priority.index()].push_back((job.clone(), r));
+            }
+            if priority == Priority::High {
+                self.high_pending.fetch_add(n_roots, Ordering::SeqCst);
+            }
+        }
+        self.publish(n_roots);
+        job
+    }
+
+    /// Asks workers to exit once the backlog drains: busy workers
+    /// finish queued work; parked workers wake and leave.
+    pub(crate) fn shutdown(&self) {
+        let mut st = lock_clean(&self.state);
+        st.shutdown = true;
+        st.version += 1;
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<Task<'s>> {
+        lock_clean(&self.locals[worker]).pop_back()
+    }
+
+    /// Pops the global queues, highest priority first, keeping the
+    /// `high_pending` fast-path counter in sync with the High lane.
+    fn pop_ready(&self, st: &mut CoreState<'s>) -> Option<Task<'s>> {
+        for (lane, queue) in st.ready.iter_mut().enumerate() {
+            if let Some(task) = queue.pop_front() {
+                if lane == Priority::High.index() {
+                    self.high_pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                return Some(task);
             }
         }
         None
     }
 
-    /// Runs node `task` on `worker`, then releases its dependents.
-    fn exec(&self, worker: usize, task: usize) {
-        let node = &self.nodes[task];
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (node.run)())) {
-            let mut slot = self.panic.lock().unwrap();
+    /// Steals FIFO from peers' deques, tagging the victim job.
+    fn steal(&self, worker: usize) -> Option<Task<'s>> {
+        let n = self.locals.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(task) = lock_clean(&self.locals[victim]).pop_front() {
+                task.0.stolen.fetch_add(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Runs (or skip-drains) one node, releases its dependents, and
+    /// retires it against the job and the admission bound.
+    fn exec(&self, worker: usize, (job, node): Task<'s>) {
+        let flat = &job.nodes[node];
+        if job.panicked.load(Ordering::SeqCst) {
+            // Skip-drain: the job already failed — release structure,
+            // run nothing, so siblings proceed and waiters unblock.
+        } else if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (flat.run)())) {
+            let mut slot = lock_clean(&job.panic);
             if slot.is_none() {
                 *slot = Some(payload);
             }
             drop(slot);
-            self.abort.store(true, Ordering::SeqCst);
-            self.bump_and_notify();
-            return;
+            job.panicked.store(true, Ordering::SeqCst);
+        } else {
+            job.executed.fetch_add(1, Ordering::SeqCst);
         }
-        self.executed[node.graph].fetch_add(1, Ordering::Relaxed);
-        let mut released = false;
-        for &d in &node.dependents {
-            if self.pending[d].fetch_sub(1, Ordering::SeqCst) == 1 {
-                self.queues[worker].lock().unwrap().push_back(d);
-                released = true;
+
+        let mut released = 0;
+        for &d in &flat.dependents {
+            if job.pending[d].fetch_sub(1, Ordering::SeqCst) == 1 {
+                lock_clean(&self.locals[worker]).push_back((job.clone(), d));
+                released += 1;
             }
         }
-        let left = self.remaining.fetch_sub(1, Ordering::SeqCst) - 1;
-        if released || left == 0 {
-            self.bump_and_notify();
+        if released > 0 {
+            self.publish(released);
+        }
+
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        if self.admission_waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = lock_clean(&self.admission);
+            self.space_cv.notify_all();
+        }
+
+        if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Count the job complete *before* waking its waiter, so a
+            // returned `wait()` always sees itself in `jobs_done`.
+            self.jobs_done.fetch_add(1, Ordering::SeqCst);
+            let mut done = lock_clean(&job.done);
+            *done = true;
+            drop(done);
+            job.done_cv.notify_all();
         }
     }
 
-    fn worker(&self, worker: usize) {
+    /// The worker loop: the global [`Priority::High`] lane first (so a
+    /// latency-sensitive arrival waits at most one node even when
+    /// every worker is deep in a lower-priority request), then the own
+    /// deque LIFO, then the remaining global priority queues, then
+    /// FIFO steals — and when all run dry, park on the condvar until a
+    /// producer publishes. The park decision re-checks the version
+    /// **under the state lock**, closing the scan-then-sleep race.
+    /// Exits only on [`Core::shutdown`] (and only once there is
+    /// nothing left to do).
+    pub(crate) fn worker(&self, worker: usize) {
         loop {
-            if self.abort.load(Ordering::SeqCst) {
-                return;
+            // Urgent lane: probed with one atomic load per node — the
+            // state lock is only taken when High work actually exists.
+            if self.high_pending.load(Ordering::SeqCst) > 0 {
+                let urgent = {
+                    let mut st = lock_clean(&self.state);
+                    let task = st.ready[Priority::High.index()].pop_front();
+                    if task.is_some() {
+                        self.high_pending.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    task
+                };
+                if let Some(task) = urgent {
+                    self.exec(worker, task);
+                    continue;
+                }
             }
-            // Read the generation BEFORE scanning: a push that the scan
-            // misses bumps it afterwards, so the wait below returns
-            // immediately instead of sleeping through the wakeup.
-            let seen = *self.version.lock().unwrap();
-            if let Some(task) = self.find_task(worker) {
+            if let Some(task) = self.pop_local(worker) {
                 self.exec(worker, task);
                 continue;
             }
-            if self.remaining.load(Ordering::SeqCst) == 0 {
+            let (global, seen) = {
+                let mut st = lock_clean(&self.state);
+                (self.pop_ready(&mut st), st.version)
+            };
+            if let Some(task) = global {
+                self.exec(worker, task);
+                continue;
+            }
+            if let Some(task) = self.steal(worker) {
+                self.exec(worker, task);
+                continue;
+            }
+            let mut st = lock_clean(&self.state);
+            if st.version != seen {
+                continue; // work appeared since the scan — rescan
+            }
+            if st.shutdown {
                 return;
             }
-            let mut v = self.version.lock().unwrap();
-            while *v == seen
-                && self.remaining.load(Ordering::SeqCst) != 0
-                && !self.abort.load(Ordering::SeqCst)
-            {
-                v = self.wakeup.wait(v).unwrap();
+            self.parks.fetch_add(1, Ordering::SeqCst);
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            while st.version == seen && !st.shutdown {
+                st = wait_clean(&self.work_cv, st);
             }
+            self.parked.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
-/// A small work-stealing scheduler for [`TaskGraph`]s.
+/// A small work-stealing scheduler for batches of [`TaskGraph`]s.
 ///
 /// Each worker keeps a LIFO deque of ready tasks (tasks it unblocked
 /// run next, data-hot) and steals FIFO from its peers when it runs
-/// dry. Initially ready tasks are dealt round-robin so a batch of
-/// graphs starts spread across workers. Task closures are pure in
-/// their declared dependencies, so the (nondeterministic) execution
-/// order cannot affect results — `tests/batch_determinism.rs` proves
-/// the end-to-end claim property-style.
+/// dry. Task closures are pure in their declared dependencies, so the
+/// (nondeterministic) execution order cannot affect results —
+/// `tests/batch_determinism.rs` proves the end-to-end claim
+/// property-style. This type is the batch-scoped front end of the
+/// shared scheduler [`Core`]; the process-wide, long-lived front end
+/// is [`crate::exec::FocusService`].
 #[derive(Clone, Copy, Debug)]
 pub struct TaskScheduler {
     threads: usize,
@@ -256,77 +661,37 @@ impl TaskScheduler {
     /// Runs every graph to completion, interleaving nodes across
     /// graphs, and returns per-graph statistics (in input order).
     ///
-    /// Panics in task closures are re-raised on the calling thread,
-    /// like the rayon shim.
+    /// A panic in a task closure fails *its* graph (the rest of that
+    /// graph skip-drains; sibling graphs run to completion) and the
+    /// first panic payload — in graph submission order — is re-raised
+    /// on the calling thread, like the rayon shim.
     pub fn run(&self, graphs: Vec<TaskGraph<'_>>) -> Vec<SchedStats> {
-        let n_graphs = graphs.len();
-        let mut nodes: Vec<FlatNode<'_>> = Vec::new();
-        let mut pending: Vec<AtomicUsize> = Vec::new();
-        let mut edges: Vec<(usize, usize)> = Vec::new();
-        for (g, graph) in graphs.into_iter().enumerate() {
-            let base = nodes.len();
-            for node in graph.nodes {
-                let id = nodes.len();
-                pending.push(AtomicUsize::new(node.deps.len()));
-                edges.extend(node.deps.iter().map(|&d| (base + d, id)));
-                nodes.push(FlatNode {
-                    run: node.run,
-                    dependents: Vec::new(),
-                    graph: g,
-                });
-            }
-        }
-        for (from, to) in edges {
-            nodes[from].dependents.push(to);
-        }
-        let total = nodes.len();
+        let total: usize = graphs.iter().map(TaskGraph::len).sum();
         if total == 0 {
-            return vec![SchedStats::default(); n_graphs];
+            return vec![SchedStats::default(); graphs.len()];
         }
-
         let threads = self.threads.min(total);
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-        // Deal the initially ready nodes (one `Sec(0)` per pipeline
-        // graph) round-robin so a batch starts spread across workers.
-        let mut next_worker = 0;
-        for (id, p) in pending.iter().enumerate() {
-            if p.load(Ordering::Relaxed) == 0 {
-                queues[next_worker % threads].lock().unwrap().push_back(id);
-                next_worker += 1;
-            }
-        }
-        assert!(next_worker > 0, "task graphs must have a root");
-
-        let shared = Shared {
-            nodes,
-            pending,
-            remaining: AtomicUsize::new(total),
-            queues,
-            version: Mutex::new(0),
-            wakeup: Condvar::new(),
-            abort: AtomicBool::new(false),
-            panic: Mutex::new(None),
-            executed: (0..n_graphs).map(|_| AtomicU64::new(0)).collect(),
-            stolen: (0..n_graphs).map(|_| AtomicU64::new(0)).collect(),
-        };
+        let core = Core::new(threads, usize::MAX);
+        let jobs: Vec<Arc<JobRun<'_>>> = graphs
+            .into_iter()
+            .map(|g| core.inject(g, Priority::Normal))
+            .collect();
         std::thread::scope(|s| {
-            for w in 1..threads {
-                let shared = &shared;
-                s.spawn(move || shared.worker(w));
+            for w in 0..threads {
+                let core = &core;
+                s.spawn(move || core.worker(w));
             }
-            shared.worker(0);
+            for job in &jobs {
+                job.wait_done();
+            }
+            core.shutdown();
         });
-        if let Some(payload) = shared.panic.into_inner().unwrap() {
-            resume_unwind(payload);
+        for job in &jobs {
+            if let Some(payload) = job.take_panic() {
+                resume_unwind(payload);
+            }
         }
-        (0..n_graphs)
-            .map(|g| SchedStats {
-                tasks: shared.executed[g].load(Ordering::Relaxed),
-                stolen: shared.stolen[g].load(Ordering::Relaxed),
-                recomputes: 0,
-            })
-            .collect()
+        jobs.iter().map(|job| job.stats()).collect()
     }
 }
 
@@ -347,10 +712,48 @@ struct LayerInput {
     measured: bool,
 }
 
+/// One node of a [`PipelineGraph`], identified by role: the unit
+/// [`PipelineGraph::plan`] emits and [`PipelineGraph::run_node`]
+/// dispatches on. Keeping the topology (`plan`) separate from the
+/// bodies lets the borrowed batch path and the owning
+/// [`crate::exec::FocusService`] path wire the same graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum NodeKind {
+    /// Semantic pruning of one layer (sequential chain).
+    Sec(usize),
+    /// Activation synthesis for (layer, stage) into ring `slot`.
+    Synth {
+        /// Layer index.
+        layer: usize,
+        /// Gather-stage index.
+        stage: usize,
+        /// Workspace ring slot.
+        slot: usize,
+    },
+    /// Similarity gather over the synthesised activations.
+    Gather {
+        /// Layer index.
+        layer: usize,
+        /// Gather-stage index.
+        stage: usize,
+        /// Workspace ring slot.
+        slot: usize,
+    },
+    /// Pure statistics fold of the layer's four gathers — parallel
+    /// across layers (ROADMAP (j): off the ordered chain).
+    FoldStats(usize),
+    /// In-order absorption into the measured run (sequential chain).
+    Absorb(usize),
+    /// The layer's 7-GEMM lowering at paper scale.
+    Lower(usize),
+    /// Result assembly + optional cycle simulation.
+    Finish,
+}
+
 /// One pipeline run expressed as a task graph: the shared state every
-/// node reads and writes, plus the builder that wires the nodes into a
-/// [`TaskGraph`]. [`crate::exec::BatchRunner`] builds one per workload
-/// and runs them all on one scheduler.
+/// node reads and writes, plus the planner that wires the nodes into a
+/// [`TaskGraph`]. [`crate::exec::BatchRunner`] submits one per
+/// workload into the shared [`crate::exec::FocusService`].
 pub(crate) struct PipelineGraph<'w> {
     pipeline: &'w FocusPipeline,
     workload: &'w Workload,
@@ -364,8 +767,10 @@ pub(crate) struct PipelineGraph<'w> {
     initial: Vec<usize>,
     m_img: usize,
     inputs: Vec<OnceLock<LayerInput>>,
-    /// Per-(layer, stage) gather statistics, consumed by `Fold`.
+    /// Per-(layer, stage) gather statistics, consumed by `FoldStats`.
     gathered: Vec<Mutex<Option<MatrixGatherStats>>>,
+    /// Per-layer folded records (`FoldStats` output, `Absorb` input).
+    records: Vec<Mutex<Option<LayerRecord>>>,
     accum: Mutex<Option<MeasureAccum>>,
     lowered: Vec<Mutex<Option<LayerLowered>>>,
     result: Mutex<Option<(PipelineResult, Option<SimReport>)>>,
@@ -397,31 +802,36 @@ impl<'w> PipelineGraph<'w> {
             m_img,
             inputs: (0..layers_n).map(|_| OnceLock::new()).collect(),
             gathered: (0..layers_n * stages_n).map(|_| Mutex::new(None)).collect(),
+            records: (0..layers_n).map(|_| Mutex::new(None)).collect(),
             accum: Mutex::new(Some(MeasureAccum::new(m_img, layers_n))),
             lowered: (0..layers_n).map(|_| Mutex::new(None)).collect(),
             result: Mutex::new(None),
         }
     }
 
-    /// Wires this run's nodes into `graph`.
-    pub(crate) fn build<'s>(&'s self, graph: &mut TaskGraph<'s>) {
+    /// The run's node topology: `(dependencies, kind)` per node, in
+    /// insertion order (a dependency index always precedes its
+    /// dependent, mirroring [`TaskGraph::add`]'s contract).
+    pub(crate) fn plan(&self) -> Vec<(Vec<usize>, NodeKind)> {
         let layers_n = self.exec.layers();
         let stages_n = self.exec.gather_stages().len();
-        let mut prev_sec: Option<TaskId> = None;
-        let mut prev_fold: Option<TaskId> = None;
+        let mut nodes: Vec<(Vec<usize>, NodeKind)> = Vec::new();
+        let mut prev_sec: Option<usize> = None;
+        let mut prev_absorb: Option<usize> = None;
         // Gather nodes of earlier measured layers, for the workspace
         // ring edges.
-        let mut measured_gathers: Vec<Vec<TaskId>> = Vec::new();
-        let mut lower_ids: Vec<TaskId> = Vec::new();
+        let mut measured_gathers: Vec<Vec<usize>> = Vec::new();
+        let mut lower_ids: Vec<usize> = Vec::new();
         for layer in 0..layers_n {
-            let sec = graph.add(prev_sec.as_slice(), move || self.sec_task(layer));
-            let mut fold_deps: Vec<TaskId> = Vec::new();
+            let sec = nodes.len();
+            nodes.push((prev_sec.into_iter().collect(), NodeKind::Sec(layer)));
+            let mut absorb_deps: Vec<usize> = vec![sec];
             if self.exec.measures_at(layer) {
                 let ord = measured_gathers.len();
                 let slot = ord % self.depth;
                 // A ring slot frees once the gather `depth` measured
                 // layers back has consumed it.
-                let ring_frees: Vec<Option<TaskId>> = match ord.checked_sub(self.depth) {
+                let ring_frees: Vec<Option<usize>> = match ord.checked_sub(self.depth) {
                     Some(prior) => measured_gathers[prior].iter().map(|&g| Some(g)).collect(),
                     None => vec![None; stages_n],
                 };
@@ -429,22 +839,52 @@ impl<'w> PipelineGraph<'w> {
                 for (stage, ring_free) in ring_frees.into_iter().enumerate() {
                     let mut synth_deps = vec![sec];
                     synth_deps.extend(ring_free);
-                    let synth = graph.add(&synth_deps, move || self.synth_task(layer, stage, slot));
-                    let gather = graph.add(&[synth], move || self.gather_task(layer, stage, slot));
+                    let synth = nodes.len();
+                    nodes.push((synth_deps, NodeKind::Synth { layer, stage, slot }));
+                    let gather = nodes.len();
+                    nodes.push((vec![synth], NodeKind::Gather { layer, stage, slot }));
                     gathers.push(gather);
                 }
-                fold_deps.extend(&gathers);
+                let fold = nodes.len();
+                nodes.push((gathers.clone(), NodeKind::FoldStats(layer)));
+                absorb_deps.push(fold);
                 measured_gathers.push(gathers);
             }
-            fold_deps.push(sec);
-            fold_deps.extend(prev_fold);
-            let fold = graph.add(&fold_deps, move || self.fold_task(layer));
-            let lower = graph.add(&[fold], move || self.lower_task(layer));
+            absorb_deps.extend(prev_absorb);
+            let absorb = nodes.len();
+            nodes.push((absorb_deps, NodeKind::Absorb(layer)));
+            let lower = nodes.len();
+            nodes.push((vec![absorb], NodeKind::Lower(layer)));
             lower_ids.push(lower);
             prev_sec = Some(sec);
-            prev_fold = Some(fold);
+            prev_absorb = Some(absorb);
         }
-        graph.add(&lower_ids, move || self.finish_task());
+        nodes.push((lower_ids, NodeKind::Finish));
+        nodes
+    }
+
+    /// Runs one node body.
+    pub(crate) fn run_node(&self, kind: NodeKind) {
+        match kind {
+            NodeKind::Sec(layer) => self.sec_task(layer),
+            NodeKind::Synth { layer, stage, slot } => self.synth_task(layer, stage, slot),
+            NodeKind::Gather { layer, stage, slot } => self.gather_task(layer, stage, slot),
+            NodeKind::FoldStats(layer) => self.fold_stats_task(layer),
+            NodeKind::Absorb(layer) => self.absorb_task(layer),
+            NodeKind::Lower(layer) => self.lower_task(layer),
+            NodeKind::Finish => self.finish_task(),
+        }
+    }
+
+    /// Wires this run's nodes into `graph` (the borrowed batch path;
+    /// the service wires the same [`PipelineGraph::plan`] through
+    /// owning closures).
+    pub(crate) fn build<'s>(&'s self, graph: &mut TaskGraph<'s>) {
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (deps, kind) in self.plan() {
+            let deps: Vec<TaskId> = deps.iter().map(|&d| ids[d]).collect();
+            ids.push(graph.add(&deps, move || self.run_node(kind)));
+        }
     }
 
     /// The layer's finished [`LayerInput`] (its `Sec` node ran).
@@ -511,22 +951,43 @@ impl<'w> PipelineGraph<'w> {
         *self.gathered[layer * stages_n + stage].lock().unwrap() = Some(stats);
     }
 
-    fn fold_task(&self, layer: usize) {
+    /// The pure half of the old `Fold` node: reduces the four gathers'
+    /// statistics into the layer's [`LayerRecord`]. No cross-layer
+    /// state — layers fold concurrently, off the ordered chain
+    /// (ROADMAP (j)), in the same fixed stage order as every other
+    /// schedule, so the arithmetic is bit-identical.
+    fn fold_stats_task(&self, layer: usize) {
         let input = self.input(layer);
-        let mut record = LayerRecord::empty(input.retained_in, input.measured, input.sec.clone());
-        if input.measured {
-            let stages_n = self.exec.gather_stages().len();
-            let outputs: Vec<MatrixGatherStats> = (0..stages_n)
-                .map(|s| {
-                    self.gathered[layer * stages_n + s]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("gather node ran")
-                })
-                .collect();
-            fold_gathers(&mut record, outputs, input.retained.len());
-        }
+        let mut record = LayerRecord::empty(input.retained_in, true, input.sec.clone());
+        let stages_n = self.exec.gather_stages().len();
+        let outputs: Vec<MatrixGatherStats> = (0..stages_n)
+            .map(|s| {
+                self.gathered[layer * stages_n + s]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("gather node ran")
+            })
+            .collect();
+        fold_gathers(&mut record, outputs, input.retained.len());
+        *self.records[layer].lock().unwrap() = Some(record);
+    }
+
+    /// The order-sensitive half: absorbs the layer's record into the
+    /// accumulator. Chained on `Absorb(l-1)` — the only sequential
+    /// work left per layer is this cheap accumulation, so the critical
+    /// path no longer carries the statistics reduction.
+    fn absorb_task(&self, layer: usize) {
+        let input = self.input(layer);
+        let record = if input.measured {
+            self.records[layer]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("FoldStats node ran")
+        } else {
+            LayerRecord::empty(input.retained_in, false, input.sec.clone())
+        };
         let mut accum = self.accum.lock().unwrap();
         accum
             .as_mut()
@@ -574,55 +1035,27 @@ impl<'w> PipelineGraph<'w> {
         *self.result.lock().unwrap() = Some((result, report));
     }
 
-    /// Consumes the run: the assembled result (and the cycle report if
-    /// an engine was attached), with the scheduler's recompute counter
-    /// folded into the result's discard statistics.
-    pub(crate) fn take_result(self, stats: SchedStats) -> (PipelineResult, Option<SimReport>) {
-        let (mut result, report) = self
-            .result
-            .into_inner()
-            .unwrap()
+    /// Extracts the run's result without consuming the state (the
+    /// service path holds the state in an `Arc`): the assembled result
+    /// (and the cycle report if an engine was attached), with the
+    /// scheduler's recompute counter folded into the result's discard
+    /// statistics.
+    pub(crate) fn take_result_parts(
+        &self,
+        stats: SchedStats,
+    ) -> (PipelineResult, Option<SimReport>) {
+        let (mut result, report) = lock_clean(&self.result)
+            .take()
             .expect("scheduler completed the graph");
         result.prefetch_discards = stats.recomputes;
         (result, report)
     }
-}
 
-/// Builds one [`PipelineGraph`] per job and runs them all on **one**
-/// work-stealing scheduler, so stage-level interleaving crosses
-/// request boundaries. Results come back in job order; each carries a
-/// cycle report iff its job supplied an engine.
-pub(crate) fn run_graph_batch<'w>(
-    jobs: impl IntoIterator<
-        Item = (
-            &'w FocusPipeline,
-            &'w Workload,
-            &'w ArchConfig,
-            usize,
-            Option<&'w Engine>,
-        ),
-    >,
-) -> Vec<(PipelineResult, Option<SimReport>)> {
-    let states: Vec<PipelineGraph<'w>> = jobs
-        .into_iter()
-        .map(|(pipeline, workload, arch, depth, engine)| {
-            PipelineGraph::new(pipeline, workload, arch, depth, engine)
-        })
-        .collect();
-    let graphs: Vec<TaskGraph<'_>> = states
-        .iter()
-        .map(|state| {
-            let mut graph = TaskGraph::new();
-            state.build(&mut graph);
-            graph
-        })
-        .collect();
-    let stats = TaskScheduler::new().run(graphs);
-    states
-        .into_iter()
-        .zip(stats)
-        .map(|(state, s)| state.take_result(s))
-        .collect()
+    /// Consumes the run: [`PipelineGraph::take_result_parts`] for the
+    /// batch path that owns the state outright.
+    pub(crate) fn take_result(self, stats: SchedStats) -> (PipelineResult, Option<SimReport>) {
+        self.take_result_parts(stats)
+    }
 }
 
 #[cfg(test)]
@@ -687,12 +1120,375 @@ mod tests {
         let mut graph = TaskGraph::new();
         let root = graph.add(&[], || {});
         graph.add(&[root], || panic!("task boom"));
-        // A sibling chain that must not deadlock while the panic aborts
-        // the run.
+        // A sibling chain that must not deadlock while the panic
+        // skip-drains the graph.
         let mut prev = root;
         for _ in 0..4 {
             prev = graph.add(&[prev], || {});
         }
         TaskScheduler::with_threads(2).run(vec![graph]);
+    }
+
+    /// A panicking job must not take sibling jobs down with it: the
+    /// failed graph skip-drains (its waiter gets the payload), while
+    /// the other graph executes every node. The pre-service scheduler
+    /// aborted the whole batch on any panic.
+    #[test]
+    fn sibling_job_completes_when_another_panics() {
+        let healthy_ran = AtomicU32::new(0);
+        let core = Core::new(2, usize::MAX);
+
+        let mut sick = TaskGraph::new();
+        let root = sick.add(&[], || {});
+        let boom = sick.add(&[root], || panic!("sick job"));
+        sick.add(&[boom], || unreachable!("runs after the panic"));
+
+        let mut healthy = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..20 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(healthy.add(&deps, || {
+                healthy_ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let core = &core;
+                s.spawn(move || core.worker(w));
+            }
+            let sick_job = core.inject(sick, Priority::High);
+            let healthy_job = core.inject(healthy, Priority::Low);
+            sick_job.wait_done();
+            healthy_job.wait_done();
+            // The sick job carries its own payload; the healthy one
+            // carries none and executed everything.
+            let payload = sick_job.take_panic().expect("sick job panicked");
+            assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "sick job");
+            assert_eq!(sick_job.stats().tasks, 1, "only the root ran");
+            assert!(healthy_job.take_panic().is_none());
+            assert_eq!(healthy_job.stats().tasks, 20);
+            core.shutdown();
+        });
+        assert_eq!(healthy_ran.load(Ordering::SeqCst), 20);
+    }
+
+    /// Regression (poisoned-lock satellite): internal scheduler
+    /// mutexes poisoned by a panicking holder must not surface as an
+    /// opaque `PoisonError` unwrap — work keeps flowing through the
+    /// poisoned queues and a task panic still re-raises the *original*
+    /// payload. The pre-fix scheduler `unwrap()`ed every lock and blew
+    /// up on first contact with a poisoned deque.
+    #[test]
+    fn poisoned_queue_mutexes_do_not_mask_the_panic_payload() {
+        let ran = AtomicU32::new(0);
+        let core = Core::new(2, usize::MAX);
+        // Poison a worker deque and the state mutex the way a panicking
+        // holder would.
+        for poison in [
+            catch_unwind(AssertUnwindSafe(|| {
+                let _guard = core.locals[0].lock().unwrap();
+                panic!("poison the deque");
+            })),
+            catch_unwind(AssertUnwindSafe(|| {
+                let _guard = core.state.lock().unwrap();
+                panic!("poison the state");
+            })),
+        ] {
+            assert!(poison.is_err());
+        }
+        assert!(core.locals[0].lock().is_err(), "deque must be poisoned");
+        assert!(core.state.lock().is_err(), "state must be poisoned");
+
+        // A healthy graph still runs to completion through the
+        // poisoned locks…
+        let mut graph = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..8 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(graph.add(&deps, || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // …and a panicking graph re-raises its own payload, not the
+        // poison.
+        let mut sick = TaskGraph::new();
+        sick.add(&[], || panic!("genuine payload"));
+
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let core = &core;
+                s.spawn(move || core.worker(w));
+            }
+            let healthy = core.inject(graph, Priority::Normal);
+            let sick = core.inject(sick, Priority::Normal);
+            healthy.wait_done();
+            sick.wait_done();
+            assert_eq!(healthy.stats().tasks, 8);
+            let payload = sick.take_panic().expect("sick graph panicked");
+            assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "genuine payload");
+            core.shutdown();
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    /// Regression (lost-wakeup satellite): hammer concurrent injection
+    /// against parking workers at every worker count. A task enqueued
+    /// between a worker's queue scan and its condvar wait must wake it
+    /// — under the old two-phase version read a stalled wakeup showed
+    /// up here as a hang (the job never completed until an unrelated
+    /// submission happened to bump the version).
+    #[test]
+    fn submit_vs_park_stress() {
+        for threads in 1..=4 {
+            let executed = AtomicU32::new(0);
+            let core = Core::new(threads, usize::MAX);
+            const SUBMITTERS: usize = 4;
+            const JOBS_EACH: usize = 32;
+            std::thread::scope(|s| {
+                for w in 0..threads {
+                    let core = &core;
+                    s.spawn(move || core.worker(w));
+                }
+                let handles: Vec<_> = (0..SUBMITTERS)
+                    .map(|i| {
+                        let core = &core;
+                        let executed = &executed;
+                        s.spawn(move || {
+                            let mut jobs = Vec::new();
+                            for j in 0..JOBS_EACH {
+                                // Tiny graphs (1–3 chained nodes) so the
+                                // workers park between most injections.
+                                let mut g = TaskGraph::new();
+                                let mut prev: Option<TaskId> = None;
+                                for _ in 0..(1 + (i + j) % 3) {
+                                    let deps: Vec<TaskId> = prev.into_iter().collect();
+                                    prev = Some(g.add(&deps, || {
+                                        executed.fetch_add(1, Ordering::SeqCst);
+                                    }));
+                                }
+                                let priority = Priority::ALL[(i + j) % Priority::LEVELS];
+                                jobs.push(core.inject(g, priority));
+                                if j % 8 == 0 {
+                                    // Give workers a chance to drain and
+                                    // park, so later injections hit
+                                    // sleeping workers.
+                                    std::thread::yield_now();
+                                }
+                            }
+                            for job in &jobs {
+                                job.wait_done();
+                            }
+                            jobs.iter().map(|j| j.stats().tasks).sum::<u64>()
+                        })
+                    })
+                    .collect();
+                let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                let expect: u64 = (0..SUBMITTERS)
+                    .flat_map(|i| (0..JOBS_EACH).map(move |j| (1 + (i + j) % 3) as u64))
+                    .sum();
+                assert_eq!(total, expect, "{threads} workers");
+                assert_eq!(executed.load(Ordering::SeqCst) as u64, expect);
+                core.shutdown();
+            });
+        }
+    }
+
+    /// Workers park between jobs instead of spinning or exiting: after
+    /// the backlog drains every worker is blocked on the condvar, the
+    /// cumulative park count stops moving, and a later injection still
+    /// executes (nobody exited).
+    #[test]
+    fn idle_workers_park_and_resume() {
+        let ran = AtomicU32::new(0);
+        let core = Core::new(3, usize::MAX);
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let core = &core;
+                s.spawn(move || core.worker(w));
+            }
+            let mut g = TaskGraph::new();
+            g.add(&[], || {});
+            core.inject(g, Priority::Normal).wait_done();
+
+            // Quiesce: all three workers must end up parked.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while core.parked() != 3 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "workers failed to park; parked = {}",
+                    core.parked()
+                );
+                std::thread::yield_now();
+            }
+            // A parked worker stays parked — no spin (a spinning worker
+            // re-enters the park and bumps the counter).
+            let parks = core.parks();
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(core.parks(), parks, "parked workers must not spin");
+
+            // And parked ≠ exited: new work still runs.
+            let mut g = TaskGraph::new();
+            g.add(&[], || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            core.inject(g, Priority::High).wait_done();
+            assert_eq!(ran.load(Ordering::SeqCst), 1);
+            core.shutdown();
+        });
+    }
+
+    /// The one-node head-of-line bound of [`Priority::High`]: a
+    /// high-priority arrival runs as soon as the (single) worker
+    /// finishes its current node, not after the in-flight
+    /// low-priority chain drains.
+    #[test]
+    fn high_priority_jumps_ahead_of_a_running_request() {
+        use std::sync::atomic::AtomicBool;
+        let seq = Mutex::new(Vec::<&'static str>::new());
+        let gate = AtomicBool::new(false);
+        let core = Core::new(1, usize::MAX);
+
+        let mut low = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for i in 0..10 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            let (seq, gate) = (&seq, &gate);
+            prev = Some(low.add(&deps, move || {
+                if i == 0 {
+                    // Hold the worker inside the first node until the
+                    // high-priority job has been injected.
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }
+                seq.lock().unwrap().push("low");
+            }));
+        }
+        let mut high = TaskGraph::new();
+        high.add(&[], || seq.lock().unwrap().push("HIGH"));
+
+        std::thread::scope(|s| {
+            let core = &core;
+            s.spawn(move || core.worker(0));
+            let low_job = core.inject(low, Priority::Low);
+            let high_job = core.inject(high, Priority::High);
+            gate.store(true, Ordering::SeqCst);
+            high_job.wait_done();
+            low_job.wait_done();
+            core.shutdown();
+        });
+        let seq = seq.lock().unwrap().clone();
+        let pos = seq.iter().position(|s| *s == "HIGH").unwrap();
+        assert!(
+            pos <= 1,
+            "high-priority node must wait for at most one in-flight node, ran at {pos}: {seq:?}"
+        );
+    }
+
+    /// The in-flight node bound is live: submissions past the bound
+    /// block until space frees, an oversized job is still admitted
+    /// when the core is idle, and everything completes.
+    #[test]
+    fn admission_control_bounds_inflight_nodes() {
+        let executed = AtomicU32::new(0);
+        let core = Core::new(2, 4);
+        assert_eq!(core.max_inflight(), 4);
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let core = &core;
+                s.spawn(move || core.worker(w));
+            }
+            // An oversized job (6 nodes > bound 4) admits while idle.
+            let mut big = TaskGraph::new();
+            let mut prev: Option<TaskId> = None;
+            for _ in 0..6 {
+                let deps: Vec<TaskId> = prev.into_iter().collect();
+                prev = Some(big.add(&deps, || {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            core.inject(big, Priority::Normal).wait_done();
+            assert_eq!(executed.load(Ordering::SeqCst), 6);
+
+            // A burst of small jobs flows through the bound with
+            // backpressure; everything still completes.
+            let jobs: Vec<_> = (0..16)
+                .map(|_| {
+                    let mut g = TaskGraph::new();
+                    let a = g.add(&[], || {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                    });
+                    g.add(&[a], || {
+                        executed.fetch_add(1, Ordering::SeqCst);
+                    });
+                    core.inject(g, Priority::Normal)
+                })
+                .collect();
+            for job in &jobs {
+                job.wait_done();
+            }
+            assert_eq!(executed.load(Ordering::SeqCst), 6 + 32);
+            assert_eq!(core.inflight(), 0, "all admissions retired");
+            core.shutdown();
+        });
+    }
+
+    /// Admission is FIFO: an oversized request waiting for the core to
+    /// drain holds its ticket, so a stream of small submissions lands
+    /// *behind* it instead of keeping `inflight` non-zero forever and
+    /// starving it. The test terminates only if the big job admits.
+    #[test]
+    fn oversized_admission_is_not_starved_by_small_jobs() {
+        let executed = AtomicU32::new(0);
+        let core = Core::new(2, 4);
+        let chain = |len: usize| {
+            let mut g = TaskGraph::new();
+            let mut prev: Option<TaskId> = None;
+            for _ in 0..len {
+                let deps: Vec<TaskId> = prev.into_iter().collect();
+                let executed = &executed;
+                prev = Some(g.add(&deps, move || {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    std::thread::yield_now();
+                }));
+            }
+            g
+        };
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let core = &core;
+                s.spawn(move || core.worker(w));
+            }
+            // Occupy the core, then race an oversized submission (8 >
+            // bound 4, admits only at inflight == 0) against a stream
+            // of small ones submitted after it took its ticket.
+            let head = core.inject(chain(3), Priority::Normal);
+            let big = s.spawn(|| {
+                let big = core.inject(chain(8), Priority::Normal);
+                big.wait_done();
+                big.stats().tasks
+            });
+            // Give the big submission time to take its admission
+            // ticket before the small stream arrives behind it (bounded
+            // spin: if the core drained first, big admitted already and
+            // the stream is simply ordinary traffic).
+            for _ in 0..10_000 {
+                if core.admission_waiters.load(Ordering::SeqCst) > 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let trailing: Vec<_> = (0..6)
+                .map(|_| core.inject(chain(2), Priority::Normal))
+                .collect();
+            assert_eq!(big.join().unwrap(), 8, "the oversized job completed");
+            head.wait_done();
+            for job in &trailing {
+                job.wait_done();
+            }
+            assert_eq!(executed.load(Ordering::SeqCst), 3 + 8 + 12);
+            core.shutdown();
+        });
     }
 }

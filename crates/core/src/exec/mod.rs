@@ -28,8 +28,14 @@
 //!   across cores (`run_many` for workload grids, `run_jobs` for
 //!   config sweeps, and the `_sim` variants that carry cycle
 //!   simulation through the parallel region); under graph mode it
-//!   instead feeds every workload's task graph into **one** scheduler,
-//!   with results still bit-identical to the serial loop.
+//!   instead submits every workload into the shared service, with
+//!   results still bit-identical to the serial loop;
+//! * [`FocusService`] (`service` module) — the persistent serving
+//!   front end: a process-wide worker pool that outlives any batch,
+//!   accepting jobs as they arrive (`submit(job) → JobHandle`) with
+//!   per-request [`Priority`], bounded in-flight nodes (admission
+//!   backpressure), and workers that park — not exit — between
+//!   requests.
 //!
 //! Every level of parallelism preserves determinism the same way: the
 //! parallel units are pure, and reductions happen in submission order
@@ -38,13 +44,15 @@
 mod batch;
 mod executor;
 pub mod graph;
+mod service;
 mod stage;
 
-pub(crate) use graph::{run_graph_batch, PipelineGraph};
+pub(crate) use graph::PipelineGraph;
 
 pub use batch::{par_map, BatchJob, BatchRunner};
 pub use executor::{ExecMode, LayerExecutor, LayerRecord, EXEC_MODE_ENV};
-pub use graph::{SchedStats, TaskGraph, TaskId, TaskScheduler};
+pub use graph::{Priority, SchedStats, TaskGraph, TaskId, TaskScheduler};
+pub use service::{FocusService, JobHandle, ServiceConfig, ServiceStats};
 pub use stage::{
     ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
 };

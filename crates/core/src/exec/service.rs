@@ -1,0 +1,397 @@
+//! [`FocusService`]: the persistent serving front end of the task
+//! scheduler — a long-lived, process-wide worker pool that accepts
+//! pipeline runs as they arrive.
+//!
+//! The batch-scoped [`crate::exec::TaskScheduler`] builds, drains and
+//! tears its workers down per call; a serving system cannot. Here the
+//! pool outlives any one request: [`FocusService::submit`] admits a
+//! [`BatchJob`]'s task graph into the shared scheduler
+//! [`Core`](crate::exec::graph) at a caller-chosen [`Priority`] and
+//! returns a [`JobHandle`] immediately; workers park (not exit)
+//! between requests and wake on admission. Admission control bounds
+//! the in-flight node count — a submission past the bound blocks
+//! until running requests retire nodes (backpressure), so a burst of
+//! large requests cannot queue unboundedly ahead of the workers.
+//!
+//! [`JobHandle::wait`] returns the same bit-identical
+//! [`PipelineResult`] as [`ExecMode::Serial`]
+//! (`tests/batch_determinism.rs` proves it property-style across
+//! submission orders and priorities), and a panic inside one request
+//! fails only that request — its handle re-raises the original
+//! payload while the pool keeps serving.
+//!
+//! [`crate::exec::BatchRunner`] and graph-mode
+//! [`FocusPipeline::run`](crate::pipeline::FocusPipeline::run) both
+//! submit into the process-wide [`FocusService::global`] instance, so
+//! a fused batch and a stream of single requests share one pool and
+//! interleave at stage granularity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use focus_sim::{Engine, SimReport};
+
+use crate::exec::batch::BatchJob;
+use crate::exec::graph::{lock_clean, Core, JobRun, PipelineGraph, Priority, TaskGraph, TaskId};
+use crate::exec::ExecMode;
+use crate::pipeline::PipelineResult;
+
+/// Sizing of a [`FocusService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (≥ 1).
+    pub threads: usize,
+    /// In-flight node bound for admission control (≥ 1): submissions
+    /// that would push the queued+running node count past this block
+    /// until space frees. A request larger than the bound is still
+    /// admitted when the service is idle.
+    pub max_inflight_nodes: usize,
+}
+
+impl ServiceConfig {
+    /// Node budget per worker when none is given: deep enough to keep
+    /// cross-request interleaving alive, small enough that a burst of
+    /// requests feels backpressure instead of queueing unboundedly.
+    pub const DEFAULT_NODES_PER_WORKER: usize = 512;
+
+    /// A config with an explicit worker count and the default
+    /// admission bound.
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ServiceConfig {
+            threads,
+            max_inflight_nodes: threads * ServiceConfig::DEFAULT_NODES_PER_WORKER,
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    /// As wide as the rayon pool ([`rayon::current_num_threads`],
+    /// honouring `RAYON_NUM_THREADS`).
+    fn default() -> Self {
+        ServiceConfig::with_threads(rayon::current_num_threads())
+    }
+}
+
+/// Observability snapshot of a [`FocusService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Workers currently parked (blocked on the wakeup condvar, not
+    /// spinning) waiting for work.
+    pub parked: usize,
+    /// Cumulative park entries; stable while the pool idles (a
+    /// spinning worker would keep re-entering).
+    pub parks: u64,
+    /// Jobs accepted so far.
+    pub jobs_submitted: u64,
+    /// Jobs fully completed (including failed ones).
+    pub jobs_completed: u64,
+    /// Task nodes admitted but not yet retired.
+    pub inflight_nodes: usize,
+    /// The admission bound.
+    pub max_inflight_nodes: usize,
+}
+
+/// The owned inputs of one in-flight request. Boxed behind
+/// [`ServiceJob`] so the graph state can borrow them for the job's
+/// whole lifetime.
+struct ServiceInputs {
+    job: BatchJob,
+    engine: Option<Arc<Engine>>,
+}
+
+/// One admitted request: the pipeline-graph state plus the owned
+/// inputs it borrows. The node closures and the [`JobHandle`] share
+/// it through an `Arc`, which is what lets the worker pool outlive
+/// the submitting scope.
+struct ServiceJob {
+    /// Borrows `inputs`; declared first so it drops first.
+    graph: PipelineGraph<'static>,
+    /// The shared allocation `graph` points into. Kept in an `Arc`
+    /// (not a `Box`) deliberately: moving an `Arc` copies a plain
+    /// pointer without asserting unique ownership of the pointee, so
+    /// the references forged below stay valid when the `Arc` — and
+    /// `ServiceJob` itself — move. Never mutated while the job lives.
+    _inputs: Arc<ServiceInputs>,
+}
+
+impl ServiceJob {
+    fn new(job: BatchJob, depth: usize, engine: Option<Arc<Engine>>) -> Self {
+        let inputs = Arc::new(ServiceInputs { job, engine });
+        // SAFETY: `graph` borrows only from the shared allocation
+        // behind `inputs`, whose address is stable and which stays
+        // alive until the last `Arc` clone drops — and `ServiceJob`
+        // holds one, dropped strictly after `graph` (field order
+        // above). The allocation is never mutated, no unique-ownership
+        // claim is ever asserted over it (`Arc` moves are pointer
+        // copies, unlike `Box` moves), and the forged `'static` never
+        // escapes this struct: `run_node` and `take_result_parts` only
+        // hand out data the graph state owns.
+        let graph = unsafe {
+            let anchored: &'static ServiceInputs = &*Arc::as_ptr(&inputs);
+            PipelineGraph::new(
+                &anchored.job.pipeline,
+                &anchored.job.workload,
+                &anchored.job.arch,
+                depth,
+                anchored.engine.as_deref(),
+            )
+        };
+        ServiceJob {
+            graph,
+            _inputs: inputs,
+        }
+    }
+}
+
+/// Completion handle of a submitted request.
+///
+/// Dropping the handle without waiting is fine — the request still
+/// runs to completion on the pool; only the result is discarded.
+pub struct JobHandle {
+    state: Arc<ServiceJob>,
+    run: Arc<JobRun<'static>>,
+    priority: Priority,
+}
+
+impl JobHandle {
+    /// The service-wide admission id of this request.
+    pub fn id(&self) -> u64 {
+        self.run.id
+    }
+
+    /// The priority the request was admitted at.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Whether the request has finished (without blocking).
+    pub fn is_done(&self) -> bool {
+        self.run.is_done()
+    }
+
+    /// Blocks until the request completes and returns its result —
+    /// bit-identical to running the same job under
+    /// [`ExecMode::Serial`]. Re-raises the original payload if a node
+    /// of **this** request panicked (the pool itself keeps serving).
+    pub fn wait(self) -> PipelineResult {
+        self.wait_sim().0
+    }
+
+    /// Like [`JobHandle::wait`], also returning the cycle report when
+    /// the request was submitted with an engine
+    /// ([`FocusService::submit_sim`]).
+    pub fn wait_sim(self) -> (PipelineResult, Option<SimReport>) {
+        self.run.wait_done();
+        if let Some(payload) = self.run.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        self.state.graph.take_result_parts(self.run.stats())
+    }
+}
+
+/// A long-lived scheduler service: one worker pool, many requests.
+/// See the module docs for the serving model; construct one with
+/// [`FocusService::new`] for an owned pool or use the process-wide
+/// [`FocusService::global`].
+pub struct FocusService {
+    core: Arc<Core<'static>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    jobs_submitted: AtomicU64,
+}
+
+impl FocusService {
+    /// Starts a service: spawns `config.threads` workers, which park
+    /// immediately and live until the service is dropped.
+    pub fn new(config: ServiceConfig) -> Self {
+        let core = Arc::new(Core::new(config.threads, config.max_inflight_nodes));
+        let workers = (0..core.threads())
+            .map(|w| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("focus-service-{w}"))
+                    .spawn(move || core.worker(w))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        FocusService {
+            core,
+            workers: Mutex::new(workers),
+            jobs_submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide service, sized by [`ServiceConfig::default`]
+    /// on first use. Every graph-mode batch and pipeline run submits
+    /// here, so concurrent callers share one pool.
+    pub fn global() -> &'static FocusService {
+        static GLOBAL: OnceLock<FocusService> = OnceLock::new();
+        GLOBAL.get_or_init(|| FocusService::new(ServiceConfig::default()))
+    }
+
+    /// Submits one pipeline run at `priority` and returns its handle
+    /// immediately (unless admission control applies backpressure —
+    /// then the call blocks until the pool has drained enough nodes).
+    /// The cross-layer pipeline depth is taken from the job pipeline's
+    /// [`ExecMode::Graph`] depth, or [`ExecMode::DEFAULT_GRAPH_DEPTH`]
+    /// for jobs configured with a loop schedule.
+    ///
+    /// The request takes the job by value: it must own its inputs for
+    /// as long as it runs, which is independent of the submitting
+    /// stack frame. Callers holding borrows clone — a scene-descriptor
+    /// copy, negligible against the job's measured-phase work.
+    pub fn submit(&self, job: BatchJob, priority: Priority) -> JobHandle {
+        self.submit_inner(job, priority, None)
+    }
+
+    /// Like [`FocusService::submit`], additionally running the cycle
+    /// simulation in the request's `Finish` node against `engine`
+    /// (shareable across requests — it is immutable during runs).
+    pub fn submit_sim(&self, job: BatchJob, engine: Arc<Engine>, priority: Priority) -> JobHandle {
+        self.submit_inner(job, priority, Some(engine))
+    }
+
+    fn submit_inner(
+        &self,
+        job: BatchJob,
+        priority: Priority,
+        engine: Option<Arc<Engine>>,
+    ) -> JobHandle {
+        let depth = match job.pipeline.exec_mode {
+            ExecMode::Graph { depth } => depth,
+            ExecMode::Serial | ExecMode::Pipelined => ExecMode::DEFAULT_GRAPH_DEPTH,
+        };
+        let state = Arc::new(ServiceJob::new(job, depth, engine));
+        let mut graph: TaskGraph<'static> = TaskGraph::new();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (deps, kind) in state.graph.plan() {
+            let deps: Vec<TaskId> = deps.iter().map(|&d| ids[d]).collect();
+            let node_state = Arc::clone(&state);
+            ids.push(graph.add(&deps, move || node_state.graph.run_node(kind)));
+        }
+        self.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+        let run = self.core.inject(graph, priority);
+        JobHandle {
+            state,
+            run,
+            priority,
+        }
+    }
+
+    /// A point-in-time observability snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            workers: self.core.threads(),
+            parked: self.core.parked(),
+            parks: self.core.parks(),
+            jobs_submitted: self.jobs_submitted.load(Ordering::SeqCst),
+            jobs_completed: self.core.jobs_done(),
+            inflight_nodes: self.core.inflight(),
+            max_inflight_nodes: self.core.max_inflight(),
+        }
+    }
+}
+
+impl Drop for FocusService {
+    /// Graceful shutdown: workers finish the admitted backlog, then
+    /// exit; the drop joins them all.
+    fn drop(&mut self) {
+        self.core.shutdown();
+        for handle in lock_clean(&self.workers).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::FocusPipeline;
+    use focus_sim::ArchConfig;
+    use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+
+    fn tiny_job(seed: u64, arch: ArchConfig) -> BatchJob {
+        BatchJob {
+            pipeline: FocusPipeline::paper().with_exec_mode(ExecMode::Graph { depth: 2 }),
+            workload: Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                seed,
+            ),
+            arch,
+        }
+    }
+
+    #[test]
+    fn owned_service_serves_and_parks_between_jobs() {
+        let service = FocusService::new(ServiceConfig {
+            threads: 2,
+            max_inflight_nodes: 4096,
+        });
+        // Mixed priorities, three distinct architectures, one pool.
+        let jobs = [
+            (tiny_job(1, ArchConfig::focus()), Priority::Low),
+            (tiny_job(2, ArchConfig::vanilla()), Priority::High),
+            (tiny_job(3, ArchConfig::adaptiv()), Priority::Normal),
+        ];
+        let handles: Vec<JobHandle> = jobs
+            .iter()
+            .map(|(job, priority)| service.submit(job.clone(), *priority))
+            .collect();
+        assert_eq!(handles[1].priority(), Priority::High);
+        let results: Vec<PipelineResult> = handles.into_iter().map(JobHandle::wait).collect();
+        for ((job, _), result) in jobs.iter().zip(&results) {
+            let serial = job
+                .pipeline
+                .clone()
+                .with_exec_mode(ExecMode::Serial)
+                .run(&job.workload, &job.arch);
+            assert_eq!(result.work_items, serial.work_items);
+            assert_eq!(result.accuracy, serial.accuracy);
+            assert_eq!(result.prefetch_discards, 0);
+        }
+
+        // Between jobs the pool parks: both workers end up blocked on
+        // the condvar, and the park counter stops moving.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while service.stats().parked != 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "workers failed to park: {:?}",
+                service.stats()
+            );
+            std::thread::yield_now();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.jobs_submitted, 3);
+        assert_eq!(stats.jobs_completed, 3);
+        assert_eq!(stats.inflight_nodes, 0);
+
+        // Parked, not exited: the same pool serves a follow-up.
+        let again = service
+            .submit(tiny_job(1, ArchConfig::focus()), Priority::Normal)
+            .wait();
+        assert_eq!(again.work_items, results[0].work_items);
+        // Dropping the service joins the (still-alive) workers.
+        drop(service);
+    }
+
+    #[test]
+    fn submission_with_engine_carries_the_report() {
+        let service = FocusService::new(ServiceConfig::with_threads(2));
+        let job = tiny_job(7, ArchConfig::focus());
+        let engine = Arc::new(Engine::new(job.arch.clone()));
+        let (result, report) = service
+            .submit_sim(job.clone(), engine, Priority::Normal)
+            .wait_sim();
+        let fresh = Engine::new(job.arch.clone()).run(&result.work_items);
+        assert_eq!(report.expect("engine attached"), fresh);
+        // The sim-less submission has no report.
+        let (_, none) = service.submit(job, Priority::Normal).wait_sim();
+        assert!(none.is_none());
+    }
+}

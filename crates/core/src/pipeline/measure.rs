@@ -2,9 +2,15 @@
 //! synthesised activations at [`focus_vlm::WorkloadScale`] resolution.
 //!
 //! The per-layer bookkeeping lives in [`MeasureAccum`] so the loop
-//! schedules (serial, pipelined) and the task-graph schedule's `Fold`
-//! nodes share one absorption routine — identical arithmetic order,
-//! hence bit-identical results across every [`crate::exec::ExecMode`].
+//! schedules (serial, pipelined) and the task-graph schedule's
+//! `Absorb` nodes share one absorption routine — identical arithmetic
+//! order, hence bit-identical results across every
+//! [`crate::exec::ExecMode`]. The *pure* half of the per-layer fold
+//! (reducing the four gather stages' statistics into a
+//! [`LayerRecord`]) is `fold_gathers` in the executor; the graph
+//! schedule runs it in parallel-safe `FoldStats` nodes off the
+//! ordered chain, so only this accumulator's cheap `absorb` is
+//! sequential.
 
 use focus_vlm::accuracy::TokenOutcome;
 use focus_vlm::Workload;
@@ -18,7 +24,7 @@ use crate::pipeline::FocusPipeline;
 ///
 /// [`MeasureAccum::absorb`] must be called once per layer in layer
 /// order (the loop schedules call it inline; the task graph chains its
-/// `Fold(l)` nodes on `Fold(l-1)` to guarantee the same order).
+/// `Absorb(l)` nodes on `Absorb(l-1)` to guarantee the same order).
 /// Measurement propagation onto unmeasured layers happens streamingly
 /// at absorption: an unmeasured layer copies the stage statistics of
 /// the nearest measured layer below it. (Layer 0 measures whenever SIC

@@ -37,7 +37,7 @@ use focus_vlm::Workload;
 
 use crate::config::FocusConfig;
 use crate::exec::graph::{TaskGraph, TaskScheduler};
-use crate::exec::{ExecMode, PipelineGraph};
+use crate::exec::{BatchJob, ExecMode, FocusService, PipelineGraph, Priority};
 
 /// The configured pipeline.
 #[derive(Clone, Debug)]
@@ -88,10 +88,22 @@ impl FocusPipeline {
     }
 
     /// Runs the measured phase and lowers to paper scale.
+    ///
+    /// Under [`ExecMode::Graph`] the run is submitted to the
+    /// process-wide [`FocusService`] — one long-lived worker pool
+    /// serves every graph-mode run and batch in the process, so
+    /// concurrent callers interleave at stage granularity instead of
+    /// each spinning up a scheduler. Results stay bit-identical to the
+    /// loop schedules.
     pub fn run(&self, workload: &Workload, arch: &ArchConfig) -> PipelineResult {
         match self.exec_mode {
-            ExecMode::Graph { depth } => {
-                self.run_graph(workload, arch, depth, &TaskScheduler::new())
+            ExecMode::Graph { .. } => {
+                let job = BatchJob {
+                    pipeline: self.clone(),
+                    workload: workload.clone(),
+                    arch: arch.clone(),
+                };
+                FocusService::global().submit(job, Priority::Normal).wait()
             }
             ExecMode::Serial | ExecMode::Pipelined => {
                 let measured = self.measure(workload);
@@ -101,13 +113,14 @@ impl FocusPipeline {
     }
 
     /// Runs the whole pipeline — measured phase **and** lowering — as
-    /// one task graph on `scheduler`, at cross-layer pipeline depth
-    /// `depth` (see [`ExecMode::Graph`]). Bit-identical to
-    /// [`FocusPipeline::run`] under any mode, for any depth, thread
-    /// count and workload — `tests/batch_determinism.rs` proves it
-    /// property-style. [`FocusPipeline::run`] routes here when the
-    /// mode is [`ExecMode::Graph`]; call it directly to pin the
-    /// scheduler width (e.g. in tests and benches).
+    /// one task graph on a private batch-scoped `scheduler`, at
+    /// cross-layer pipeline depth `depth` (see [`ExecMode::Graph`]).
+    /// Bit-identical to [`FocusPipeline::run`] under any mode, for any
+    /// depth, thread count and workload — `tests/batch_determinism.rs`
+    /// proves it property-style. [`FocusPipeline::run`] submits
+    /// graph-mode runs to the shared [`FocusService`] instead; call
+    /// this directly to pin the scheduler width (e.g. in tests and
+    /// benches).
     pub fn run_graph(
         &self,
         workload: &Workload,

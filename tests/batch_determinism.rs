@@ -9,8 +9,8 @@
 //! nothing.
 
 use focus::core::exec::{
-    BatchJob, BatchRunner, ConcentrationStage, ExecMode, GatherStage, LayerCtx, LayerExecutor,
-    StageOutput, StageWorkspace, TaskScheduler,
+    BatchJob, BatchRunner, ConcentrationStage, ExecMode, FocusService, GatherStage, JobHandle,
+    LayerCtx, LayerExecutor, Priority, ServiceConfig, StageOutput, StageWorkspace, TaskScheduler,
 };
 use focus::core::pipeline::{FocusPipeline, PipelineResult};
 use focus::core::sic::{ConvLayouter, Fhw};
@@ -184,6 +184,164 @@ proptest! {
             &format!("graph depth {depth} x{threads}, schedule seed {seed}, int8 {int8}"),
         );
     }
+
+    /// Serving-path determinism: jobs with distinct configurations and
+    /// architectures, submitted **out of order** at **mixed
+    /// priorities** through the one shared [`FocusService`], come back
+    /// bit-identical to [`ExecMode::Serial`] — and sequential walks
+    /// through the service never discard speculative work
+    /// (`assert_identical` pins `prefetch_discards` to zero).
+    #[test]
+    fn service_submissions_match_serial_for_any_order_and_priority(
+        perm in 0usize..24,
+        prios in proptest::collection::vec(0usize..3, 4..5),
+        depth in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        force_parallel_pool();
+        let archs = [
+            ArchConfig::focus(),
+            ArchConfig::vanilla(),
+            ArchConfig::adaptiv(),
+            ArchConfig::cmc(),
+        ];
+        let mut low_threshold = FocusConfig::paper();
+        low_threshold.threshold = 0.8;
+        let mut small_tiles = FocusConfig::paper();
+        small_tiles.tile_m = 256;
+        let configs = [
+            FocusConfig::paper(),
+            FocusConfig::sec_only(),
+            low_threshold,
+            small_tiles,
+        ];
+        let jobs: Vec<BatchJob> = configs
+            .into_iter()
+            .zip(&archs)
+            .map(|(cfg, arch)| BatchJob {
+                pipeline: FocusPipeline::with_config(cfg)
+                    .with_exec_mode(ExecMode::Graph { depth }),
+                workload: Workload::new(
+                    ModelKind::LlavaVideo7B,
+                    DatasetKind::VideoMme,
+                    WorkloadScale::tiny(),
+                    seed,
+                ),
+                arch: arch.clone(),
+            })
+            .collect();
+        // Decode `perm` (mixed-radix Lehmer code) into the submission
+        // order, so the proptest sweep covers all 4! interleavings.
+        let mut remaining: Vec<usize> = (0..jobs.len()).collect();
+        let mut order = Vec::new();
+        let mut code = perm;
+        for radix in (1..=jobs.len()).rev() {
+            order.push(remaining.remove(code % radix));
+            code /= radix;
+        }
+        let service = FocusService::global();
+        let mut handles: Vec<Option<JobHandle>> = (0..jobs.len()).map(|_| None).collect();
+        for &i in &order {
+            handles[i] = Some(service.submit(jobs[i].clone(), Priority::ALL[prios[i]]));
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            let result = handle.expect("every job submitted").wait();
+            let serial = jobs[i]
+                .pipeline
+                .clone()
+                .with_exec_mode(ExecMode::Serial)
+                .run(&jobs[i].workload, &jobs[i].arch);
+            assert_identical(
+                &result,
+                &serial,
+                &format!("service job {i}, order {order:?}, priorities {prios:?}"),
+            );
+        }
+    }
+}
+
+/// The serving acceptance shape: one shared [`FocusService`] takes
+/// staggered, mixed-priority submissions of three distinct
+/// architectures; every result is bit-identical to
+/// [`ExecMode::Serial`], and between requests the workers are
+/// *parked* — not spinning, not exited.
+#[test]
+fn shared_service_serves_staggered_mixed_priority_requests() {
+    force_parallel_pool();
+    // An owned service so the parked/completion counters are not
+    // shared with concurrently running tests.
+    let service = FocusService::new(ServiceConfig {
+        threads: 3,
+        max_inflight_nodes: 1024,
+    });
+    let cells = [
+        (ArchConfig::focus(), Priority::Normal, 1u64),
+        (ArchConfig::vanilla(), Priority::High, 2),
+        (ArchConfig::adaptiv(), Priority::Low, 3),
+        (ArchConfig::focus(), Priority::High, 4),
+        (ArchConfig::vanilla(), Priority::Low, 5),
+    ];
+    let jobs: Vec<BatchJob> = cells
+        .iter()
+        .map(|(arch, _, seed)| BatchJob {
+            pipeline: FocusPipeline::paper().with_exec_mode(ExecMode::Graph { depth: 2 }),
+            workload: Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                *seed,
+            ),
+            arch: arch.clone(),
+        })
+        .collect();
+
+    // Staggered arrivals: each request lands while earlier ones are
+    // (possibly) still in flight — the streaming regime, not a fused
+    // batch.
+    let handles: Vec<JobHandle> = jobs
+        .iter()
+        .zip(&cells)
+        .map(|(job, (_, priority, _))| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            service.submit(job.clone(), *priority)
+        })
+        .collect();
+    for (job, handle) in jobs.iter().zip(handles) {
+        let result = handle.wait();
+        let serial = job
+            .pipeline
+            .clone()
+            .with_exec_mode(ExecMode::Serial)
+            .run(&job.workload, &job.arch);
+        assert_identical(&result, &serial, "staggered service request");
+    }
+
+    // Quiesce: all workers park (blocked on the condvar).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.stats().parked != 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "workers failed to park between jobs: {:?}",
+            service.stats()
+        );
+        std::thread::yield_now();
+    }
+    // Parked means parked: the cumulative park counter stops moving (a
+    // spinning worker would keep re-entering the park).
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, cells.len() as u64);
+    assert_eq!(stats.inflight_nodes, 0);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    assert_eq!(service.stats().parks, stats.parks, "workers must not spin");
+
+    // And parked ≠ exited: the same pool serves a follow-up request.
+    let again = service.submit(jobs[0].clone(), Priority::Normal).wait();
+    let serial = jobs[0]
+        .pipeline
+        .clone()
+        .with_exec_mode(ExecMode::Serial)
+        .run(&jobs[0].workload, &jobs[0].arch);
+    assert_identical(&again, &serial, "post-idle service request");
 }
 
 /// The graph-mode batch path — every workload's task graph on **one**

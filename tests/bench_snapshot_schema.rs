@@ -46,6 +46,9 @@ fn bench_snapshot_has_the_expected_shape() {
         "serial_resynthesis_s",
         "pipelined_batched_s",
         "graph_batched_s",
+        "service_staggered_s",
+        "service_jobs_per_s",
+        "service_workers",
         "synthesis_only_s",
         "speedup",
         "graph_vs_pipelined",
@@ -61,5 +64,9 @@ fn bench_snapshot_has_the_expected_shape() {
     assert!(
         field(&json, "threads") >= 2.0,
         "the snapshot must be taken with >= 2 workers (the overlap under test)"
+    );
+    assert!(
+        field(&json, "service_workers") >= 2.0,
+        "the staggered serving leg must run on a pool of >= 2 workers"
     );
 }
