@@ -25,6 +25,10 @@
 //!   small arrival gap) into the persistent `FocusService`, measured
 //!   as jobs/sec against the batch-fused graph leg above, which
 //!   submits the same cells as one burst.
+//! * `stream/session_12_frames_window2` — the streaming shape: one
+//!   `StreamSession` pushes 12 frames of one feed through a two-frame
+//!   in-flight window (per-frame admission, blocking backpressure,
+//!   warm scratch recycling), measured as frames/sec.
 //!
 //! Under `cargo bench` (not `--test` smoke mode) the grid comparison
 //! also writes a `BENCH_batch.json` throughput snapshot to the repo
@@ -37,8 +41,8 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, Criterion};
 use focus_bench::{video_grid, EVAL_SEED};
 use focus_core::exec::{
-    BatchJob, BatchRunner, ExecMode, FocusService, GatherStage, JobHandle, LayerCtx, LayerExecutor,
-    Priority, StageWorkspace,
+    BatchJob, BatchRunner, ExecMode, FocusService, FrameHandle, GatherStage, JobHandle, LayerCtx,
+    LayerExecutor, Priority, StageWorkspace, StreamConfig, StreamSession,
 };
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
 use focus_core::FocusConfig;
@@ -146,6 +150,52 @@ fn staggered_service(wls: &[Workload]) -> Vec<(PipelineResult, SimReport)> {
         .collect()
 }
 
+/// Frames of the streaming leg: one feed (fixed model/dataset/scale),
+/// per-frame scenes varying by seed — the session geometry stays
+/// fixed, so warm state recycles across every admission.
+const STREAM_FRAMES: u64 = 12;
+
+/// The session's in-flight window (matches the default double-buffered
+/// stream shape).
+const STREAM_WINDOW: usize = 2;
+
+fn stream_frame_workloads() -> Vec<Workload> {
+    (0..STREAM_FRAMES)
+        .map(|frame| {
+            Workload::new(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                EVAL_SEED + frame,
+            )
+        })
+        .collect()
+}
+
+/// The streaming-session leg: one `StreamSession` against the global
+/// service pushes `STREAM_FRAMES` frames of one feed through a
+/// `STREAM_WINDOW`-deep in-flight window — per-frame admission with
+/// backpressure and warm scratch recycling, the regime the batch legs
+/// never exercise.
+fn stream_session(wls: &[Workload]) -> Vec<PipelineResult> {
+    let mut session = StreamSession::open(
+        FocusService::global(),
+        FocusPipeline::paper().with_exec_mode(ExecMode::Graph {
+            depth: ExecMode::DEFAULT_GRAPH_DEPTH,
+        }),
+        ArchConfig::focus(),
+        StreamConfig {
+            window: STREAM_WINDOW,
+            priority: Priority::Normal,
+        },
+    );
+    let handles: Vec<FrameHandle> = wls
+        .iter()
+        .map(|wl| session.push_frame(wl.clone()))
+        .collect();
+    handles.into_iter().map(FrameHandle::wait).collect()
+}
+
 /// The measured-layer walk of one workload: every `(layer, retained)`
 /// pair whose gathers actually run, captured once so the synthesis
 /// bench replays exactly the `Synth` node inputs of the grid.
@@ -246,6 +296,13 @@ fn bench_service_throughput(c: &mut Criterion) {
     });
 }
 
+fn bench_stream_session(c: &mut Criterion) {
+    let wls = stream_frame_workloads();
+    c.bench_function("stream/session_12_frames_window2", |b| {
+        b.iter(|| stream_session(&wls))
+    });
+}
+
 /// The synthesis-only fixture: the grid's measured walks, the four
 /// gather stages at paper config/fp16, and one workspace set per
 /// workload. One constructor serves both the criterion leg and the
@@ -286,7 +343,7 @@ criterion_group! {
     name = batch;
     config = Criterion::default().sample_size(10);
     targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new,
-        bench_measured_graph, bench_service_throughput, bench_synthesis
+        bench_measured_graph, bench_service_throughput, bench_stream_session, bench_synthesis
 }
 
 fn median_secs(samples: &mut [Duration]) -> f64 {
@@ -311,10 +368,13 @@ fn write_snapshot() {
     let graph_runner = graph_runner();
     let (walks, stages, mut ws) = synthesis_fixture(&wls);
 
+    let stream_wls = stream_frame_workloads();
+
     let mut old = Vec::with_capacity(SAMPLES);
     let mut new = Vec::with_capacity(SAMPLES);
     let mut graph = Vec::with_capacity(SAMPLES);
     let mut service = Vec::with_capacity(SAMPLES);
+    let mut stream = Vec::with_capacity(SAMPLES);
     let mut synth = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t = Instant::now();
@@ -330,6 +390,9 @@ fn write_snapshot() {
         criterion::black_box(staggered_service(&wls));
         service.push(t.elapsed());
         let t = Instant::now();
+        criterion::black_box(stream_session(&stream_wls));
+        stream.push(t.elapsed());
+        let t = Instant::now();
         for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
             synthesis_pass(wl, walk, &stages, ws);
         }
@@ -338,12 +401,19 @@ fn write_snapshot() {
     let (old_s, new_s) = (median_secs(&mut old), median_secs(&mut new));
     let (graph_s, synth_s) = (median_secs(&mut graph), median_secs(&mut synth));
     let service_s = median_secs(&mut service);
+    let stream_s = median_secs(&mut stream);
     let speedup = old_s / new_s;
     let graph_vs_pipelined = new_s / graph_s;
     let service_jobs_per_s = wls.len() as f64 / service_s;
-    let service_workers = FocusService::global().stats().workers;
+    let stream_frames_per_s = STREAM_FRAMES as f64 / stream_s;
+    let service_stats = FocusService::global().stats();
+    let service_workers = service_stats.workers;
+    // Cumulative fair-queue service per class across every leg above:
+    // the staggered leg cycles all three priorities and the stream leg
+    // runs Normal, so all three counters are live.
+    let [served_high, served_normal, served_low] = service_stats.served_by_priority;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
         rayon::current_num_threads(),
         old_s,
@@ -352,6 +422,13 @@ fn write_snapshot() {
         service_s,
         service_jobs_per_s,
         service_workers,
+        stream_s,
+        STREAM_FRAMES,
+        STREAM_WINDOW,
+        stream_frames_per_s,
+        served_high,
+        served_normal,
+        served_low,
         synth_s,
         speedup,
         graph_vs_pipelined,
@@ -362,7 +439,8 @@ fn write_snapshot() {
         Ok(()) => println!(
             "\nBENCH_batch.json snapshot: speedup {speedup:.2}x, \
              graph vs pipelined {graph_vs_pipelined:.2}x, \
-             service {service_jobs_per_s:.1} jobs/s\n{json}"
+             service {service_jobs_per_s:.1} jobs/s, \
+             stream {stream_frames_per_s:.1} frames/s\n{json}"
         ),
         Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
     }

@@ -56,13 +56,14 @@ impl BatchJob {
 /// path was not kept alongside the serving path.
 fn through_service(
     jobs: impl IntoIterator<Item = (BatchJob, Option<Arc<Engine>>)>,
+    priority: Priority,
 ) -> Vec<(PipelineResult, Option<SimReport>)> {
     let service = FocusService::global();
     let handles: Vec<JobHandle> = jobs
         .into_iter()
         .map(|(job, engine)| match engine {
-            Some(engine) => service.submit_sim(job, engine, Priority::Normal),
-            None => service.submit(job, Priority::Normal),
+            Some(engine) => service.submit_sim(job, engine, priority),
+            None => service.submit(job, priority),
         })
         .collect();
     handles.into_iter().map(JobHandle::wait_sim).collect()
@@ -73,17 +74,32 @@ fn through_service(
 pub struct BatchRunner {
     pipeline: FocusPipeline,
     arch: ArchConfig,
+    priority: Priority,
 }
 
 impl BatchRunner {
     /// A runner for `pipeline` lowering against `arch`.
     pub fn new(pipeline: FocusPipeline, arch: ArchConfig) -> Self {
-        BatchRunner { pipeline, arch }
+        BatchRunner {
+            pipeline,
+            arch,
+            priority: Priority::Normal,
+        }
     }
 
     /// The Table I pipeline on the Focus architecture.
     pub fn paper() -> Self {
         BatchRunner::new(FocusPipeline::paper(), ArchConfig::focus())
+    }
+
+    /// The same runner at a different fair-queue weight class: a
+    /// background sweep submitted at [`Priority::Low`] shares workers
+    /// with interactive traffic at the weight ratio instead of
+    /// competing head-on (graph-mode batches only — loop-mode fan-out
+    /// has no queue to weight).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// The pipeline this runner applies.
@@ -115,10 +131,13 @@ impl BatchRunner {
     /// submitter.
     pub fn run_many(&self, workloads: &[Workload]) -> Vec<PipelineResult> {
         if let ExecMode::Graph { .. } = self.pipeline.exec_mode {
-            return through_service(self.jobs_for(workloads).into_iter().map(|j| (j, None)))
-                .into_iter()
-                .map(|(result, _)| result)
-                .collect();
+            return through_service(
+                self.jobs_for(workloads).into_iter().map(|j| (j, None)),
+                self.priority,
+            )
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect();
         }
         workloads
             .par_iter()
@@ -135,7 +154,7 @@ impl BatchRunner {
     /// graphs individually.
     pub fn run_jobs(jobs: &[BatchJob]) -> Vec<PipelineResult> {
         if all_graph(jobs) {
-            return through_service(jobs.iter().map(|j| (j.clone(), None)))
+            return through_service(jobs.iter().map(|j| (j.clone(), None)), Priority::Normal)
                 .into_iter()
                 .map(|(result, _)| result)
                 .collect();
@@ -158,6 +177,7 @@ impl BatchRunner {
                 self.jobs_for(workloads)
                     .into_iter()
                     .map(|j| (j, Some(Arc::clone(&engine)))),
+                self.priority,
             )
             .into_iter()
             .map(|(result, report)| (result, report.expect("engine attached")))
@@ -196,6 +216,7 @@ impl BatchRunner {
                 jobs.iter()
                     .zip(engine_for)
                     .map(|(job, engine)| (job.clone(), Some(engine))),
+                Priority::Normal,
             )
             .into_iter()
             .map(|(result, report)| (result, report.expect("engine attached")))

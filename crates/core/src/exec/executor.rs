@@ -2,17 +2,20 @@
 //! similarity-gather stages through one streaming loop per layer,
 //! optionally pipelining across layers the way the hardware does.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
 use focus_vlm::embedding::Stage;
 use focus_vlm::Workload;
 
+use crate::exec::graph::lock_clean;
 use crate::exec::stage::{
-    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
+    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageScratch,
+    StageWorkspace,
 };
 use crate::pipeline::{FocusPipeline, SecLayerStats};
+use crate::session::{RetentionPlan, SessionGeometry};
 use crate::sic::{ConvLayouter, Fhw, MatrixGatherStats};
 
 /// Environment variable overriding the measured-phase schedule
@@ -245,10 +248,11 @@ struct SecAhead {
 pub struct LayerExecutor<'w> {
     workload: &'w Workload,
     layers: usize,
-    stride: usize,
-    enable_sic: bool,
     mode: ExecMode,
-    prune_layers: Vec<usize>,
+    /// The measurement plan: prune layers, measured-layer predicate,
+    /// full-set positions. Derived fresh per run — or shared across
+    /// every frame of a [`crate::exec::StreamSession`].
+    plan: Arc<RetentionPlan>,
     layouter: ConvLayouter,
     semantic: SemanticStage<'w>,
     gathers: Vec<GatherStage>,
@@ -276,28 +280,57 @@ impl<'w> LayerExecutor<'w> {
 
     /// Builds the executor with an explicit schedule.
     pub fn with_mode(pipeline: &FocusPipeline, workload: &'w Workload, mode: ExecMode) -> Self {
+        LayerExecutor::with_parts(pipeline, workload, mode, None, None)
+    }
+
+    /// Builds the executor from session-donated parts: a shared
+    /// [`RetentionPlan`] (derived fresh when `None`) and recycled
+    /// [`StageScratch`] sets (`stages × ring`, stage-major, matching
+    /// the workspace indexing; fresh allocations when `None`). The
+    /// warm path of [`crate::exec::StreamSession`]; behaviour is
+    /// bit-identical either way.
+    pub(crate) fn with_parts(
+        pipeline: &FocusPipeline,
+        workload: &'w Workload,
+        mode: ExecMode,
+        plan: Option<Arc<RetentionPlan>>,
+        scratch: Option<Vec<StageScratch>>,
+    ) -> Self {
         let scaled = workload.scaled_model();
         let config = &pipeline.focus;
-        let prune_layers = (0..scaled.layers)
-            .filter(|&l| config.schedule.prune_at(l).is_some())
-            .collect();
+        let plan = plan.unwrap_or_else(|| Arc::new(RetentionPlan::derive(config, workload)));
+        assert_eq!(
+            plan.geometry(),
+            SessionGeometry::of(workload),
+            "retention plan geometry must match the workload"
+        );
         let gathers: Vec<GatherStage> = Stage::GATHER_POINTS
             .iter()
             .map(|&s| GatherStage::new(config, s, pipeline.dtype))
             .collect();
         // Serial mode only ever calls `run_fresh`, which builds its own
         // state — don't charge it idle workspaces (ring = 0).
-        let gather_ws = gathers
-            .iter()
-            .flat_map(|_| (0..mode.ring()).map(|_| Mutex::new(StageWorkspace::new(workload))))
-            .collect();
+        let gather_ws: Vec<Mutex<StageWorkspace<'w>>> = match scratch {
+            Some(sets) => {
+                assert_eq!(
+                    sets.len(),
+                    gathers.len() * mode.ring(),
+                    "donated scratch must cover stages x ring"
+                );
+                sets.into_iter()
+                    .map(|s| Mutex::new(StageWorkspace::with_scratch(workload, s)))
+                    .collect()
+            }
+            None => gathers
+                .iter()
+                .flat_map(|_| (0..mode.ring()).map(|_| Mutex::new(StageWorkspace::new(workload))))
+                .collect(),
+        };
         LayerExecutor {
             workload,
             layers: scaled.layers,
-            stride: workload.scale().measured_layer_stride.max(1),
-            enable_sic: config.enable_sic,
             mode,
-            prune_layers,
+            plan,
             layouter: ConvLayouter::new(scaled.grid_h, scaled.grid_w),
             semantic: SemanticStage::new(config, workload),
             gathers,
@@ -352,13 +385,29 @@ impl<'w> LayerExecutor<'w> {
         &self.gather_ws[stage * self.mode.ring() + slot]
     }
 
-    /// Whether the gather stages measure at `layer` (every `stride`
-    /// layers, the final layer, and every pruning layer).
+    /// Whether the gather stages measure at `layer` (every stride-th
+    /// layer, the final layer, and every pruning layer — per the
+    /// retention plan).
     pub(crate) fn measures_at(&self, layer: usize) -> bool {
-        self.enable_sic
-            && (layer.is_multiple_of(self.stride)
-                || layer + 1 == self.layers
-                || self.prune_layers.contains(&layer))
+        self.plan.measures_at(layer)
+    }
+
+    /// The measurement plan in effect (shared across a session's
+    /// frames, or private to this run).
+    pub(crate) fn plan(&self) -> &Arc<RetentionPlan> {
+        &self.plan
+    }
+
+    /// Takes the workload-independent scratch out of every workspace
+    /// (stage-major, ring-minor — the [`LayerExecutor::with_parts`]
+    /// donation order), leaving placeholders. Only valid once no stage
+    /// node will run again; recovers from workspace mutexes poisoned
+    /// by a panicked frame.
+    pub(crate) fn reclaim_scratch(&self) -> Vec<StageScratch> {
+        self.gather_ws
+            .iter()
+            .map(|ws| lock_clean(ws).take_scratch())
+            .collect()
     }
 
     /// Runs (or redeems a prefetch of) the semantic stage at `layer`.
@@ -405,15 +454,27 @@ impl<'w> LayerExecutor<'w> {
             return record;
         }
 
-        let positions: Vec<Option<Fhw>> = retained
-            .iter()
-            .map(|&t| Some(self.layouter.position_of(t)))
-            .collect();
+        // Early unpruned layers see the full retained set, whose
+        // position table the plan already holds (derived once per run
+        // — or once per *session*, shared across every frame of a
+        // stream); only genuinely pruned sets decode positions here.
+        let owned_positions: Vec<Option<Fhw>>;
+        let positions: &[Option<Fhw>] = if retained.len() == self.plan.geometry().m_img
+            && retained.iter().copied().eq(0..retained.len())
+        {
+            self.plan.full_positions()
+        } else {
+            owned_positions = retained
+                .iter()
+                .map(|&t| Some(self.layouter.position_of(t)))
+                .collect();
+            &owned_positions
+        };
         let ctx = LayerCtx {
             workload: self.workload,
             layer,
             retained,
-            positions: &positions,
+            positions,
         };
 
         let outputs: Vec<StageOutput> = match self.mode {

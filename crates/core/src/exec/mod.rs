@@ -33,9 +33,16 @@
 //! * [`FocusService`] (`service` module) — the persistent serving
 //!   front end: a process-wide worker pool that outlives any batch,
 //!   accepting jobs as they arrive (`submit(job) → JobHandle`) with
-//!   per-request [`Priority`], bounded in-flight nodes (admission
-//!   backpressure), and workers that park — not exit — between
-//!   requests.
+//!   per-request [`Priority`] (a *weight* in the scheduler's fair
+//!   queue — no class can starve another), bounded in-flight nodes
+//!   (admission backpressure), and workers that park — not exit —
+//!   between requests;
+//! * [`StreamSession`] (`stream` module) — per-frame admission of an
+//!   unbounded video feed: `push_frame(workload) → FrameHandle` admits
+//!   one graph per frame, a bounded in-flight window applies blocking
+//!   backpressure, and warm per-session state (shared retention plan,
+//!   recycled stage scratch — see [`crate::session`]) rides across
+//!   frames with results bit-identical to the serial per-frame loop.
 //!
 //! Every level of parallelism preserves determinism the same way: the
 //! parallel units are pure, and reductions happen in submission order
@@ -46,6 +53,7 @@ mod executor;
 pub mod graph;
 mod service;
 mod stage;
+mod stream;
 
 pub(crate) use graph::PipelineGraph;
 
@@ -54,5 +62,7 @@ pub use executor::{ExecMode, LayerExecutor, LayerRecord, EXEC_MODE_ENV};
 pub use graph::{Priority, SchedStats, TaskGraph, TaskId, TaskScheduler};
 pub use service::{FocusService, JobHandle, ServiceConfig, ServiceStats};
 pub use stage::{
-    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageWorkspace,
+    ConcentrationStage, GatherStage, LayerCtx, SemanticStage, StageOutput, StageScratch,
+    StageWorkspace,
 };
+pub use stream::{FrameHandle, SessionStats, StreamConfig, StreamSession};

@@ -26,7 +26,7 @@
 //! a fused batch and a stream of single requests share one pool and
 //! interleave at stage granularity.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -36,6 +36,7 @@ use crate::exec::batch::BatchJob;
 use crate::exec::graph::{lock_clean, Core, JobRun, PipelineGraph, Priority, TaskGraph, TaskId};
 use crate::exec::ExecMode;
 use crate::pipeline::PipelineResult;
+use crate::session::FrameWarm;
 
 /// Sizing of a [`FocusService`].
 #[derive(Clone, Copy, Debug)]
@@ -93,6 +94,24 @@ pub struct ServiceStats {
     pub inflight_nodes: usize,
     /// The admission bound.
     pub max_inflight_nodes: usize,
+    /// Tasks currently waiting in the global fair queue, per priority
+    /// class (`Priority::ALL` order reversed — index by
+    /// [`Priority::index`]: High, Normal, Low).
+    pub queued_by_priority: [usize; Priority::LEVELS],
+    /// Nodes executed (or skip-drained) per priority class, cumulative
+    /// ([`Priority::index`] order). The weighted-fair shares show up
+    /// here: under sustained mixed load the per-class rates track the
+    /// [`Priority::weight`] ratios.
+    pub served_by_priority: [u64; Priority::LEVELS],
+    /// Per-class fair-queue *deficit*: how far (in virtual time) each
+    /// class's oldest queued task trails the virtual clock — the live
+    /// aging debt owed to that class ([`Priority::index`] order). Zero
+    /// when the class has nothing queued; bounded by the weight ratios
+    /// times the admitted backlog, never unbounded (that's the
+    /// no-starvation guarantee).
+    pub deficit_by_priority: [u64; Priority::LEVELS],
+    /// Streaming sessions currently open against this service.
+    pub sessions_open: usize,
 }
 
 /// The owned inputs of one in-flight request. Boxed behind
@@ -106,10 +125,11 @@ struct ServiceInputs {
 /// One admitted request: the pipeline-graph state plus the owned
 /// inputs it borrows. The node closures and the [`JobHandle`] share
 /// it through an `Arc`, which is what lets the worker pool outlive
-/// the submitting scope.
-struct ServiceJob {
+/// the submitting scope (and what lets a [`crate::exec::StreamSession`]
+/// keep a reference for warm-state reclamation after completion).
+pub(crate) struct ServiceJob {
     /// Borrows `inputs`; declared first so it drops first.
-    graph: PipelineGraph<'static>,
+    pub(crate) graph: PipelineGraph<'static>,
     /// The shared allocation `graph` points into. Kept in an `Arc`
     /// (not a `Box`) deliberately: moving an `Arc` copies a plain
     /// pointer without asserting unique ownership of the pointee, so
@@ -119,7 +139,12 @@ struct ServiceJob {
 }
 
 impl ServiceJob {
-    fn new(job: BatchJob, depth: usize, engine: Option<Arc<Engine>>) -> Self {
+    fn new(
+        job: BatchJob,
+        depth: usize,
+        engine: Option<Arc<Engine>>,
+        warm: Option<FrameWarm>,
+    ) -> Self {
         let inputs = Arc::new(ServiceInputs { job, engine });
         // SAFETY: `graph` borrows only from the shared allocation
         // behind `inputs`, whose address is stable and which stays
@@ -129,15 +154,17 @@ impl ServiceJob {
         // claim is ever asserted over it (`Arc` moves are pointer
         // copies, unlike `Box` moves), and the forged `'static` never
         // escapes this struct: `run_node` and `take_result_parts` only
-        // hand out data the graph state owns.
+        // hand out data the graph state owns. (`warm` is owned data —
+        // no borrows to anchor.)
         let graph = unsafe {
             let anchored: &'static ServiceInputs = &*Arc::as_ptr(&inputs);
-            PipelineGraph::new(
+            PipelineGraph::with_warm(
                 &anchored.job.pipeline,
                 &anchored.job.workload,
                 &anchored.job.arch,
                 depth,
                 anchored.engine.as_deref(),
+                warm,
             )
         };
         ServiceJob {
@@ -157,6 +184,18 @@ pub struct JobHandle {
     priority: Priority,
 }
 
+impl std::fmt::Debug for JobHandle {
+    /// Identity + liveness only (the graph state is not printable) —
+    /// enough for `try_wait().expect(...)`-style call sites.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id())
+            .field("priority", &self.priority)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
 impl JobHandle {
     /// The service-wide admission id of this request.
     pub fn id(&self) -> u64 {
@@ -168,9 +207,30 @@ impl JobHandle {
         self.priority
     }
 
-    /// Whether the request has finished (without blocking).
+    /// Whether the request has finished (without blocking). `true`
+    /// means [`JobHandle::wait`]/[`JobHandle::try_wait`] will not
+    /// block (they may still re-raise the request's panic).
     pub fn is_done(&self) -> bool {
         self.run.is_done()
+    }
+
+    /// Non-blocking completion probe: the result if the request has
+    /// finished, the handle back otherwise. Stream pollers drive many
+    /// in-flight frames without parking on any single one —
+    /// `while let Err(h) = handle.try_wait() { handle = h; do other
+    /// work }`. Like [`JobHandle::wait`], re-raises the request's
+    /// panic payload on a completed-but-failed request.
+    pub fn try_wait(self) -> Result<PipelineResult, JobHandle> {
+        self.try_wait_sim().map(|(result, _)| result)
+    }
+
+    /// [`JobHandle::try_wait`] for simulation-carrying submissions.
+    pub fn try_wait_sim(self) -> Result<(PipelineResult, Option<SimReport>), JobHandle> {
+        if self.is_done() {
+            Ok(self.wait_sim())
+        } else {
+            Err(self)
+        }
     }
 
     /// Blocks until the request completes and returns its result —
@@ -191,6 +251,12 @@ impl JobHandle {
         }
         self.state.graph.take_result_parts(self.run.stats())
     }
+
+    /// The request's shared state and run record, for the session
+    /// layer's window tracking and warm-state reclamation.
+    pub(crate) fn parts(&self) -> (Arc<ServiceJob>, Arc<JobRun<'static>>) {
+        (Arc::clone(&self.state), Arc::clone(&self.run))
+    }
 }
 
 /// A long-lived scheduler service: one worker pool, many requests.
@@ -201,6 +267,9 @@ pub struct FocusService {
     core: Arc<Core<'static>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     jobs_submitted: AtomicU64,
+    /// Streaming sessions currently open ([`crate::exec::StreamSession`]
+    /// increments on open, decrements on drop).
+    sessions_open: AtomicUsize,
 }
 
 impl FocusService {
@@ -221,6 +290,7 @@ impl FocusService {
             core,
             workers: Mutex::new(workers),
             jobs_submitted: AtomicU64::new(0),
+            sessions_open: AtomicUsize::new(0),
         }
     }
 
@@ -254,17 +324,46 @@ impl FocusService {
         self.submit_inner(job, priority, Some(engine))
     }
 
+    /// Like [`FocusService::submit`], additionally threading a
+    /// session's warm frame state (shared retention plan, recycled
+    /// scratch) into the request's graph — the admission path of
+    /// [`crate::exec::StreamSession::push_frame`].
+    pub(crate) fn submit_warm(
+        &self,
+        job: BatchJob,
+        priority: Priority,
+        engine: Option<Arc<Engine>>,
+        warm: FrameWarm,
+    ) -> JobHandle {
+        self.submit_with(job, priority, engine, Some(warm))
+    }
+
     fn submit_inner(
         &self,
         job: BatchJob,
         priority: Priority,
         engine: Option<Arc<Engine>>,
     ) -> JobHandle {
-        let depth = match job.pipeline.exec_mode {
+        self.submit_with(job, priority, engine, None)
+    }
+
+    /// The pipeline depth a job's graph runs at when submitted here.
+    pub(crate) fn graph_depth(job: &BatchJob) -> usize {
+        match job.pipeline.exec_mode {
             ExecMode::Graph { depth } => depth,
             ExecMode::Serial | ExecMode::Pipelined => ExecMode::DEFAULT_GRAPH_DEPTH,
-        };
-        let state = Arc::new(ServiceJob::new(job, depth, engine));
+        }
+    }
+
+    fn submit_with(
+        &self,
+        job: BatchJob,
+        priority: Priority,
+        engine: Option<Arc<Engine>>,
+        warm: Option<FrameWarm>,
+    ) -> JobHandle {
+        let depth = FocusService::graph_depth(&job);
+        let state = Arc::new(ServiceJob::new(job, depth, engine, warm));
         let mut graph: TaskGraph<'static> = TaskGraph::new();
         let mut ids: Vec<TaskId> = Vec::new();
         for (deps, kind) in state.graph.plan() {
@@ -291,7 +390,22 @@ impl FocusService {
             jobs_completed: self.core.jobs_done(),
             inflight_nodes: self.core.inflight(),
             max_inflight_nodes: self.core.max_inflight(),
+            queued_by_priority: self.core.queued_by_priority(),
+            served_by_priority: self.core.served_by_priority(),
+            deficit_by_priority: self.core.deficit_by_priority(),
+            sessions_open: self.sessions_open.load(Ordering::SeqCst),
         }
+    }
+
+    /// Session open/close accounting (called by
+    /// [`crate::exec::StreamSession`]).
+    pub(crate) fn session_opened(&self) {
+        self.sessions_open.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// See [`FocusService::session_opened`].
+    pub(crate) fn session_closed(&self) {
+        self.sessions_open.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -378,6 +492,43 @@ mod tests {
         assert_eq!(again.work_items, results[0].work_items);
         // Dropping the service joins the (still-alive) workers.
         drop(service);
+    }
+
+    /// Satellite: the non-blocking probes. `try_wait` hands the handle
+    /// back while the request runs, yields the bit-identical result
+    /// once done, and `is_done() == true` guarantees the next
+    /// `try_wait` succeeds — a stream poller can drive many frames
+    /// without parking on any one of them.
+    #[test]
+    fn try_wait_probes_without_blocking() {
+        let service = FocusService::new(ServiceConfig::with_threads(2));
+        let job = tiny_job(5, ArchConfig::focus());
+        let serial = job
+            .pipeline
+            .clone()
+            .with_exec_mode(ExecMode::Serial)
+            .run(&job.workload, &job.arch);
+        let mut handle = service.submit(job, Priority::Normal);
+        let mut polls = 0u64;
+        let result = loop {
+            if handle.is_done() {
+                // Done means the probe must now succeed, not bounce.
+                break handle.try_wait().expect("done handle must resolve");
+            }
+            match handle.try_wait() {
+                Ok(result) => break result,
+                Err(back) => {
+                    handle = back;
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(result.work_items, serial.work_items);
+        assert_eq!(result.accuracy, serial.accuracy);
+        // Not a timing assertion — just visibility that polling
+        // happened at all on slow machines (0 is fine on fast ones).
+        let _ = polls;
     }
 
     #[test]

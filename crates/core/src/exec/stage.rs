@@ -42,32 +42,84 @@ pub struct LayerCtx<'a> {
     pub positions: &'a [Option<Fhw>],
 }
 
-/// Thread-reusable scratch state for one stage-graph node: the
-/// activation synthesiser (with its content-appearance memo), a
-/// recycled activation matrix, and the flat gather position lookup.
-///
-/// One workspace serves one stage across every layer of a run; the
-/// executor keeps one per node so the four gather stages can run
-/// concurrently without sharing mutable state.
-pub struct StageWorkspace<'w> {
-    /// The resident activation synthesiser.
-    pub syn: ActivationSynthesizer<'w>,
+/// The **workload-independent** half of a [`StageWorkspace`]: the
+/// recycled activation matrix and the flat gather lookup + per-m-tile
+/// candidate plan. Unlike the activation synthesiser (which borrows
+/// one workload's scene), this scratch carries no per-scene state —
+/// the lookup is epoch-stamped and the matrix fully overwritten per
+/// call — so a [`crate::exec::StreamSession`] keeps it resident
+/// *across frames* of a feed (same grid geometry), byte-identical to
+/// building it fresh.
+pub struct StageScratch {
     /// Recycled activation buffer (`retained × stage width`).
     pub acts: Matrix,
     /// Recycled gather scratch: flat position lookup + per-m-tile
-    /// candidate plan.
+    /// candidate plan. Sized by the frame grid; reusable across any
+    /// workloads sharing that grid.
     pub gather: GatherScratch,
+}
+
+impl StageScratch {
+    /// Fresh scratch for stages gathering on `layouter`'s frame grid.
+    pub fn new(layouter: &ConvLayouter) -> Self {
+        StageScratch {
+            acts: Matrix::zeros(0, 0),
+            gather: GatherScratch::new(layouter),
+        }
+    }
+
+    /// Fresh scratch for one stage of `workload`'s stage graph.
+    pub fn for_workload(workload: &Workload) -> Self {
+        let scaled = workload.scaled_model();
+        StageScratch::new(&ConvLayouter::new(scaled.grid_h, scaled.grid_w))
+    }
+
+    /// A minimal stand-in left behind when warm scratch is reclaimed
+    /// out of a finished frame (the frame's workspace is never used
+    /// again; the placeholder only keeps the struct well-formed).
+    pub(crate) fn placeholder() -> Self {
+        StageScratch::new(&ConvLayouter::new(1, 1))
+    }
+}
+
+/// Thread-reusable scratch state for one stage-graph node: the
+/// activation synthesiser (with its content-appearance memo) plus the
+/// workload-independent [`StageScratch`] (recycled activation matrix,
+/// flat gather position lookup).
+///
+/// One workspace serves one stage across every layer of a run; the
+/// executor keeps one per node so the four gather stages can run
+/// concurrently without sharing mutable state. Streaming sessions
+/// additionally recycle the [`StageScratch`] half across frames.
+pub struct StageWorkspace<'w> {
+    /// The resident activation synthesiser.
+    pub syn: ActivationSynthesizer<'w>,
+    /// The workload-independent recycled buffers.
+    pub scratch: StageScratch,
 }
 
 impl<'w> StageWorkspace<'w> {
     /// A workspace for one stage of `workload`'s stage graph.
     pub fn new(workload: &'w Workload) -> Self {
-        let scaled = workload.scaled_model();
+        StageWorkspace::with_scratch(workload, StageScratch::for_workload(workload))
+    }
+
+    /// A workspace pairing `workload`'s synthesiser with donated
+    /// `scratch` — the warm-reuse path of streaming sessions. The
+    /// scratch must have been built for the same frame grid (the
+    /// session enforces geometry compatibility at `push_frame`).
+    pub fn with_scratch(workload: &'w Workload, scratch: StageScratch) -> Self {
         StageWorkspace {
             syn: workload.activation_synthesizer(),
-            acts: Matrix::zeros(0, 0),
-            gather: GatherScratch::new(&ConvLayouter::new(scaled.grid_h, scaled.grid_w)),
+            scratch,
         }
+    }
+
+    /// Takes the workload-independent scratch out of the workspace,
+    /// leaving a placeholder. For reclamation from finished frames
+    /// only — the workspace must not run any further stage calls.
+    pub(crate) fn take_scratch(&mut self) -> StageScratch {
+        std::mem::replace(&mut self.scratch, StageScratch::placeholder())
     }
 }
 
@@ -258,11 +310,16 @@ impl GatherStage {
     /// overwritten.
     pub fn synth(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) {
         let width = self.stage.width(ctx.workload.scaled_model());
-        ws.syn
-            .activations_into(ctx.retained, ctx.layer, self.stage, width, &mut ws.acts);
+        ws.syn.activations_into(
+            ctx.retained,
+            ctx.layer,
+            self.stage,
+            width,
+            &mut ws.scratch.acts,
+        );
         match self.dtype {
-            DataType::Fp16 => ws.acts.round_to_f16(),
-            DataType::Int8 => fake_quantize_in_place(&mut ws.acts),
+            DataType::Fp16 => ws.scratch.acts.round_to_f16(),
+            DataType::Int8 => fake_quantize_in_place(&mut ws.scratch.acts),
         }
     }
 
@@ -272,7 +329,10 @@ impl GatherStage {
     /// graph scheduler can overlap one layer's gathers with another
     /// layer's synthesis at any pipeline depth.
     pub fn gather(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> MatrixGatherStats {
-        self.concentrator
-            .gather_matrix_with(&ws.acts, ctx.positions, &mut ws.gather)
+        self.concentrator.gather_matrix_with(
+            &ws.scratch.acts,
+            ctx.positions,
+            &mut ws.scratch.gather,
+        )
     }
 }

@@ -1,0 +1,317 @@
+//! [`StreamSession`]: per-frame admission of an unbounded video feed
+//! into the [`FocusService`].
+//!
+//! The paper's headline regime is *streaming* concentration — frames
+//! arriving indefinitely — but a service that only accepts whole
+//! pipeline runs forces the caller to chop an unbounded feed into
+//! unrelated jobs: no state carries across frames, and nothing bounds
+//! how far a fast producer runs ahead of the pool (ROADMAP (l)). A
+//! `StreamSession` makes the **frame within a session** the unit of
+//! admission:
+//!
+//! * [`StreamSession::push_frame`] admits one pipeline graph per frame
+//!   and returns a [`FrameHandle`] immediately; frames of the same
+//!   session execute concurrently on the shared pool, interleaved with
+//!   batch jobs and other sessions under the scheduler's weighted fair
+//!   queue ([`Priority`] is the session's weight).
+//! * A bounded **in-flight window** (`StreamConfig::window`) applies
+//!   blocking backpressure: `push_frame` for frame `t + window` blocks
+//!   until frame `t` has completed — a fast producer can never queue
+//!   an unbounded feed ahead of the workers.
+//! * **Warm per-session state** rides across frames: the retention
+//!   plan (prune layers, measured-layer schedule, full-set position
+//!   table) is derived once per session, and each retired frame's
+//!   workload-independent allocations — stage workspaces'
+//!   [`StageScratch`] and the measure accumulator's buffers — are
+//!   reclaimed into a pool the next admitted frame draws from, so
+//!   frame *t+1* skips re-deriving and re-allocating what frame *t*
+//!   already established.
+//!
+//! **Determinism:** every frame's result is bit-identical to running
+//! that frame's workload alone under
+//! [`ExecMode::Serial`](crate::exec::ExecMode::Serial) — warm state is
+//! plan + allocation reuse only, never value carry-over
+//! (`tests/stream_sessions.rs` proves it property-style across
+//! interleaved sessions, window sizes and worker counts).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use focus_sim::ArchConfig;
+use focus_vlm::Workload;
+
+use crate::exec::batch::BatchJob;
+use crate::exec::graph::{JobRun, Priority};
+use crate::exec::service::{FocusService, JobHandle, ServiceJob};
+use crate::exec::stage::StageScratch;
+use crate::pipeline::measure::MeasureBuffers;
+use crate::pipeline::{FocusPipeline, PipelineResult};
+use crate::session::{FrameWarm, RetentionPlan, SessionGeometry};
+
+/// Shape of one streaming session.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Maximum frames in flight (≥ 1): `push_frame` blocks while the
+    /// window is full, until the oldest frame completes.
+    pub window: usize,
+    /// The session's fair-queue weight class: every frame is admitted
+    /// at this [`Priority`], so one saturating session and batch
+    /// traffic share the pool at the weight ratio instead of starving
+    /// each other.
+    pub priority: Priority,
+}
+
+impl Default for StreamConfig {
+    /// A two-frame window (mirroring the hardware's double-buffered
+    /// activation stream) at [`Priority::Normal`] weight.
+    fn default() -> Self {
+        StreamConfig {
+            window: 2,
+            priority: Priority::Normal,
+        }
+    }
+}
+
+/// Point-in-time statistics of one [`StreamSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Frames admitted so far.
+    pub frames_pushed: u64,
+    /// Frames completed *and* reclaimed into the warm pool.
+    pub frames_retired: u64,
+    /// Frames currently in flight (admitted, not yet retired).
+    pub frames_inflight: usize,
+    /// The in-flight window bound.
+    pub window: usize,
+    /// Frames admitted with recycled warm allocations (everything
+    /// after the pool warms up — the first `window` frames allocate
+    /// fresh and seed it).
+    pub warm_reuses: u64,
+}
+
+/// A frame admitted but not yet retired: the session's own references
+/// for window tracking and warm-state reclamation (independent of the
+/// caller's [`FrameHandle`], which may be waited or dropped freely).
+struct InflightFrame {
+    state: Arc<ServiceJob>,
+    run: Arc<JobRun<'static>>,
+}
+
+/// One retired frame's recyclable allocations.
+struct FrameAllocs {
+    scratch: Vec<StageScratch>,
+    measure: Option<MeasureBuffers>,
+}
+
+/// Completion handle of one admitted frame. Wait on it, poll it with
+/// [`FrameHandle::try_wait`], or drop it — the frame runs to
+/// completion on the pool either way, and the session's window and
+/// warm-state reclamation never depend on the caller waiting.
+pub struct FrameHandle {
+    handle: JobHandle,
+    frame: u64,
+}
+
+impl std::fmt::Debug for FrameHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameHandle")
+            .field("frame", &self.frame)
+            .field("job", &self.handle)
+            .finish()
+    }
+}
+
+impl FrameHandle {
+    /// The session-local frame index (0-based admission order).
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Whether the frame has finished (without blocking).
+    pub fn is_done(&self) -> bool {
+        self.handle.is_done()
+    }
+
+    /// Non-blocking completion probe: the frame's result if finished,
+    /// the handle back otherwise (see [`JobHandle::try_wait`]).
+    pub fn try_wait(self) -> Result<PipelineResult, FrameHandle> {
+        let frame = self.frame;
+        self.handle
+            .try_wait()
+            .map_err(|handle| FrameHandle { handle, frame })
+    }
+
+    /// Blocks until the frame completes and returns its result —
+    /// bit-identical to running the frame's workload alone under
+    /// [`ExecMode::Serial`](crate::exec::ExecMode::Serial). Re-raises
+    /// the original payload if this frame's graph panicked (the
+    /// session and the pool keep serving).
+    pub fn wait(self) -> PipelineResult {
+        self.handle.wait()
+    }
+}
+
+/// A streaming session over a [`FocusService`]: per-frame admission
+/// with a bounded in-flight window and warm cross-frame state. See the
+/// module docs for the model; open one with [`StreamSession::open`].
+pub struct StreamSession<'s> {
+    service: &'s FocusService,
+    pipeline: FocusPipeline,
+    arch: ArchConfig,
+    config: StreamConfig,
+    /// Derived from the first frame; every later frame must match its
+    /// geometry (one session is one feed).
+    plan: Option<Arc<RetentionPlan>>,
+    inflight: VecDeque<InflightFrame>,
+    pool: Vec<FrameAllocs>,
+    frames_pushed: u64,
+    frames_retired: u64,
+    warm_reuses: u64,
+}
+
+impl<'s> StreamSession<'s> {
+    /// Opens a session: frames will run `pipeline` against `arch` on
+    /// `service` (pass [`FocusService::global`] for the process-wide
+    /// pool). Loop-schedule pipelines are admitted at the service's
+    /// default graph depth, like any other submission.
+    pub fn open(
+        service: &'s FocusService,
+        pipeline: FocusPipeline,
+        arch: ArchConfig,
+        config: StreamConfig,
+    ) -> Self {
+        let config = StreamConfig {
+            window: config.window.max(1),
+            ..config
+        };
+        service.session_opened();
+        StreamSession {
+            service,
+            pipeline,
+            arch,
+            config,
+            plan: None,
+            inflight: VecDeque::new(),
+            pool: Vec::new(),
+            frames_pushed: 0,
+            frames_retired: 0,
+            warm_reuses: 0,
+        }
+    }
+
+    /// The session's window/weight configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// The feed geometry fixed by the first frame, if any arrived yet.
+    pub fn geometry(&self) -> Option<SessionGeometry> {
+        self.plan.as_ref().map(|plan| plan.geometry())
+    }
+
+    /// Session statistics (window occupancy, warm-reuse counters).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            frames_pushed: self.frames_pushed,
+            frames_retired: self.frames_retired,
+            frames_inflight: self.inflight.len(),
+            window: self.config.window,
+            warm_reuses: self.warm_reuses,
+        }
+    }
+
+    /// Admits the next frame of the feed and returns its handle.
+    ///
+    /// Blocks only for backpressure: when `window` frames are already
+    /// in flight, the call waits for the oldest to complete (then
+    /// reclaims its warm allocations for this admission). The frame's
+    /// result — through the returned handle — is bit-identical to
+    /// running `workload` alone under
+    /// [`ExecMode::Serial`](crate::exec::ExecMode::Serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload`'s geometry (layers, frame grid, scaled
+    /// token count) differs from the session's first frame — one
+    /// session is one feed; open another session for a different feed.
+    pub fn push_frame(&mut self, workload: Workload) -> FrameHandle {
+        let plan = match &self.plan {
+            Some(plan) => {
+                assert_eq!(
+                    plan.geometry(),
+                    SessionGeometry::of(&workload),
+                    "a session streams one feed: frame {} geometry diverged",
+                    self.frames_pushed,
+                );
+                Arc::clone(plan)
+            }
+            None => {
+                let plan = Arc::new(RetentionPlan::derive(&self.pipeline.focus, &workload));
+                self.plan = Some(Arc::clone(&plan));
+                plan
+            }
+        };
+
+        // Blocking backpressure: frame t + window waits for frame t.
+        while self.inflight.len() >= self.config.window {
+            let oldest = self.inflight.pop_front().expect("window is non-empty");
+            self.retire(oldest);
+        }
+
+        let (scratch, measure) = match self.pool.pop() {
+            Some(allocs) => {
+                self.warm_reuses += 1;
+                (Some(allocs.scratch), allocs.measure)
+            }
+            None => (None, None),
+        };
+        let warm = FrameWarm {
+            plan,
+            scratch,
+            measure,
+        };
+        let job = BatchJob {
+            pipeline: self.pipeline.clone(),
+            workload,
+            arch: self.arch.clone(),
+        };
+        let handle = self
+            .service
+            .submit_warm(job, self.config.priority, None, warm);
+        let (state, run) = handle.parts();
+        self.inflight.push_back(InflightFrame { state, run });
+        let frame = self.frames_pushed;
+        self.frames_pushed += 1;
+        FrameHandle { handle, frame }
+    }
+
+    /// Blocks until every in-flight frame has completed, reclaiming
+    /// their warm allocations. (Results are untouched — the caller's
+    /// [`FrameHandle`]s still deliver them.)
+    pub fn flush(&mut self) {
+        while let Some(oldest) = self.inflight.pop_front() {
+            self.retire(oldest);
+        }
+    }
+
+    /// Waits for one frame and pulls its recyclable allocations into
+    /// the warm pool. Completion includes skip-drained (panicked)
+    /// frames: their scratch is reclaimed too (it is re-planned from
+    /// zero by the next frame), so one bad frame never cools the
+    /// session down.
+    fn retire(&mut self, frame: InflightFrame) {
+        frame.run.wait_done();
+        let (scratch, measure) = frame.state.graph.reclaim_warm();
+        self.pool.push(FrameAllocs { scratch, measure });
+        self.frames_retired += 1;
+    }
+}
+
+impl Drop for StreamSession<'_> {
+    /// Closing a session drains its window (frames already admitted
+    /// run to completion) and releases its service registration.
+    fn drop(&mut self) {
+        self.flush();
+        self.service.session_closed();
+    }
+}

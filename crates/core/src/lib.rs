@@ -34,6 +34,9 @@
 //!   at any depth), and the [`exec::BatchRunner`] (fans whole
 //!   pipeline runs across cores — or fuses a graph-mode batch into
 //!   one scheduler — with results bit-identical to serial execution);
+//! * [`session`] — per-session warm state for streaming feeds: the
+//!   shared retention plan and the recycled frame allocations behind
+//!   [`exec::StreamSession`]'s per-frame admission;
 //! * [`pipeline`] — the pipeline phases split by concern:
 //!   `measure` (per-layer absorption shared by every schedule),
 //!   `lower` (the shared [`focus_vlm::trace::layer_lowering`] GEMM
@@ -88,6 +91,7 @@ pub mod config;
 pub mod exec;
 pub mod pipeline;
 pub mod sec;
+pub mod session;
 pub mod sic;
 pub mod unit;
 

@@ -19,6 +19,17 @@ use crate::exec::{LayerExecutor, LayerRecord};
 use crate::pipeline::stats::{LayerStats, MeasuredRun};
 use crate::pipeline::FocusPipeline;
 
+/// The recyclable allocations of a [`MeasureAccum`]: the per-token
+/// fidelity accumulators. A streaming session carries them from frame
+/// `t` into frame `t+1`'s accumulator — the values are fully reset, so
+/// results stay bit-identical to a fresh build; only the allocations
+/// (two `m_img`-sized `f64` vectors per frame) are reused.
+#[derive(Debug, Default)]
+pub(crate) struct MeasureBuffers {
+    fid_accum: Vec<f64>,
+    last_fid: Vec<f64>,
+}
+
 /// Ordered accumulator of per-layer [`LayerRecord`]s into the
 /// [`MeasuredRun`] the lowering phase consumes.
 ///
@@ -48,11 +59,26 @@ impl MeasureAccum {
     /// An empty accumulator for a run of `layers_n` layers over
     /// `m_img` scaled image tokens.
     pub(crate) fn new(m_img: usize, layers_n: usize) -> Self {
+        MeasureAccum::with_buffers(m_img, layers_n, MeasureBuffers::default())
+    }
+
+    /// [`MeasureAccum::new`] over recycled buffers (a prior frame's
+    /// allocations). Every element is reset, so the accumulator is
+    /// indistinguishable from a fresh one.
+    pub(crate) fn with_buffers(m_img: usize, layers_n: usize, bufs: MeasureBuffers) -> Self {
+        let MeasureBuffers {
+            mut fid_accum,
+            mut last_fid,
+        } = bufs;
+        fid_accum.clear();
+        fid_accum.resize(m_img, 0.0f64);
+        last_fid.clear();
+        last_fid.resize(m_img, 1.0f64);
         MeasureAccum {
             m_img,
             layers_n,
-            fid_accum: vec![0.0f64; m_img],
-            last_fid: vec![1.0f64; m_img],
+            fid_accum,
+            last_fid,
             layer_stats: Vec::with_capacity(layers_n),
             sec_layers: Vec::new(),
             sic_comparisons: 0,
@@ -108,6 +134,17 @@ impl MeasureAccum {
 
     /// Closes the run: token outcomes from accrued fidelity.
     pub(crate) fn finish(self, workload: &Workload, prefetch_discards: u64) -> MeasuredRun {
+        self.finish_recycling(workload, prefetch_discards).0
+    }
+
+    /// [`MeasureAccum::finish`] that also hands back the recyclable
+    /// buffers, for streaming sessions to seed the next frame's
+    /// accumulator with.
+    pub(crate) fn finish_recycling(
+        self,
+        workload: &Workload,
+        prefetch_discards: u64,
+    ) -> (MeasuredRun, MeasureBuffers) {
         let relevance = workload.relevance();
         let outcomes: Vec<TokenOutcome> = (0..self.m_img)
             .map(|t| TokenOutcome {
@@ -115,7 +152,7 @@ impl MeasureAccum {
                 fidelity: self.fid_accum[t] / self.layers_n as f64,
             })
             .collect();
-        MeasuredRun {
+        let run = MeasuredRun {
             layer_stats: self.layer_stats,
             sec_layers: self.sec_layers,
             outcomes,
@@ -123,7 +160,12 @@ impl MeasureAccum {
             sic_matches: self.sic_matches,
             m_img_scaled: self.m_img,
             prefetch_discards,
-        }
+        };
+        let buffers = MeasureBuffers {
+            fid_accum: self.fid_accum,
+            last_fid: self.last_fid,
+        };
+        (run, buffers)
     }
 }
 

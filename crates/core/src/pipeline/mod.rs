@@ -22,7 +22,10 @@
 //! Sparsity is therefore *measured* (it comes out of the real gather
 //! code running on synthesised activations), while cycles and energy
 //! are *computed* at paper scale from those measurements (DESIGN.md
-//! §2). Batch many runs with [`crate::exec::BatchRunner`].
+//! §2). Batch many runs with [`crate::exec::BatchRunner`]; stream an
+//! unbounded feed frame by frame — warm per-session state, bounded
+//! in-flight window — with [`crate::exec::StreamSession`]. Every
+//! admission path returns results bit-identical to a serial run.
 
 pub(crate) mod lower;
 pub(crate) mod measure;
@@ -91,10 +94,14 @@ impl FocusPipeline {
     ///
     /// Under [`ExecMode::Graph`] the run is submitted to the
     /// process-wide [`FocusService`] — one long-lived worker pool
-    /// serves every graph-mode run and batch in the process, so
-    /// concurrent callers interleave at stage granularity instead of
+    /// serves every graph-mode run, batch and streaming session in
+    /// the process, so concurrent callers interleave at stage
+    /// granularity (arbitrated by the weighted fair queue) instead of
     /// each spinning up a scheduler. Results stay bit-identical to the
-    /// loop schedules.
+    /// loop schedules. For an unbounded per-frame feed, use
+    /// [`crate::exec::StreamSession`] instead of calling this in a
+    /// loop — same results, plus windowed backpressure and warm
+    /// cross-frame state.
     pub fn run(&self, workload: &Workload, arch: &ArchConfig) -> PipelineResult {
         match self.exec_mode {
             ExecMode::Graph { .. } => {

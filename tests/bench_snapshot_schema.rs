@@ -49,6 +49,13 @@ fn bench_snapshot_has_the_expected_shape() {
         "service_staggered_s",
         "service_jobs_per_s",
         "service_workers",
+        "stream_session_s",
+        "stream_frames",
+        "stream_window",
+        "stream_frames_per_s",
+        "fair_served_high",
+        "fair_served_normal",
+        "fair_served_low",
         "synthesis_only_s",
         "speedup",
         "graph_vs_pipelined",
@@ -68,5 +75,18 @@ fn bench_snapshot_has_the_expected_shape() {
     assert!(
         field(&json, "service_workers") >= 2.0,
         "the staggered serving leg must run on a pool of >= 2 workers"
+    );
+    // The streaming leg: a real window (≥ 1, bounding in-flight
+    // frames) over a multi-frame feed. (The fair_served_* counters are
+    // covered by the positive-keys loop above: the staggered leg
+    // cycles High/Normal/Low priorities, so a zero there would mean
+    // the weighted fair queue stopped serving a class.)
+    assert!(
+        field(&json, "stream_frames") >= 2.0,
+        "the stream leg must push a multi-frame feed"
+    );
+    assert!(
+        field(&json, "stream_window") >= 1.0,
+        "the stream leg must declare its in-flight window"
     );
 }

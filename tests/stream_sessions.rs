@@ -1,0 +1,335 @@
+//! The streaming session subsystem, end to end:
+//!
+//! * **Determinism** — interleaved `push_frame` across concurrent
+//!   sessions is bit-identical to the serial per-frame loop, over
+//!   frame counts × window sizes × worker counts (proptest).
+//! * **Warm state** — after the window fills, every admitted frame
+//!   reuses a retired frame's allocations, with results unchanged.
+//! * **Fairness** — a saturating stream of High-priority jobs must not
+//!   stall a Low job beyond the fair queue's aging bound (regression
+//!   for the strict-priority starvation ROADMAP item (k)).
+//!
+//! The rayon shim honours `RAYON_NUM_THREADS`; tests force a
+//! multi-thread pool so a 1-CPU box still exercises real concurrency.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use focus::core::exec::{
+    BatchJob, ExecMode, FocusService, FrameHandle, JobHandle, Priority, ServiceConfig,
+    StreamConfig, StreamSession,
+};
+use focus::core::pipeline::{FocusPipeline, PipelineResult};
+use focus::sim::ArchConfig;
+use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
+use proptest::prelude::*;
+
+fn force_parallel_pool() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+}
+
+fn frame_workload(session: u64, frame: u64) -> Workload {
+    Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        1000 * (session + 1) + 7 * frame,
+    )
+}
+
+fn graph_pipeline() -> FocusPipeline {
+    FocusPipeline::paper().with_exec_mode(ExecMode::Graph { depth: 2 })
+}
+
+fn serial_reference(workload: &Workload) -> PipelineResult {
+    FocusPipeline::paper()
+        .with_exec_mode(ExecMode::Serial)
+        .run(workload, &ArchConfig::focus())
+}
+
+fn assert_identical(streamed: &PipelineResult, serial: &PipelineResult, what: &str) {
+    // Bitwise equality on purpose: streaming admission promises the
+    // *same* results as the serial per-frame loop, not similar ones.
+    assert_eq!(streamed.sparsity(), serial.sparsity(), "{what}: sparsity");
+    assert_eq!(streamed.accuracy, serial.accuracy, "{what}: accuracy");
+    assert_eq!(streamed.work_items, serial.work_items, "{what}: work items");
+    assert_eq!(streamed.layers, serial.layers, "{what}: layer stats");
+    assert_eq!(streamed.sec_layers, serial.sec_layers, "{what}: SEC stats");
+    assert_eq!(streamed.outcomes, serial.outcomes, "{what}: token outcomes");
+    assert_eq!(
+        (streamed.sic_comparisons, streamed.sic_matches),
+        (serial.sic_comparisons, serial.sic_matches),
+        "{what}: matcher counters"
+    );
+    assert_eq!(streamed.prefetch_discards, 0, "{what}: discards");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The headline determinism claim of the subsystem: 2–3 sessions
+    /// pushing interleaved frames through ONE shared service — warm
+    /// scratch recycling, shared retention plans, windows applying
+    /// backpressure mid-push — produce, frame by frame, exactly what
+    /// the serial per-frame loop produces, at any worker count.
+    #[test]
+    fn interleaved_sessions_match_the_serial_per_frame_loop(
+        frame_counts in proptest::collection::vec(1usize..4, 2..4),
+        window in 1usize..4,
+        threads in 1usize..4,
+        priority_pick in 0usize..3,
+    ) {
+        force_parallel_pool();
+        let service = FocusService::new(ServiceConfig {
+            threads,
+            max_inflight_nodes: 4096,
+        });
+        let mut sessions: Vec<StreamSession<'_>> = (0..frame_counts.len())
+            .map(|_| {
+                StreamSession::open(
+                    &service,
+                    graph_pipeline(),
+                    ArchConfig::focus(),
+                    StreamConfig {
+                        window,
+                        priority: Priority::ALL[priority_pick],
+                    },
+                )
+            })
+            .collect();
+
+        // Round-robin interleaving: session 0 frame 0, session 1
+        // frame 0, ..., session 0 frame 1, ... — pushes block on their
+        // own session's window while other sessions' frames run.
+        let mut handles: Vec<Vec<FrameHandle>> =
+            (0..frame_counts.len()).map(|_| Vec::new()).collect();
+        let max_frames = *frame_counts.iter().max().unwrap();
+        for frame in 0..max_frames as u64 {
+            for (sid, session) in sessions.iter_mut().enumerate() {
+                if (frame as usize) < frame_counts[sid] {
+                    handles[sid].push(session.push_frame(frame_workload(sid as u64, frame)));
+                }
+            }
+        }
+
+        for (sid, session_handles) in handles.into_iter().enumerate() {
+            for (fid, handle) in session_handles.into_iter().enumerate() {
+                prop_assert_eq!(handle.frame(), fid as u64);
+                let streamed = handle.wait();
+                let serial = serial_reference(&frame_workload(sid as u64, fid as u64));
+                assert_identical(
+                    &streamed,
+                    &serial,
+                    &format!(
+                        "session {sid} frame {fid}, window {window}, {threads} workers"
+                    ),
+                );
+            }
+        }
+        drop(sessions);
+        assert_eq!(service.stats().sessions_open, 0);
+    }
+}
+
+/// Warm-state bookkeeping: with a window of 2, the first two frames
+/// allocate fresh and every later admission draws a retired frame's
+/// allocations from the pool — and the recycled frames are still
+/// bit-identical to the serial loop.
+#[test]
+fn warm_scratch_recycles_across_frames() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        StreamConfig {
+            window: 2,
+            priority: Priority::Normal,
+        },
+    );
+    assert_eq!(service.stats().sessions_open, 1);
+
+    const FRAMES: u64 = 5;
+    let mut handles = VecDeque::new();
+    for frame in 0..FRAMES {
+        handles.push_back(session.push_frame(frame_workload(0, frame)));
+        assert!(
+            session.stats().frames_inflight <= 2,
+            "window must bound in-flight frames: {:?}",
+            session.stats()
+        );
+    }
+    // Drain via the non-blocking probe, as a stream poller would.
+    let mut results = Vec::new();
+    while let Some(handle) = handles.pop_front() {
+        match handle.try_wait() {
+            Ok(result) => results.push(result),
+            Err(handle) => {
+                handles.push_front(handle);
+                std::thread::yield_now();
+            }
+        }
+    }
+    for (frame, streamed) in results.iter().enumerate() {
+        let serial = serial_reference(&frame_workload(0, frame as u64));
+        assert_identical(streamed, &serial, &format!("warm frame {frame}"));
+    }
+
+    session.flush();
+    let stats = session.stats();
+    assert_eq!(stats.frames_pushed, FRAMES);
+    assert_eq!(stats.frames_retired, FRAMES);
+    assert_eq!(stats.frames_inflight, 0);
+    // Window 2: frames 0 and 1 allocate fresh; frames 2.. reuse the
+    // scratch of the frame their admission retired.
+    assert_eq!(
+        stats.warm_reuses,
+        FRAMES - 2,
+        "every post-window admission must draw from the warm pool: {stats:?}"
+    );
+    let geometry = session.geometry().expect("frames arrived");
+    assert_eq!(geometry.m_img, frame_workload(0, 0).image_tokens_scaled());
+
+    drop(session);
+    assert_eq!(service.stats().sessions_open, 0);
+}
+
+/// One session is one feed: a frame whose geometry (model grid/layer
+/// count) diverges from the session's first frame is rejected loudly
+/// instead of silently mixing warm state across incompatible shapes.
+#[test]
+#[should_panic(expected = "a session streams one feed")]
+fn session_rejects_geometry_divergence() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        StreamConfig::default(),
+    );
+    let _first = session.push_frame(frame_workload(0, 0));
+    // A different model: different grid and layer count.
+    let stray = Workload::new(
+        ModelKind::MiniCpmV26,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        1,
+    );
+    let _second = session.push_frame(stray);
+}
+
+/// The stride is geometry too: a frame with identical dimensions but a
+/// different `measured_layer_stride` would silently run the *first*
+/// frame's measurement schedule (the shared plan bakes the stride in),
+/// so it must be rejected like any other shape divergence.
+#[test]
+#[should_panic(expected = "a session streams one feed")]
+fn session_rejects_stride_divergence() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        StreamConfig::default(),
+    );
+    let _first = session.push_frame(frame_workload(0, 0));
+    // Same model, same dimensions — only the measured-layer stride
+    // differs from WorkloadScale::tiny()'s.
+    let mut dense_scale = WorkloadScale::tiny();
+    dense_scale.measured_layer_stride = 1;
+    let stray = Workload::new(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        dense_scale,
+        1,
+    );
+    let _second = session.push_frame(stray);
+}
+
+/// Starvation regression (ROADMAP (k)): a **saturating** stream of
+/// High jobs — a producer keeps several in flight, topping up as they
+/// complete, for as long as the Low job lives — must not stall a Low
+/// job beyond the fair queue's aging bound. Under the old
+/// strict-priority admission lanes the Low job ran only once the
+/// entire stream stopped (here: the producer's 60-job cap), which
+/// trips the bound assertion.
+#[test]
+fn high_flood_does_not_starve_a_low_job() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let job = |seed: u64| BatchJob {
+        pipeline: graph_pipeline(),
+        workload: Workload::new(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            seed,
+        ),
+        arch: ArchConfig::focus(),
+    };
+    // The bound: while the Low job's ~hundreds of nodes age through
+    // the queue, High work passes at the weight ratio (4:1) plus the
+    // concurrently admitted backlog — a dozen-ish High jobs, never the
+    // whole stream. 30 is that with generous scheduling slack, and far
+    // below the 60-job cap a starved Low would wait out.
+    const HIGH_CAP: u64 = 60;
+    const BOUND: u64 = 30;
+    let stop = AtomicBool::new(false);
+    let high_completed = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let producer = s.spawn(|| {
+            let mut inflight: VecDeque<JobHandle> = VecDeque::new();
+            let mut submitted = 0u64;
+            while !stop.load(Ordering::SeqCst) && submitted < HIGH_CAP {
+                while inflight.len() >= 3 {
+                    inflight.pop_front().unwrap().wait();
+                    high_completed.fetch_add(1, Ordering::SeqCst);
+                }
+                inflight.push_back(service.submit(job(submitted), Priority::High));
+                submitted += 1;
+            }
+            for handle in inflight {
+                handle.wait();
+                high_completed.fetch_add(1, Ordering::SeqCst);
+            }
+            submitted
+        });
+
+        // Let the flood establish, then submit the Low job into it.
+        while high_completed.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+        let low_workload = job(10_000).workload;
+        let before = high_completed.load(Ordering::SeqCst);
+        let low = service.submit(job(10_000), Priority::Low);
+        let low_result = low.wait();
+        let during = high_completed.load(Ordering::SeqCst) - before;
+        stop.store(true, Ordering::SeqCst);
+        let submitted = producer.join().unwrap();
+
+        assert!(
+            during <= BOUND,
+            "Low job waited through {during} High jobs (bound {BOUND}, stream of {submitted})"
+        );
+        // Fairness must not cost correctness: the aged-through result
+        // is still bit-identical to the serial loop.
+        let serial = serial_reference(&low_workload);
+        assert_identical(&low_result, &serial, "aged Low job");
+    });
+}
