@@ -17,9 +17,15 @@
 //!   **one** work-stealing scheduler (depth 2), stages interleaving
 //!   across request boundaries, simulation in the `Finish` nodes.
 //! * `synthesis/activation_synthesis_fig09_grid` — the `Synth` nodes
-//!   alone (Box–Muller activation synthesis + fp16 rounding) over the
-//!   exact measured-layer walk of the grid, isolating the RNG-bound
-//!   share of the measured phase (ROADMAP item (e)).
+//!   alone (batched fixed-polynomial Box–Muller synthesis + fp16
+//!   rounding) over the exact measured-layer walk of the grid,
+//!   isolating the formerly RNG-bound share of the measured phase
+//!   (ROADMAP item (e)).
+//! * `synthesis/activation_synthesis_fig09_grid_scalar` — the same
+//!   walk with the kernel's SIMD dispatch forced onto the chunked-
+//!   scalar fallback (bit-identical values, only slower): the
+//!   batched-vs-scalar comparison behind the snapshot's
+//!   `synthesis_kernel_speedup`.
 //! * `service_throughput/staggered_fig09_grid` — the serving shape:
 //!   the nine grid cells submitted one by one (mixed priorities, a
 //!   small arrival gap) into the persistent `FocusService`, measured
@@ -337,6 +343,18 @@ fn bench_synthesis(c: &mut Criterion) {
             }
         })
     });
+    // The same Synth work on the kernel's chunked-scalar fallback —
+    // values are bit-identical (proptest-enforced), so the pair
+    // measures exactly the SIMD dispatch win and nothing else.
+    focus_tensor::math::force_scalar(true);
+    c.bench_function("synthesis/activation_synthesis_fig09_grid_scalar", |b| {
+        b.iter(|| {
+            for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
+                synthesis_pass(wl, walk, &stages, ws);
+            }
+        })
+    });
+    focus_tensor::math::force_scalar(false);
 }
 
 criterion_group! {
@@ -357,6 +375,12 @@ fn median_secs(samples: &mut [Duration]) -> f64 {
 /// own — kept to 3 to bound the duplicate work; the processes are
 /// already warm from the criterion pass.)
 ///
+/// Synthesis fields (re-baseline v2, batched kernel): `synthesis_only_s`
+/// is the Synth leg on the kernel's chunked-scalar fallback,
+/// `synthesis_batched_s` the same leg under the default SIMD dispatch
+/// (the one the pipeline actually runs — `synthesis_share` uses it),
+/// and `synthesis_kernel_speedup` their ratio.
+///
 /// `main` forces a pool of ≥ 2 workers before any leg runs: the
 /// cross-layer and cross-request overlap of the pipelined/graph/
 /// service schedules only pays with real concurrency, and the
@@ -376,6 +400,7 @@ fn write_snapshot() {
     let mut service = Vec::with_capacity(SAMPLES);
     let mut stream = Vec::with_capacity(SAMPLES);
     let mut synth = Vec::with_capacity(SAMPLES);
+    let mut synth_scalar = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t = Instant::now();
         criterion::black_box(serial_resynthesis(&wls));
@@ -397,9 +422,20 @@ fn write_snapshot() {
             synthesis_pass(wl, walk, &stages, ws);
         }
         synth.push(t.elapsed());
+        // The identical Synth work on the chunked-scalar fallback:
+        // the batched-vs-scalar kernel comparison.
+        focus_tensor::math::force_scalar(true);
+        let t = Instant::now();
+        for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
+            synthesis_pass(wl, walk, &stages, ws);
+        }
+        synth_scalar.push(t.elapsed());
+        focus_tensor::math::force_scalar(false);
     }
     let (old_s, new_s) = (median_secs(&mut old), median_secs(&mut new));
     let (graph_s, synth_s) = (median_secs(&mut graph), median_secs(&mut synth));
+    let synth_scalar_s = median_secs(&mut synth_scalar);
+    let synthesis_kernel_speedup = synth_scalar_s / synth_s;
     let service_s = median_secs(&mut service);
     let stream_s = median_secs(&mut stream);
     let speedup = old_s / new_s;
@@ -413,7 +449,7 @@ fn write_snapshot() {
     // runs Normal, so all three counters are live.
     let [served_high, served_normal, served_low] = service_stats.served_by_priority;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"synthesis_batched_s\": {:.6},\n  \"synthesis_kernel_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
         rayon::current_num_threads(),
         old_s,
@@ -429,7 +465,9 @@ fn write_snapshot() {
         served_high,
         served_normal,
         served_low,
+        synth_scalar_s,
         synth_s,
+        synthesis_kernel_speedup,
         speedup,
         graph_vs_pipelined,
         synth_s / new_s,
@@ -439,6 +477,7 @@ fn write_snapshot() {
         Ok(()) => println!(
             "\nBENCH_batch.json snapshot: speedup {speedup:.2}x, \
              graph vs pipelined {graph_vs_pipelined:.2}x, \
+             kernel batched vs scalar {synthesis_kernel_speedup:.2}x, \
              service {service_jobs_per_s:.1} jobs/s, \
              stream {stream_frames_per_s:.1} frames/s\n{json}"
         ),

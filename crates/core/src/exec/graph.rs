@@ -352,9 +352,14 @@ struct CoreState<'s> {
     /// lost: either the version moved (rescan) or the wait starts
     /// before the bump and the accompanying `notify_all` lands on it.
     version: u64,
-    /// The weighted fair ready queue: lowest virtual finish tag pops
-    /// first. Roots of newly injected jobs land here.
-    ready: BinaryHeap<QueuedTask<'s>>,
+    /// The weighted fair ready queue, one heap per priority class:
+    /// the pop takes the lowest `(tag, seq)` across the (≤ 3) lane
+    /// heads, which is exactly the order a single merged heap would
+    /// yield — but keeps each class's oldest tag readable at its head,
+    /// so the per-class min-tag mirrors (and with them the stats-path
+    /// deficit readout) stay O(1). Roots of newly injected jobs land
+    /// here.
+    ready: [BinaryHeap<QueuedTask<'s>>; Priority::LEVELS],
     /// Monotone enqueue counter, the FIFO tiebreak for equal tags.
     seq: u64,
     /// Graceful shutdown: workers exit when they would otherwise park.
@@ -404,6 +409,12 @@ pub(crate) struct Core<'s> {
     /// whether its own deque may run ahead of the global queue.
     /// Maintained under the state lock on every push/pop.
     global_min_tag: AtomicU64,
+    /// Lowest tag queued per priority class (`u64::MAX` for an empty
+    /// lane), mirroring the lane heap heads. Maintained under the
+    /// state lock on every push/pop so `deficit_by_priority` is a
+    /// plain atomic read — a kHz-polling stats consumer never touches
+    /// the state lock, let alone scans the queue under it.
+    class_min_tag: [AtomicU64; Priority::LEVELS],
     /// Tasks currently in the global fair queue, per priority class.
     queued: [AtomicUsize; Priority::LEVELS],
     /// Nodes executed (or skip-drained), per priority class.
@@ -425,7 +436,7 @@ impl<'s> Core<'s> {
         Core {
             state: Mutex::new(CoreState {
                 version: 0,
-                ready: BinaryHeap::new(),
+                ready: std::array::from_fn(|_| BinaryHeap::new()),
                 seq: 0,
                 shutdown: false,
             }),
@@ -438,6 +449,7 @@ impl<'s> Core<'s> {
             admission_waiters: AtomicUsize::new(0),
             virtual_time: AtomicU64::new(0),
             global_min_tag: AtomicU64::new(u64::MAX),
+            class_min_tag: std::array::from_fn(|_| AtomicU64::new(u64::MAX)),
             queued: Default::default(),
             served: Default::default(),
             parked: AtomicUsize::new(0),
@@ -490,22 +502,18 @@ impl<'s> Core<'s> {
     /// Per-priority *deficit*: how far (in virtual time) each class's
     /// oldest queued task trails the virtual clock — the live aging
     /// debt the fair queue owes that class. Zero for classes with
-    /// nothing queued or whose head is not yet due. Scans the global
-    /// queue under the state lock; intended for observability
-    /// snapshots, not hot paths.
+    /// nothing queued or whose head is not yet due. O(1): reads the
+    /// per-class min-tag mirrors maintained by every push/pop, so even
+    /// a kHz-polling stats consumer never contends with workers for
+    /// the state lock.
     pub(crate) fn deficit_by_priority(&self) -> [u64; Priority::LEVELS] {
         let vt = self.virtual_time.load(Ordering::SeqCst);
-        let st = lock_clean(&self.state);
-        let mut oldest = [u64::MAX; Priority::LEVELS];
-        for entry in st.ready.iter() {
-            let lane = entry.task.job.priority.index();
-            oldest[lane] = oldest[lane].min(entry.task.tag);
-        }
         std::array::from_fn(|i| {
-            if oldest[i] == u64::MAX {
+            let oldest = self.class_min_tag[i].load(Ordering::SeqCst);
+            if oldest == u64::MAX {
                 0
             } else {
-                vt.saturating_sub(oldest[i])
+                vt.saturating_sub(oldest)
             }
         })
     }
@@ -529,25 +537,50 @@ impl<'s> Core<'s> {
         }
     }
 
-    /// Pushes a task into the global fair queue (state lock held),
-    /// keeping the min-tag fast path and the per-priority depth in
-    /// sync.
-    fn push_global(&self, st: &mut CoreState<'s>, task: Task<'s>) {
-        self.queued[task.job.priority.index()].fetch_add(1, Ordering::SeqCst);
-        let seq = st.seq;
-        st.seq += 1;
-        st.ready.push(QueuedTask { seq, task });
-        let min = st.ready.peek().expect("just pushed").task.tag;
-        self.global_min_tag.store(min, Ordering::SeqCst);
+    /// Re-publishes the min-tag mirrors of lane `lane` and the global
+    /// fast path from the lane heap heads (state lock held).
+    fn refresh_min_tags(&self, st: &CoreState<'s>, lane: usize) {
+        let lane_min = st.ready[lane].peek().map_or(u64::MAX, |e| e.task.tag);
+        self.class_min_tag[lane].store(lane_min, Ordering::SeqCst);
+        let global = st
+            .ready
+            .iter()
+            .filter_map(|heap| heap.peek())
+            .map(|e| e.task.tag)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.global_min_tag.store(global, Ordering::SeqCst);
     }
 
-    /// Pops the lowest-tagged task from the global fair queue (state
-    /// lock held), maintaining the same bookkeeping.
+    /// Pushes a task into the global fair queue (state lock held),
+    /// keeping the min-tag fast paths and the per-priority depth in
+    /// sync.
+    fn push_global(&self, st: &mut CoreState<'s>, task: Task<'s>) {
+        let lane = task.job.priority.index();
+        self.queued[lane].fetch_add(1, Ordering::SeqCst);
+        let seq = st.seq;
+        st.seq += 1;
+        st.ready[lane].push(QueuedTask { seq, task });
+        self.refresh_min_tags(st, lane);
+    }
+
+    /// Pops the lowest-`(tag, seq)` task across the lane heaps (state
+    /// lock held) — the exact order one merged heap would yield, since
+    /// `seq` is globally unique — maintaining the same bookkeeping.
     fn pop_global(&self, st: &mut CoreState<'s>) -> Option<Task<'s>> {
-        let entry = st.ready.pop()?;
-        self.queued[entry.task.job.priority.index()].fetch_sub(1, Ordering::SeqCst);
-        let min = st.ready.peek().map_or(u64::MAX, |e| e.task.tag);
-        self.global_min_tag.store(min, Ordering::SeqCst);
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (lane, heap) in st.ready.iter().enumerate() {
+            if let Some(head) = heap.peek() {
+                let key = (head.task.tag, head.seq);
+                if best.is_none_or(|(tag, seq, _)| key < (tag, seq)) {
+                    best = Some((key.0, key.1, lane));
+                }
+            }
+        }
+        let (_, _, lane) = best?;
+        let entry = st.ready[lane].pop().expect("lane head just peeked");
+        self.queued[lane].fetch_sub(1, Ordering::SeqCst);
+        self.refresh_min_tags(st, lane);
         Some(entry.task)
     }
 

@@ -108,7 +108,10 @@ pub struct ServiceStats {
     /// aging debt owed to that class ([`Priority::index`] order). Zero
     /// when the class has nothing queued; bounded by the weight ratios
     /// times the admitted backlog, never unbounded (that's the
-    /// no-starvation guarantee).
+    /// no-starvation guarantee). Read from per-class min-tag counters
+    /// the scheduler maintains incrementally — O(1), off the state
+    /// lock, so polling stats at kHz rates never contends with
+    /// workers.
     pub deficit_by_priority: [u64; Priority::LEVELS],
     /// Streaming sessions currently open against this service.
     pub sessions_open: usize,

@@ -307,7 +307,11 @@ impl GatherStage {
     /// recycled buffer. The synthesiser's memo cache stays warm across
     /// calls, bit-identical to a fresh build: rows are pure functions
     /// of (scene, seed, layer, stage) and every row is fully
-    /// overwritten.
+    /// overwritten. Value generation runs through the batched
+    /// fixed-polynomial Box–Muller kernel (`focus_tensor::math`),
+    /// whose SIMD and scalar paths are bit-identical — so the node's
+    /// output does not depend on which machine or dispatch path ran
+    /// it, only on the workload.
     pub fn synth(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) {
         let width = self.stage.width(ctx.workload.scaled_model());
         ws.syn.activations_into(

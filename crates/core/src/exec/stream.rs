@@ -20,7 +20,8 @@
 //!   an unbounded feed ahead of the workers.
 //! * **Warm per-session state** rides across frames: the retention
 //!   plan (prune layers, measured-layer schedule, full-set position
-//!   table) is derived once per session, and each retired frame's
+//!   table) is derived once per feed geometry (once per session on a
+//!   well-formed single-shape feed), and each retired frame's
 //!   workload-independent allocations — stage workspaces'
 //!   [`StageScratch`] and the measure accumulator's buffers — are
 //!   reclaimed into a pool the next admitted frame draws from, so
@@ -87,6 +88,12 @@ pub struct SessionStats {
     /// after the pool warms up — the first `window` frames allocate
     /// fresh and seed it).
     pub warm_reuses: u64,
+    /// Times the feed's geometry diverged mid-session and the warm
+    /// state (retention plan + allocation pool) was re-derived from
+    /// scratch. Zero on a well-formed single-shape feed; a steadily
+    /// climbing value means the caller is funnelling unrelated feeds
+    /// through one session and paying a cold start per frame.
+    pub warm_rederives: u64,
 }
 
 /// A frame admitted but not yet retired: the session's own references
@@ -159,14 +166,16 @@ pub struct StreamSession<'s> {
     pipeline: FocusPipeline,
     arch: ArchConfig,
     config: StreamConfig,
-    /// Derived from the first frame; every later frame must match its
-    /// geometry (one session is one feed).
+    /// Derived from the first frame and shared by every frame of the
+    /// same geometry; re-derived (window drained, pool dropped) when
+    /// the feed's geometry diverges mid-session.
     plan: Option<Arc<RetentionPlan>>,
     inflight: VecDeque<InflightFrame>,
     pool: Vec<FrameAllocs>,
     frames_pushed: u64,
     frames_retired: u64,
     warm_reuses: u64,
+    warm_rederives: u64,
 }
 
 impl<'s> StreamSession<'s> {
@@ -196,6 +205,7 @@ impl<'s> StreamSession<'s> {
             frames_pushed: 0,
             frames_retired: 0,
             warm_reuses: 0,
+            warm_rederives: 0,
         }
     }
 
@@ -204,7 +214,9 @@ impl<'s> StreamSession<'s> {
         self.config
     }
 
-    /// The feed geometry fixed by the first frame, if any arrived yet.
+    /// The feed geometry of the current retention plan (set by the
+    /// first frame, updated if the feed diverges), if any frame
+    /// arrived yet.
     pub fn geometry(&self) -> Option<SessionGeometry> {
         self.plan.as_ref().map(|plan| plan.geometry())
     }
@@ -217,6 +229,7 @@ impl<'s> StreamSession<'s> {
             frames_inflight: self.inflight.len(),
             window: self.config.window,
             warm_reuses: self.warm_reuses,
+            warm_rederives: self.warm_rederives,
         }
     }
 
@@ -229,27 +242,33 @@ impl<'s> StreamSession<'s> {
     /// running `workload` alone under
     /// [`ExecMode::Serial`](crate::exec::ExecMode::Serial).
     ///
-    /// # Panics
-    ///
-    /// Panics if `workload`'s geometry (layers, frame grid, scaled
-    /// token count) differs from the session's first frame — one
-    /// session is one feed; open another session for a different feed.
+    /// A frame whose geometry (layers, frame grid, scaled token count,
+    /// measured-layer stride) differs from the session's current feed
+    /// is **re-derived**, not rejected: the window drains, the warm
+    /// pool is dropped (its shapes no longer fit) and a fresh
+    /// retention plan is built from this frame — counted in
+    /// [`SessionStats::warm_rederives`]. Results stay bit-identical to
+    /// the serial loop either way; a climbing re-derive counter is the
+    /// signal that the caller should open one session per feed.
     pub fn push_frame(&mut self, workload: Workload) -> FrameHandle {
-        let plan = match &self.plan {
-            Some(plan) => {
-                assert_eq!(
-                    plan.geometry(),
-                    SessionGeometry::of(&workload),
-                    "a session streams one feed: frame {} geometry diverged",
-                    self.frames_pushed,
-                );
-                Arc::clone(plan)
+        let geometry = SessionGeometry::of(&workload);
+        let matches = self
+            .plan
+            .as_ref()
+            .is_some_and(|plan| plan.geometry() == geometry);
+        let plan = if matches {
+            Arc::clone(self.plan.as_ref().expect("geometry just matched"))
+        } else {
+            if self.plan.is_some() {
+                // Mid-feed divergence: retire everything shaped like
+                // the old feed before the new shape takes over.
+                self.flush();
+                self.pool.clear();
+                self.warm_rederives += 1;
             }
-            None => {
-                let plan = Arc::new(RetentionPlan::derive(&self.pipeline.focus, &workload));
-                self.plan = Some(Arc::clone(&plan));
-                plan
-            }
+            let plan = Arc::new(RetentionPlan::derive(&self.pipeline.focus, &workload));
+            self.plan = Some(Arc::clone(&plan));
+            plan
         };
 
         // Blocking backpressure: frame t + window waits for frame t.

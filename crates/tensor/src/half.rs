@@ -207,10 +207,11 @@ pub fn round_to_f16(value: f32) -> f32 {
 }
 
 /// Rounds every element of a slice through binary16 in place.
+///
+/// Delegates to the batched [`crate::math::f16_round_fill`] kernel,
+/// which is bit-identical to applying [`round_to_f16`] per element.
 pub fn round_slice_to_f16(values: &mut [f32]) {
-    for v in values.iter_mut() {
-        *v = round_to_f16(*v);
-    }
+    crate::math::f16_round_fill(values);
 }
 
 /// The largest finite magnitude representable in binary16.

@@ -13,7 +13,11 @@
 //!   tiling helpers and transformer kernels (softmax, RMSNorm) the
 //!   workload generator and the reference pipeline need;
 //! * [`ops`] — vector kernels (dot, L2 norm, cosine similarity) that the
-//!   similarity concentrator models reuse.
+//!   similarity concentrator models reuse;
+//! * [`math`] — the batched, bit-deterministic transcendental kernel
+//!   (fixed-polynomial `ln`/`cos`, `box_muller_fill`) behind all
+//!   activation synthesis, with a runtime-dispatched SIMD path that is
+//!   bit-identical to its scalar fallback.
 //!
 //! Everything is deterministic: no global RNG, no time sources. Workload
 //! synthesis seeds [`rand::rngs::StdRng`] explicitly.
@@ -33,6 +37,7 @@
 //! [HPCA 2026]: https://arxiv.org/abs/2512.14661
 
 pub mod half;
+pub mod math;
 pub mod matrix;
 pub mod ops;
 pub mod quant;

@@ -1,0 +1,721 @@
+//! Batched, bit-deterministic transcendental synthesis kernel.
+//!
+//! The measured phase of the pipeline is RNG-bound: every synthesised
+//! activation value costs one Box–Muller round-trip, and the libm
+//! `ln`/`cos` calls behind it were 83 % of the measured phase
+//! (`BENCH_batch.json`, ROADMAP direction 2). This module replaces
+//! libm with **fixed-polynomial** evaluations whose operation order is
+//! frozen, so the same value stream can be produced one value at a
+//! time (scalar), eight lanes at a time (AVX2), or chunked through any
+//! future width — **bit-identically**.
+//!
+//! # Determinism contract
+//!
+//! Every path — [`box_muller_fill`]'s runtime-dispatched SIMD, its
+//! chunked-scalar fallback, and the one-value [`normal_from_raw`]
+//! reference — executes the *same* IEEE-754 single-precision
+//! operations in the *same* order on every input:
+//!
+//! * argument reduction happens in **integer space** (exponent and
+//!   mantissa bits for `ln`, quadrant/octant bits for `cos`), which is
+//!   exact everywhere;
+//! * the float pipeline uses only exactly-rounded IEEE ops (`+`, `-`,
+//!   `*`, `/`, `sqrt`), exact `u32 → f32` conversions (all integer
+//!   inputs are below 2²⁴), exact negation/doubling, and Horner
+//!   polynomials with a frozen evaluation order;
+//! * **no FMA**: scalar Rust never contracts `a * b + c`, and the SIMD
+//!   kernels deliberately use separate multiply/add intrinsics, so
+//!   lane-wise results equal the scalar ones bit for bit.
+//!
+//! Because of that, `scalar(out[i]) == simd(out[i])` for every index,
+//! every seed and every chunk offset — property-tested in
+//! `crates/tensor/tests/math_kernel.rs`. The kernel (not libm) is
+//! therefore *the* reference the determinism suite pins
+//! (re-baseline v2; see README "Synthesis kernel").
+//!
+//! # Value stream
+//!
+//! [`box_muller_fill`] expands a SplitMix64 counter stream: value `i`
+//! of a fill seeded with `s` consumes the raw words
+//! `mix(s + (2i+1)·γ)` and `mix(s + (2i+2)·γ)` — exactly the words the
+//! sequential generator would produce, so filling N values and then
+//! drawing one-by-one continues the same stream.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+#[cfg(target_arch = "x86_64")]
+use std::sync::OnceLock;
+
+/// SplitMix64's additive constant (γ).
+pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 output mix of one raw counter state (the xor-shift
+/// multiply chain of `SplitMix64::next_u64`, applied to the
+/// post-increment state).
+#[inline]
+pub fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// When set, [`box_muller_fill`] (and the other dispatched fills) take
+/// the chunked-scalar path even where SIMD is available. Values are
+/// bit-identical either way — this is a *performance* switch for the
+/// batched-vs-scalar bench comparison, never a correctness one.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the scalar fallback for every dispatched fill
+/// in this process. See [`FORCE_SCALAR`].
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// Whether the dispatched fills currently take a SIMD path.
+pub fn simd_active() -> bool {
+    !FORCE_SCALAR.load(Ordering::SeqCst) && avx2_available()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+fn f16c_available() -> bool {
+    static F16C: OnceLock<bool> = OnceLock::new();
+    *F16C.get_or_init(|| std::is_x86_feature_detected!("f16c"))
+}
+
+// ---------------------------------------------------------------------
+// Shared constants: one definition serves the scalar reference and
+// every SIMD lane, so the paths cannot drift.
+// ---------------------------------------------------------------------
+
+/// `2·ln 2` rounded to f32.
+const TWO_LN2: f32 = 2.0 * core::f32::consts::LN_2;
+/// `ln 2` rounded to f32.
+const LN2: f32 = core::f32::consts::LN_2;
+/// Mantissa-field threshold for the `m ≥ 4/3` range narrowing
+/// (the 23 mantissa bits of `4/3_f32`).
+const NARROW_MANT: u32 = 0x002A_AAAB;
+/// Octant phase scale: `(π/4) / 2²¹`.
+const PHI_SCALE: f32 = core::f32::consts::FRAC_PI_4 / (1u32 << 21) as f32;
+
+// atanh-series coefficients for ln(1+z) = 2s·(1 + w/3 + w²/5 + w³/7),
+// s = z/(2+z), w = s² (|z| ≤ 1/3 ⇒ |s| ≤ 1/7, truncation ≪ f32 ulp).
+const LOG_C1: f32 = 1.0 / 3.0;
+const LOG_C2: f32 = 1.0 / 5.0;
+const LOG_C3: f32 = 1.0 / 7.0;
+
+// Taylor coefficients on the reduced octant [0, π/4]; the truncation
+// error is below one f32 ulp of the result at the interval edge.
+const COS_C2: f32 = -1.0 / 2.0;
+const COS_C4: f32 = 1.0 / 24.0;
+const COS_C6: f32 = -1.0 / 720.0;
+const COS_C8: f32 = 1.0 / 40320.0;
+const SIN_C3: f32 = -1.0 / 6.0;
+const SIN_C5: f32 = 1.0 / 120.0;
+const SIN_C7: f32 = -1.0 / 5040.0;
+const SIN_C9: f32 = 1.0 / 362880.0;
+
+// ---------------------------------------------------------------------
+// Scalar reference pipeline
+// ---------------------------------------------------------------------
+
+/// `ln(1+z)` for `|z| ≤ 1/3` — the shared polynomial core, frozen
+/// operation order (one division, one Horner chain, one exact
+/// doubling).
+#[inline]
+fn ln1p_core(z: f32) -> f32 {
+    let s = z / (2.0 + z);
+    let w = s * s;
+    let mut t = LOG_C3;
+    t = t * w + LOG_C2;
+    t = t * w + LOG_C1;
+    t = t * w + 1.0;
+    (s + s) * t
+}
+
+/// `cos φ` on the reduced octant `φ ∈ [0, π/4]`, from `w = φ²`.
+#[inline]
+fn cos_poly(w: f32) -> f32 {
+    let mut c = COS_C8;
+    c = c * w + COS_C6;
+    c = c * w + COS_C4;
+    c = c * w + COS_C2;
+    c * w + 1.0
+}
+
+/// `sin φ / φ` on the reduced octant, from `w = φ²`.
+#[inline]
+fn sin_poly(w: f32) -> f32 {
+    let mut s = SIN_C9;
+    s = s * w + SIN_C7;
+    s = s * w + SIN_C5;
+    s = s * w + SIN_C3;
+    s * w + 1.0
+}
+
+/// Fixed-polynomial natural log of a positive normal `f32`.
+///
+/// Exponent extraction and the `m ≥ 4/3` range narrowing happen in
+/// integer space; the mantissa path is the shared [`ln1p_core`]. The
+/// absolute error stays within a few f32 ulps over the normal range.
+/// Non-positive, subnormal or non-finite inputs produce unspecified
+/// (but still deterministic, path-identical) values.
+#[inline]
+pub fn fixed_ln(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let mant = bits & 0x007F_FFFF;
+    let mut e = ((bits >> 23) & 0xFF) as i32 - 127;
+    let narrow = mant >= NARROW_MANT;
+    // Exponent field 126 halves the mantissa value exactly: after the
+    // narrowing, m ∈ [2/3, 4/3) and z = m − 1 is exact (Sterbenz).
+    let m = f32::from_bits(mant | if narrow { 0x3F00_0000 } else { 0x3F80_0000 });
+    e += narrow as i32;
+    let z = m - 1.0;
+    let ef = e as f32;
+    LN2 * ef + ln1p_core(z)
+}
+
+/// The Box–Muller radius `sqrt(−2·ln(k/2²⁴))` from raw word `r1`,
+/// with `k = (r1 >> 40) + 1 ∈ [1, 2²⁴]` (so `u1 ∈ (0, 1]`; the radius
+/// is bounded by `sqrt(48·ln 2) ≈ 5.77`).
+#[inline]
+fn radius_from_raw(r1: u64) -> f32 {
+    let k = ((r1 >> 40) as u32) + 1;
+    let x = k as f32; // exact: k ≤ 2²⁴
+    let bits = x.to_bits();
+    let mant = bits & 0x007F_FFFF;
+    let mut e = ((bits >> 23) & 0xFF) as i32 - 127;
+    let narrow = mant >= NARROW_MANT;
+    let m = f32::from_bits(mant | if narrow { 0x3F00_0000 } else { 0x3F80_0000 });
+    e += narrow as i32;
+    let z = m - 1.0;
+    // −2·ln(k/2²⁴) = 2·(24 − e)·ln2 − 2·ln(1+z), in frozen order.
+    let ln1p = ln1p_core(z);
+    let nf = (24 - e) as f32; // integer in [0, 24], exact
+    let a = TWO_LN2 * nf;
+    let b = ln1p + ln1p;
+    (a - b).sqrt()
+}
+
+/// `cos(2π · p/2²⁴)` for a 24-bit phase `p`, by octant reduction.
+///
+/// Bits `[23:21]` select the octant `o`, the remaining 21 bits the
+/// in-octant fraction; odd octants are reflected to `φ = π/4 − θ`, so
+/// the reduced angle `φ ∈ [0, π/4]` feeds one of two fixed Taylor
+/// polynomials. Per octant the value is
+/// `+cos, +sin, −sin, −cos, −cos, −sin, +sin, +cos` of `φ` — the
+/// sin/cos selection is `((o+1) >> 1) & 1` and the sign is
+/// `(o+2) & 4`, all in integer space. Bits above 23 are ignored.
+#[inline]
+pub fn fixed_cos_phase24(p: u32) -> f32 {
+    let p = p & 0x00FF_FFFF;
+    let o = p >> 21;
+    let h = o & 1;
+    let f21 = p & 0x001F_FFFF;
+    // Half-quadrant reflection: q·90° + 45° + θ = (q+1)·90° − (45° − θ).
+    let fi = if h == 0 { f21 } else { (1 << 21) - f21 };
+    let phi = fi as f32 * PHI_SCALE; // fi ≤ 2²¹: conversion exact
+    let w = phi * phi;
+    // Both polynomials are evaluated and one selected, mirroring the
+    // SIMD blend, so scalar and lane-wise op sequences agree exactly.
+    let c = cos_poly(w);
+    let s = phi * sin_poly(w);
+    let v = if ((o + 1) >> 1) & 1 == 0 { c } else { s };
+    if (o + 2) & 4 != 0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// One standard-normal sample from two raw 64-bit words — the scalar
+/// Box–Muller reference every batched path is bit-identical to.
+#[inline]
+pub fn normal_from_raw(r1: u64, r2: u64) -> f32 {
+    radius_from_raw(r1) * fixed_cos_phase24((r2 >> 40) as u32)
+}
+
+// ---------------------------------------------------------------------
+// Batched fills
+// ---------------------------------------------------------------------
+
+/// Fills `out` with standard-normal samples from the SplitMix64
+/// counter stream seeded at `seed`: value `i` consumes raw words
+/// `2i+1` and `2i+2` of the stream (see the module docs), so the fill
+/// is **position-addressable** — splitting a fill at any offset `n`
+/// and continuing with seed `seed + 2n·γ` reproduces the same values.
+///
+/// Runtime-dispatched: AVX2 eight lanes at a time where detected
+/// (unless [`force_scalar`]), chunked scalar otherwise — bit-identical
+/// either way.
+pub fn box_muller_fill(seed: u64, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2 was detected at runtime.
+        unsafe { box_muller_fill_avx2_raw(seed, out) };
+        return;
+    }
+    box_muller_fill_scalar(seed, out);
+}
+
+/// The portable chunked-scalar path of [`box_muller_fill`].
+pub fn box_muller_fill_scalar(seed: u64, out: &mut [f32]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let n = (2 * i + 1) as u64;
+        let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
+        let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
+        *o = normal_from_raw(r1, r2);
+    }
+}
+
+/// The explicit AVX2 path of [`box_muller_fill`], for the bit-identity
+/// property tests. Returns `false` (leaving `out` untouched) when the
+/// host lacks AVX2.
+#[cfg(target_arch = "x86_64")]
+pub fn box_muller_fill_avx2(seed: u64, out: &mut [f32]) -> bool {
+    if !avx2_available() {
+        return false;
+    }
+    // SAFETY: AVX2 detected above.
+    unsafe { box_muller_fill_avx2_raw(seed, out) };
+    true
+}
+
+/// Fills `out[i] = fixed_ln(xs[i])`, runtime-dispatched like
+/// [`box_muller_fill`]. Lengths must match.
+pub fn ln_fill(xs: &[f32], out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "ln_fill length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: AVX2 detected.
+        unsafe { ln_fill_avx2_raw(xs, out) };
+        return;
+    }
+    ln_fill_scalar(xs, out);
+}
+
+/// Scalar path of [`ln_fill`].
+pub fn ln_fill_scalar(xs: &[f32], out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = fixed_ln(x);
+    }
+}
+
+/// Explicit AVX2 path of [`ln_fill`]; `false` when unavailable.
+#[cfg(target_arch = "x86_64")]
+pub fn ln_fill_avx2(xs: &[f32], out: &mut [f32]) -> bool {
+    assert_eq!(xs.len(), out.len(), "ln_fill length mismatch");
+    if !avx2_available() {
+        return false;
+    }
+    // SAFETY: AVX2 detected.
+    unsafe { ln_fill_avx2_raw(xs, out) };
+    true
+}
+
+/// Fills `out[i] = fixed_cos_phase24(ps[i])`, runtime-dispatched.
+pub fn cos_phase24_fill(ps: &[u32], out: &mut [f32]) {
+    assert_eq!(ps.len(), out.len(), "cos_phase24_fill length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: AVX2 detected.
+        unsafe { cos_fill_avx2_raw(ps, out) };
+        return;
+    }
+    cos_phase24_fill_scalar(ps, out);
+}
+
+/// Scalar path of [`cos_phase24_fill`].
+pub fn cos_phase24_fill_scalar(ps: &[u32], out: &mut [f32]) {
+    for (o, &p) in out.iter_mut().zip(ps) {
+        *o = fixed_cos_phase24(p);
+    }
+}
+
+/// Explicit AVX2 path of [`cos_phase24_fill`]; `false` when
+/// unavailable.
+#[cfg(target_arch = "x86_64")]
+pub fn cos_phase24_fill_avx2(ps: &[u32], out: &mut [f32]) -> bool {
+    assert_eq!(ps.len(), out.len(), "cos_phase24_fill length mismatch");
+    if !avx2_available() {
+        return false;
+    }
+    // SAFETY: AVX2 detected.
+    unsafe { cos_fill_avx2_raw(ps, out) };
+    true
+}
+
+/// Rounds every element of `values` through IEEE binary16 and back in
+/// place — the batched form of [`crate::half::round_to_f16`],
+/// runtime-dispatched like [`box_muller_fill`].
+///
+/// The SIMD path uses the hardware F16C converters (`vcvtps2ph` with
+/// an explicit round-to-nearest-even immediate, `vcvtph2ps`), which
+/// implement exactly the IEEE conversion the software reference in
+/// [`crate::half`] implements: same rounding at every finite input,
+/// same overflow-to-infinity, same subnormal grid (the converters
+/// ignore MXCSR's FTZ/DAZ). The one place hardware and software
+/// disagree — NaN payload propagation — is papered over by
+/// canonicalising NaN lanes to the software path's quiet-NaN pattern,
+/// so the two paths are bit-identical on *every* input, not just the
+/// finite ones.
+pub fn f16_round_fill(values: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() && f16c_available() {
+        // SAFETY: AVX2 and F16C detected at runtime.
+        unsafe { f16_round_fill_f16c_raw(values) };
+        return;
+    }
+    f16_round_fill_scalar(values);
+}
+
+/// Portable scalar path of [`f16_round_fill`].
+pub fn f16_round_fill_scalar(values: &mut [f32]) {
+    for v in values.iter_mut() {
+        *v = crate::half::round_to_f16(*v);
+    }
+}
+
+/// Explicit F16C path of [`f16_round_fill`]; `false` (leaving `values`
+/// untouched) when the host lacks AVX2 or F16C.
+#[cfg(target_arch = "x86_64")]
+pub fn f16_round_fill_f16c(values: &mut [f32]) -> bool {
+    if !avx2_available() || !f16c_available() {
+        return false;
+    }
+    // SAFETY: AVX2 and F16C detected above.
+    unsafe { f16_round_fill_f16c_raw(values) };
+    true
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels
+//
+// Eight f32 lanes per iteration, mirroring the scalar pipeline op for
+// op: the raw-word generation and bit extraction are integer (exact by
+// nature), and the float stages use only mul/add/sub/div/sqrt/blend —
+// never `fmadd` (the crate does not enable the `fma` target feature,
+// and LLVM does not contract separate mul+add intrinsics), so each
+// lane's result is bit-identical to the scalar reference.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Raw-word extraction for one 8-lane chunk: the 24-bit radius
+    /// integers `k` and cosine phases `p` of values `base..base+8` of
+    /// the stream seeded at `seed`. Pure u64 integer work — exact, and
+    /// shared verbatim with the scalar path's per-value extraction.
+    #[inline]
+    fn chunk_words(seed: u64, base: usize) -> ([u32; 8], [u32; 8]) {
+        let mut k = [0u32; 8];
+        let mut p = [0u32; 8];
+        for lane in 0..8 {
+            let n = (2 * (base + lane) + 1) as u64;
+            let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
+            let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
+            k[lane] = ((r1 >> 40) as u32) + 1;
+            p[lane] = (r2 >> 40) as u32;
+        }
+        (k, p)
+    }
+
+    /// The radius pipeline on 8 lanes of `k ∈ [1, 2²⁴]`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn radius8(k: &[u32; 8]) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        let kv = _mm256_loadu_si256(k.as_ptr() as *const __m256i);
+        let x = _mm256_cvtepi32_ps(kv); // exact: k ≤ 2²⁴ < 2³¹
+        let bits = _mm256_castps_si256(x);
+        let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
+        let e = _mm256_sub_epi32(_mm256_srli_epi32(bits, 23), _mm256_set1_epi32(127));
+        // mant ≥ NARROW_MANT  ⇔  mant > NARROW_MANT − 1 (values < 2²³,
+        // so the signed compare is exact).
+        let narrow = _mm256_cmpgt_epi32(mant, _mm256_set1_epi32(NARROW_MANT as i32 - 1));
+        let expf = _mm256_blendv_epi8(
+            _mm256_set1_epi32(0x3F80_0000),
+            _mm256_set1_epi32(0x3F00_0000),
+            narrow,
+        );
+        let m = _mm256_castsi256_ps(_mm256_or_si256(mant, expf));
+        let e = _mm256_sub_epi32(e, narrow); // narrow mask is −1 ⇒ e+1
+        let z = _mm256_sub_ps(m, one);
+        // ln1p_core, lane-wise in the scalar order.
+        let s = _mm256_div_ps(z, _mm256_add_ps(_mm256_set1_ps(2.0), z));
+        let w = _mm256_mul_ps(s, s);
+        let mut t = _mm256_set1_ps(LOG_C3);
+        t = _mm256_add_ps(_mm256_mul_ps(t, w), _mm256_set1_ps(LOG_C2));
+        t = _mm256_add_ps(_mm256_mul_ps(t, w), _mm256_set1_ps(LOG_C1));
+        t = _mm256_add_ps(_mm256_mul_ps(t, w), one);
+        let ln1p = _mm256_mul_ps(_mm256_add_ps(s, s), t);
+        let nf = _mm256_cvtepi32_ps(_mm256_sub_epi32(_mm256_set1_epi32(24), e));
+        let a = _mm256_mul_ps(_mm256_set1_ps(TWO_LN2), nf);
+        let b = _mm256_add_ps(ln1p, ln1p);
+        _mm256_sqrt_ps(_mm256_sub_ps(a, b))
+    }
+
+    /// The cosine pipeline on 8 lanes of 24-bit phases.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn cos8(p: &[u32; 8]) -> __m256 {
+        let zero = _mm256_setzero_si256();
+        let pv = _mm256_and_si256(
+            _mm256_loadu_si256(p.as_ptr() as *const __m256i),
+            _mm256_set1_epi32(0x00FF_FFFF),
+        );
+        let o = _mm256_srli_epi32(pv, 21);
+        let h = _mm256_and_si256(o, _mm256_set1_epi32(1));
+        let f21 = _mm256_and_si256(pv, _mm256_set1_epi32(0x001F_FFFF));
+        let hmask = _mm256_cmpgt_epi32(h, zero);
+        let refl = _mm256_sub_epi32(_mm256_set1_epi32(1 << 21), f21);
+        let fi = _mm256_blendv_epi8(f21, refl, hmask);
+        let phi = _mm256_mul_ps(_mm256_cvtepi32_ps(fi), _mm256_set1_ps(PHI_SCALE));
+        let w = _mm256_mul_ps(phi, phi);
+        let mut c = _mm256_set1_ps(COS_C8);
+        c = _mm256_add_ps(_mm256_mul_ps(c, w), _mm256_set1_ps(COS_C6));
+        c = _mm256_add_ps(_mm256_mul_ps(c, w), _mm256_set1_ps(COS_C4));
+        c = _mm256_add_ps(_mm256_mul_ps(c, w), _mm256_set1_ps(COS_C2));
+        c = _mm256_add_ps(_mm256_mul_ps(c, w), _mm256_set1_ps(1.0));
+        let mut s = _mm256_set1_ps(SIN_C9);
+        s = _mm256_add_ps(_mm256_mul_ps(s, w), _mm256_set1_ps(SIN_C7));
+        s = _mm256_add_ps(_mm256_mul_ps(s, w), _mm256_set1_ps(SIN_C5));
+        s = _mm256_add_ps(_mm256_mul_ps(s, w), _mm256_set1_ps(SIN_C3));
+        s = _mm256_add_ps(_mm256_mul_ps(s, w), _mm256_set1_ps(1.0));
+        let sinv = _mm256_mul_ps(phi, s);
+        // Per-octant fixup, matching the scalar rules exactly:
+        // sin when ((o+1) >> 1) & 1, negate when (o+2) & 4.
+        let use_sin = _mm256_cmpgt_epi32(
+            _mm256_and_si256(
+                _mm256_srli_epi32(_mm256_add_epi32(o, _mm256_set1_epi32(1)), 1),
+                _mm256_set1_epi32(1),
+            ),
+            zero,
+        );
+        let v = _mm256_blendv_ps(c, sinv, _mm256_castsi256_ps(use_sin));
+        let neg = _mm256_cmpgt_epi32(
+            _mm256_and_si256(
+                _mm256_add_epi32(o, _mm256_set1_epi32(2)),
+                _mm256_set1_epi32(4),
+            ),
+            zero,
+        );
+        let sign = _mm256_and_ps(_mm256_castsi256_ps(neg), _mm256_set1_ps(-0.0));
+        _mm256_xor_ps(v, sign)
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn box_muller_fill_avx2_raw(seed: u64, out: &mut [f32]) {
+        let chunks = out.len() / 8;
+        for ci in 0..chunks {
+            let (k, p) = chunk_words(seed, ci * 8);
+            let r = radius8(&k);
+            let c = cos8(&p);
+            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), _mm256_mul_ps(r, c));
+        }
+        // Scalar tail: bit-identical by construction, so chunk
+        // boundaries are invisible in the output.
+        for (i, o) in out.iter_mut().enumerate().skip(chunks * 8) {
+            let n = (2 * i + 1) as u64;
+            let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
+            let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
+            *o = normal_from_raw(r1, r2);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ln_fill_avx2_raw(xs: &[f32], out: &mut [f32]) {
+        let one = _mm256_set1_ps(1.0);
+        let chunks = xs.len() / 8;
+        for ci in 0..chunks {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(ci * 8));
+            let bits = _mm256_castps_si256(x);
+            let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
+            let e = _mm256_sub_epi32(_mm256_srli_epi32(bits, 23), _mm256_set1_epi32(127));
+            let narrow = _mm256_cmpgt_epi32(mant, _mm256_set1_epi32(NARROW_MANT as i32 - 1));
+            let expf = _mm256_blendv_epi8(
+                _mm256_set1_epi32(0x3F80_0000),
+                _mm256_set1_epi32(0x3F00_0000),
+                narrow,
+            );
+            let m = _mm256_castsi256_ps(_mm256_or_si256(mant, expf));
+            let e = _mm256_sub_epi32(e, narrow);
+            let z = _mm256_sub_ps(m, one);
+            let s = _mm256_div_ps(z, _mm256_add_ps(_mm256_set1_ps(2.0), z));
+            let w = _mm256_mul_ps(s, s);
+            let mut t = _mm256_set1_ps(LOG_C3);
+            t = _mm256_add_ps(_mm256_mul_ps(t, w), _mm256_set1_ps(LOG_C2));
+            t = _mm256_add_ps(_mm256_mul_ps(t, w), _mm256_set1_ps(LOG_C1));
+            t = _mm256_add_ps(_mm256_mul_ps(t, w), one);
+            let ln1p = _mm256_mul_ps(_mm256_add_ps(s, s), t);
+            let ef = _mm256_cvtepi32_ps(e);
+            let r = _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(LN2), ef), ln1p);
+            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), r);
+        }
+        for i in chunks * 8..xs.len() {
+            out[i] = fixed_ln(xs[i]);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cos_fill_avx2_raw(ps: &[u32], out: &mut [f32]) {
+        let chunks = ps.len() / 8;
+        for ci in 0..chunks {
+            let mut p = [0u32; 8];
+            p.copy_from_slice(&ps[ci * 8..ci * 8 + 8]);
+            let c = cos8(&p);
+            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), c);
+        }
+        for i in chunks * 8..ps.len() {
+            out[i] = fixed_cos_phase24(ps[i]);
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 and F16C.
+    #[target_feature(enable = "avx2", enable = "f16c")]
+    pub(super) unsafe fn f16_round_fill_f16c_raw(values: &mut [f32]) {
+        let sign_bit = _mm256_set1_epi32(0x8000_0000u32 as i32);
+        // The software reference collapses every NaN to sign | 0x7E00,
+        // which widens back to sign | 0x7FC0_0000.
+        let canon_nan = _mm256_set1_epi32(0x7FC0_0000);
+        let chunks = values.len() / 8;
+        let ptr = values.as_mut_ptr();
+        for ci in 0..chunks {
+            let x = _mm256_loadu_ps(ptr.add(ci * 8));
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(x);
+            let r = _mm256_cvtph_ps(h);
+            let xi = _mm256_castps_si256(x);
+            let canon =
+                _mm256_castsi256_ps(_mm256_or_si256(_mm256_and_si256(xi, sign_bit), canon_nan));
+            let is_nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+            _mm256_storeu_ps(ptr.add(ci * 8), _mm256_blendv_ps(r, canon, is_nan));
+        }
+        for v in &mut values[chunks * 8..] {
+            *v = crate::half::round_to_f16(*v);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{
+    box_muller_fill_avx2_raw, cos_fill_avx2_raw, f16_round_fill_f16c_raw, ln_fill_avx2_raw,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_fill_matches_one_value_reference() {
+        let seed = 0xDEAD_BEEF_0BAD_F00Du64;
+        let mut filled = vec![0.0f32; 37];
+        box_muller_fill_scalar(seed, &mut filled);
+        for (i, &v) in filled.iter().enumerate() {
+            let n = (2 * i + 1) as u64;
+            let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
+            let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
+            assert_eq!(v.to_bits(), normal_from_raw(r1, r2).to_bits(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_ln_tracks_libm_on_the_normal_range() {
+        for &x in &[
+            1e-30f32, 1e-6, 0.1, 0.5, 0.9999, 1.0, 1.0001, 2.0, 3.5, 1e6, 1e30,
+        ] {
+            let got = fixed_ln(x);
+            let want = (x as f64).ln() as f32;
+            assert!(
+                (got - want).abs() <= 4.0 * want.abs().max(1.0) * f32::EPSILON,
+                "ln({x}) = {got}, libm {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_cos_tracks_libm_over_the_turn() {
+        for p in (0u32..1 << 24).step_by(4097) {
+            let got = fixed_cos_phase24(p);
+            let want = (2.0 * std::f64::consts::PI * p as f64 / (1u64 << 24) as f64).cos() as f32;
+            assert!(
+                (got - want).abs() < 4e-7,
+                "cos(2π·{p}/2^24) = {got}, libm {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_is_bounded_and_positive() {
+        for r1 in [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0x1234_5678_9ABC_DEF0,
+        ] {
+            let r = radius_from_raw(r1);
+            assert!((0.0..=5.78).contains(&r), "radius {r} for r1 {r1:#x}");
+        }
+    }
+
+    /// Hardware F16C and the software reference agree bit-for-bit on a
+    /// dense structured sweep of the f32 space — every exponent (so
+    /// every f16 class: underflow-to-zero, subnormal, normal, overflow)
+    /// with varied mantissas, both signs, plus the patterns the two
+    /// could plausibly disagree on (rounding-boundary midpoints, the
+    /// overflow midpoint, NaN payloads).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn f16_round_hardware_matches_software() {
+        let mut xs = Vec::new();
+        for bits in (0u32..=0x7F80_0000).step_by(0x1FEF) {
+            xs.push(f32::from_bits(bits));
+            xs.push(f32::from_bits(bits | 0x8000_0000));
+        }
+        for bits in [
+            0x7FC0_0000u32, // canonical quiet NaN
+            0xFFC0_0001,    // negative NaN, payload set
+            0x7F80_0001,    // signalling NaN
+            0x7F80_0000,    // +inf
+            0xFF80_0000,    // -inf
+            0x4780_0000,    // 65536: above the f16 overflow midpoint
+            0x477F_F000,    // 65520: exactly the overflow midpoint
+            0x0000_0001,    // smallest f32 subnormal (→ 0 in f16)
+            0x3880_0000,    // 2⁻¹⁴: smallest f16 normal
+            0x3800_1000,    // inside the f16 subnormal range
+        ] {
+            xs.push(f32::from_bits(bits));
+        }
+        let mut hw = xs.clone();
+        if !f16_round_fill_f16c(&mut hw) {
+            return; // host without F16C: nothing to compare
+        }
+        let mut sw = xs;
+        f16_round_fill_scalar(&mut sw);
+        for (i, (a, b)) in hw.iter().zip(&sw).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "index {i}: {a} vs {b}");
+        }
+    }
+}

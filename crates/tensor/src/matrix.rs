@@ -8,8 +8,6 @@
 //! ragged edge tiles, so the cycle model and the algorithm model agree on
 //! tile boundaries by construction.
 
-use crate::half::round_to_f16;
-
 /// A dense row-major matrix of `f32` values.
 ///
 /// # Examples
@@ -274,10 +272,12 @@ impl Matrix {
     }
 
     /// Rounds every element through binary16, modelling FP16 storage.
+    ///
+    /// Delegates to the batched [`crate::math::f16_round_fill`] kernel,
+    /// which is bit-identical to applying [`crate::half::round_to_f16`]
+    /// per element.
     pub fn round_to_f16(&mut self) {
-        for v in &mut self.data {
-            *v = round_to_f16(*v);
-        }
+        crate::math::f16_round_fill(&mut self.data);
     }
 
     /// Frobenius norm (root of the sum of squared elements).

@@ -1,0 +1,220 @@
+//! The synthesis kernel's determinism contract, property-tested:
+//!
+//! * **Bit-identity** — `box_muller_fill`, `ln_fill` and
+//!   `cos_phase24_fill` produce the *same bits* on the chunked-scalar
+//!   fallback, the runtime-dispatched path and the explicit AVX2 path,
+//!   for random seeds × widths (sweeping every tail length) × chunk
+//!   offsets (a fill split at any point, continued with the advanced
+//!   seed, equals the unsplit fill).
+//! * **Distribution sanity** — the fixed-polynomial Box–Muller still
+//!   produces standard normals (mean/variance/symmetry bounds over a
+//!   large sample).
+//!
+//! These tests are what lets the rest of the workspace treat the
+//! kernel (not libm) as *the* pinned reference: any drift between
+//! paths or across widths fails here first.
+
+use focus_tensor::math::{
+    box_muller_fill, box_muller_fill_scalar, cos_phase24_fill, cos_phase24_fill_scalar,
+    f16_round_fill, f16_round_fill_scalar, fixed_ln, force_scalar, ln_fill, ln_fill_scalar,
+    normal_from_raw, splitmix_mix, GAMMA,
+};
+use proptest::prelude::*;
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: value {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scalar ≡ dispatched ≡ AVX2 for the Box–Muller fill, and a fill
+    /// split at any offset (seed advanced by 2·offset·γ) reproduces
+    /// the unsplit stream — chunk boundaries are invisible.
+    #[test]
+    fn box_muller_paths_are_bit_identical(
+        seed in 0u64..u64::MAX,
+        width in 1usize..70,
+        split in 0usize..70,
+    ) {
+        let mut scalar = vec![0.0f32; width];
+        box_muller_fill_scalar(seed, &mut scalar);
+
+        let mut dispatched = vec![0.0f32; width];
+        box_muller_fill(seed, &mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "dispatched vs scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut avx2 = vec![0.0f32; width];
+            if focus_tensor::math::box_muller_fill_avx2(seed, &mut avx2) {
+                assert_bits_eq(&avx2, &scalar, "avx2 vs scalar");
+            }
+        }
+
+        // Position-addressability: fill [0, split) and [split, width)
+        // as two independent calls.
+        let split = split.min(width);
+        let mut parts = vec![0.0f32; width];
+        box_muller_fill(seed, &mut parts[..split]);
+        let advanced = seed.wrapping_add(GAMMA.wrapping_mul(2 * split as u64));
+        box_muller_fill(advanced, &mut parts[split..]);
+        assert_bits_eq(&parts, &scalar, "split fill vs whole fill");
+
+        // And each value matches the one-value reference.
+        for (i, &v) in scalar.iter().enumerate() {
+            let n = (2 * i + 1) as u64;
+            let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
+            let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
+            prop_assert_eq!(v.to_bits(), normal_from_raw(r1, r2).to_bits());
+        }
+    }
+
+    /// Scalar ≡ dispatched ≡ AVX2 for the fixed-log fill over positive
+    /// normal floats spanning the exponent range.
+    #[test]
+    fn ln_paths_are_bit_identical(
+        mantissas in proptest::collection::vec(0.5f32..1.0, 1..40),
+        exp in -90i32..90,
+    ) {
+        let scale = (exp as f32).exp2();
+        let xs: Vec<f32> = mantissas.iter().map(|m| m * scale).collect();
+        let mut scalar = vec![0.0f32; xs.len()];
+        ln_fill_scalar(&xs, &mut scalar);
+        for (x, l) in xs.iter().zip(&scalar) {
+            prop_assert_eq!(l.to_bits(), fixed_ln(*x).to_bits());
+        }
+
+        let mut dispatched = vec![0.0f32; xs.len()];
+        ln_fill(&xs, &mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "ln dispatched vs scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut avx2 = vec![0.0f32; xs.len()];
+            if focus_tensor::math::ln_fill_avx2(&xs, &mut avx2) {
+                assert_bits_eq(&avx2, &scalar, "ln avx2 vs scalar");
+            }
+        }
+    }
+
+    /// Scalar ≡ dispatched ≡ F16C for the batched fp16 round-trip over
+    /// raw 32-bit patterns — every float class (normals across the
+    /// whole exponent range, subnormals, zeros, infinities, NaNs with
+    /// arbitrary payloads) must round identically on every path.
+    #[test]
+    fn f16_round_paths_are_bit_identical(
+        patterns in proptest::collection::vec(0u32..u32::MAX, 1..40),
+    ) {
+        let xs: Vec<f32> = patterns.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut scalar = xs.clone();
+        f16_round_fill_scalar(&mut scalar);
+
+        let mut dispatched = xs.clone();
+        f16_round_fill(&mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "f16 dispatched vs scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut f16c = xs;
+            if focus_tensor::math::f16_round_fill_f16c(&mut f16c) {
+                assert_bits_eq(&f16c, &scalar, "f16 f16c vs scalar");
+            }
+        }
+    }
+
+    /// Scalar ≡ dispatched ≡ AVX2 for the phase-cosine fill over raw
+    /// 32-bit phases (high bits deliberately left set: the kernel must
+    /// mask to 24 bits identically on every path).
+    #[test]
+    fn cos_paths_are_bit_identical(
+        phases in proptest::collection::vec(0u32..u32::MAX, 1..40),
+    ) {
+        let mut scalar = vec![0.0f32; phases.len()];
+        cos_phase24_fill_scalar(&phases, &mut scalar);
+
+        let mut dispatched = vec![0.0f32; phases.len()];
+        cos_phase24_fill(&phases, &mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "cos dispatched vs scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut avx2 = vec![0.0f32; phases.len()];
+            if focus_tensor::math::cos_phase24_fill_avx2(&phases, &mut avx2) {
+                assert_bits_eq(&avx2, &scalar, "cos avx2 vs scalar");
+            }
+        }
+    }
+}
+
+/// The `force_scalar` performance switch must not change a single bit
+/// of output. (The switch is process-global; flipping it mid-test is
+/// safe for concurrently running tests *because* of this property.)
+#[test]
+fn force_scalar_switch_is_bit_invisible() {
+    let mut default_path = vec![0.0f32; 1024];
+    box_muller_fill(0x5EED, &mut default_path);
+    force_scalar(true);
+    let mut forced = vec![0.0f32; 1024];
+    box_muller_fill(0x5EED, &mut forced);
+    force_scalar(false);
+    assert_bits_eq(&forced, &default_path, "forced scalar vs default dispatch");
+}
+
+/// Distribution sanity: the kernel's output is still a standard
+/// normal. Bounds are generous multiples of the expected sampling
+/// error at n = 200_000 (σ_mean ≈ 0.0022, σ_var ≈ 0.0032).
+#[test]
+fn box_muller_output_is_standard_normal() {
+    const N: usize = 200_000;
+    let mut samples = vec![0.0f32; N];
+    box_muller_fill(0xD15_7A1B_0715, &mut samples);
+
+    let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / N as f64;
+    let var = samples
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / N as f64;
+    let negatives = samples.iter().filter(|&&v| v < 0.0).count() as f64 / N as f64;
+    let within_one_sigma = samples.iter().filter(|&&v| v.abs() < 1.0).count() as f64 / N as f64;
+
+    assert!(mean.abs() < 0.01, "mean {mean}");
+    assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    assert!((negatives - 0.5).abs() < 0.01, "sign balance {negatives}");
+    assert!(
+        (within_one_sigma - 0.6827).abs() < 0.01,
+        "P(|x| < 1) = {within_one_sigma}"
+    );
+    // The radius construction bounds every sample by sqrt(48·ln 2).
+    let max = samples.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    assert!(max <= 5.78, "max |sample| {max}");
+}
+
+/// `fixed_ln` tracks libm within a few ulps across the full positive
+/// normal range (sanity that the re-baseline did not change the
+/// *function*, only its last bits).
+#[test]
+fn fixed_ln_tracks_libm() {
+    let mut worst = 0.0f64;
+    for i in 1..20_000u32 {
+        let x = f32::from_bits(0x0080_0000 + i * 214_000); // spans normals
+        if !x.is_finite() {
+            break;
+        }
+        let got = fixed_ln(x) as f64;
+        let want = (x as f64).ln();
+        let tol = 4.0 * f64::EPSILON.max(f32::EPSILON as f64 * want.abs().max(1.0));
+        let err = (got - want).abs();
+        worst = worst.max(err / want.abs().max(1.0));
+        assert!(err <= tol, "ln({x}): {got} vs {want}");
+    }
+    assert!(worst < 1e-6, "relative error {worst}");
+}

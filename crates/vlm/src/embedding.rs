@@ -135,12 +135,29 @@ impl SplitMix64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Standard normal sample (Box–Muller, one value per call).
+    /// Standard normal sample (Box–Muller over the fixed-polynomial
+    /// kernel, one value per call). Bit-identical to the corresponding
+    /// position of a [`SplitMix64::fill_normals`] batch.
     #[inline]
     pub fn next_normal(&mut self) -> f32 {
-        let u1 = self.next_unit().max(1e-12);
-        let u2 = self.next_unit();
-        ((-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()) as f32
+        let r1 = self.next_u64();
+        let r2 = self.next_u64();
+        focus_tensor::math::normal_from_raw(r1, r2)
+    }
+
+    /// Fills `out` with standard normal samples, consuming exactly two
+    /// raw words per value — the batched form of
+    /// [`SplitMix64::next_normal`]. The fill runs through
+    /// [`focus_tensor::math::box_muller_fill`]'s runtime-dispatched
+    /// SIMD kernel, and the generator advances as if each value had
+    /// been drawn one call at a time, so batched and sequential draws
+    /// produce interchangeable streams.
+    #[inline]
+    pub fn fill_normals(&mut self, out: &mut [f32]) {
+        focus_tensor::math::box_muller_fill(self.0, out);
+        self.0 = self
+            .0
+            .wrapping_add(focus_tensor::math::GAMMA.wrapping_mul(2 * out.len() as u64));
     }
 }
 
@@ -205,7 +222,9 @@ impl<'a> ActivationSynthesizer<'a> {
             .entry((key, width))
             .or_insert_with(|| {
                 let mut rng = SplitMix64(key.stable_hash(salt));
-                (0..width).map(|_| rng.next_normal()).collect()
+                let mut v = vec![0.0f32; width];
+                rng.fill_normals(&mut v);
+                v
             })
     }
 
@@ -218,7 +237,11 @@ impl<'a> ActivationSynthesizer<'a> {
     /// the comments; IEEE-754 addition is commutative, so the rows are
     /// bit-identical either way.
     fn deterministic_row(&mut self, token: usize, width: usize, salt: u64, out: &mut [f32]) {
-        let patch = self.scene.patch_by_index(token).clone();
+        // Copy the `&'a Scene` reference out of `self` so the patch
+        // borrow outlives the `&mut self` appearance calls below — no
+        // per-row clone of the patch.
+        let scene: &'a Scene = self.scene;
+        let patch = scene.patch_by_index(token);
         match patch.primary {
             ContentKey::Background { epoch, .. } => {
                 // sqrt-weighted mix keeps unit variance; the expected
@@ -329,10 +352,12 @@ impl<'a> ActivationSynthesizer<'a> {
         }
         let pattern = &self.stability_cache[&(key, width)];
         let sigma = self.redundancy.noise_sigma as f32;
+        let mut noise = [0.0f32; GROUP];
         for (g, _) in pattern.iter().enumerate().filter(|(_, &stable)| !stable) {
             let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
-            for v in out[g * GROUP..(g + 1) * GROUP].iter_mut() {
-                *v += sigma * rng.next_normal();
+            rng.fill_normals(&mut noise);
+            for (v, &n) in out[g * GROUP..(g + 1) * GROUP].iter_mut().zip(&noise) {
+                *v += sigma * n;
             }
         }
     }
@@ -560,6 +585,23 @@ mod tests {
         let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
         let mut row = vec![0.0; 13];
         syn.token_row(0, 0, Stage::Embedding, &mut row);
+    }
+
+    #[test]
+    fn fill_normals_matches_sequential_draws() {
+        let mut batched = SplitMix64(123);
+        let mut buf = vec![0.0f32; 19];
+        batched.fill_normals(&mut buf);
+        let mut sequential = SplitMix64(123);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                sequential.next_normal().to_bits(),
+                "value {i} diverged"
+            );
+        }
+        // Both generators sit at the same stream position afterwards.
+        assert_eq!(batched.next_u64(), sequential.next_u64());
     }
 
     #[test]

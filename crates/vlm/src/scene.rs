@@ -178,11 +178,11 @@ fn unit_from_hash(h: u64) -> f64 {
 }
 
 /// A deterministic standard-normal sample from two hash draws
-/// (Box–Muller).
+/// (Box–Muller over the fixed-polynomial kernel in
+/// [`focus_tensor::math`]).
 fn normal_from_hash(h: u64) -> f32 {
-    let u1 = unit_from_hash(h).max(1e-12);
-    let u2 = unit_from_hash(h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
-    ((-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()) as f32
+    let h2 = h.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    focus_tensor::math::normal_from_raw(h, h2)
 }
 
 impl Scene {

@@ -497,3 +497,46 @@ fn repeated_parallel_runs_are_stable() {
         assert_identical(a, b, &format!("repeat {i}"));
     }
 }
+
+/// The synthesis kernel's dispatch paths, swept end to end: a full
+/// pipeline run with the SIMD path forcibly disabled is identical —
+/// every counter, every float — to the default runtime dispatch, for
+/// several (model, dataset) cells and both serial and graph modes.
+/// This is the whole-pipeline corollary of the per-fill bit-identity
+/// proptests in `crates/tensor/tests/math_kernel.rs`; it holds even
+/// with other tests running concurrently on the SIMD path, *because*
+/// the paths are bit-identical. (The force flag is restored even on
+/// assertion failure so one broken cell cannot cascade.)
+#[test]
+fn kernel_dispatch_paths_agree_end_to_end() {
+    struct ScalarGuard;
+    impl Drop for ScalarGuard {
+        fn drop(&mut self) {
+            focus::tensor::math::force_scalar(false);
+        }
+    }
+
+    force_parallel_pool();
+    let cells = [
+        (ModelKind::LlavaVideo7B, DatasetKind::VideoMme, 1u64),
+        (ModelKind::MiniCpmV26, DatasetKind::Mlvu, 13),
+    ];
+    let arch = ArchConfig::focus();
+    for (model, dataset, seed) in cells {
+        let wl = Workload::new(model, dataset, WorkloadScale::tiny(), seed);
+        for mode in [ExecMode::Serial, ExecMode::Graph { depth: 2 }] {
+            let pipeline = FocusPipeline::paper().with_exec_mode(mode);
+            let dispatched = pipeline.run(&wl, &arch);
+            let forced = {
+                let _guard = ScalarGuard;
+                focus::tensor::math::force_scalar(true);
+                pipeline.run(&wl, &arch)
+            };
+            assert_identical(
+                &forced,
+                &dispatched,
+                &format!("forced-scalar vs dispatched, {model:?}/{dataset:?} {mode:?}"),
+            );
+        }
+    }
+}

@@ -57,6 +57,8 @@ fn bench_snapshot_has_the_expected_shape() {
         "fair_served_normal",
         "fair_served_low",
         "synthesis_only_s",
+        "synthesis_batched_s",
+        "synthesis_kernel_speedup",
         "speedup",
         "graph_vs_pipelined",
         "synthesis_share",
@@ -88,5 +90,18 @@ fn bench_snapshot_has_the_expected_shape() {
     assert!(
         field(&json, "stream_window") >= 1.0,
         "the stream leg must declare its in-flight window"
+    );
+    // Re-baseline v2 (batched synthesis kernel): the committed snapshot
+    // must have been taken with the batched leg at least as fast as the
+    // forced-scalar leg — a regenerate on a machine where the SIMD
+    // dispatch silently fell back would record ~1.0 and fail the ratio
+    // sanity here. (Still no absolute timing assertions.)
+    assert!(
+        field(&json, "synthesis_kernel_speedup") >= 1.0,
+        "the batched kernel leg must not be slower than the scalar leg"
+    );
+    assert!(
+        field(&json, "synthesis_batched_s") <= field(&json, "synthesis_only_s"),
+        "batched/scalar legs inconsistent with the recorded speedup"
     );
 }

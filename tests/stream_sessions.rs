@@ -198,12 +198,12 @@ fn warm_scratch_recycles_across_frames() {
     assert_eq!(service.stats().sessions_open, 0);
 }
 
-/// One session is one feed: a frame whose geometry (model grid/layer
-/// count) diverges from the session's first frame is rejected loudly
-/// instead of silently mixing warm state across incompatible shapes.
+/// A frame whose geometry (model grid/layer count) diverges from the
+/// session's feed re-derives the warm state — window drained, pool
+/// dropped, fresh retention plan — instead of panicking, and the
+/// divergent frame's result is still bit-identical to the serial loop.
 #[test]
-#[should_panic(expected = "a session streams one feed")]
-fn session_rejects_geometry_divergence() {
+fn geometry_divergence_rederives_warm_state() {
     force_parallel_pool();
     let service = FocusService::new(ServiceConfig {
         threads: 2,
@@ -215,7 +215,7 @@ fn session_rejects_geometry_divergence() {
         ArchConfig::focus(),
         StreamConfig::default(),
     );
-    let _first = session.push_frame(frame_workload(0, 0));
+    let first = session.push_frame(frame_workload(0, 0));
     // A different model: different grid and layer count.
     let stray = Workload::new(
         ModelKind::MiniCpmV26,
@@ -223,16 +223,43 @@ fn session_rejects_geometry_divergence() {
         WorkloadScale::tiny(),
         1,
     );
-    let _second = session.push_frame(stray);
+    let stray_serial = serial_reference(&stray);
+    let second = session.push_frame(stray.clone());
+    assert_eq!(
+        session.geometry().expect("frames arrived").m_img,
+        stray.image_tokens_scaled(),
+        "the plan must now describe the divergent feed"
+    );
+
+    assert_identical(
+        &first.wait(),
+        &serial_reference(&frame_workload(0, 0)),
+        "pre-divergence frame",
+    );
+    assert_identical(&second.wait(), &stray_serial, "divergent frame");
+
+    // And the session keeps streaming on the new shape, warm again.
+    let third = session.push_frame(stray.clone());
+    assert_identical(&third.wait(), &stray_serial, "post-divergence frame");
+
+    session.flush();
+    let stats = session.stats();
+    assert_eq!(
+        stats.warm_rederives, 1,
+        "one divergence, one re-derive: {stats:?}"
+    );
+    assert_eq!(stats.frames_pushed, 3);
+    assert_eq!(stats.frames_retired, 3);
 }
 
 /// The stride is geometry too: a frame with identical dimensions but a
-/// different `measured_layer_stride` would silently run the *first*
-/// frame's measurement schedule (the shared plan bakes the stride in),
-/// so it must be rejected like any other shape divergence.
+/// different `measured_layer_stride` cannot run the *first* frame's
+/// measurement schedule (the shared plan bakes the stride in), so it
+/// re-derives like any other shape divergence — and the old shape's
+/// pooled allocations must not leak into the new shape's frames
+/// (`warm_reuses` restarts from a cold pool).
 #[test]
-#[should_panic(expected = "a session streams one feed")]
-fn session_rejects_stride_divergence() {
+fn stride_divergence_rederives_and_drops_the_pool() {
     force_parallel_pool();
     let service = FocusService::new(ServiceConfig {
         threads: 2,
@@ -242,9 +269,17 @@ fn session_rejects_stride_divergence() {
         &service,
         graph_pipeline(),
         ArchConfig::focus(),
-        StreamConfig::default(),
+        StreamConfig {
+            window: 1,
+            priority: Priority::Normal,
+        },
     );
-    let _first = session.push_frame(frame_workload(0, 0));
+    // Two same-shape frames: with window 1 the second reuses the
+    // first's allocations.
+    session.push_frame(frame_workload(0, 0)).wait();
+    session.push_frame(frame_workload(0, 1)).wait();
+    assert_eq!(session.stats().warm_reuses, 1);
+
     // Same model, same dimensions — only the measured-layer stride
     // differs from WorkloadScale::tiny()'s.
     let mut dense_scale = WorkloadScale::tiny();
@@ -255,7 +290,23 @@ fn session_rejects_stride_divergence() {
         dense_scale,
         1,
     );
-    let _second = session.push_frame(stray);
+    let streamed = session.push_frame(stray.clone()).wait();
+    assert_identical(
+        &streamed,
+        &serial_reference(&stray),
+        "re-derived stride frame",
+    );
+
+    session.flush();
+    let stats = session.stats();
+    assert_eq!(
+        stats.warm_rederives, 1,
+        "stride divergence must re-derive: {stats:?}"
+    );
+    assert_eq!(
+        stats.warm_reuses, 1,
+        "the old shape's pool must be dropped, not reused: {stats:?}"
+    );
 }
 
 /// Starvation regression (ROADMAP (k)): a **saturating** stream of
