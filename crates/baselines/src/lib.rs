@@ -37,9 +37,11 @@ pub mod cmc;
 pub mod common;
 pub mod dense;
 pub mod framefusion;
+pub mod stream;
 
 pub use crate::adaptiv::AdaptivBaseline;
 pub use crate::cmc::CmcBaseline;
 pub use crate::common::{BaselineResult, Concentrator, MemoryStyle};
 pub use crate::dense::DenseBaseline;
 pub use crate::framefusion::FrameFusionBaseline;
+pub use crate::stream::{run_stream, StreamRun, StreamSpec};

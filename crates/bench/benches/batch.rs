@@ -35,6 +35,13 @@
 //!   `StreamSession` pushes 12 frames of one feed through a two-frame
 //!   in-flight window (per-frame admission, blocking backpressure,
 //!   warm scratch recycling), measured as frames/sec.
+//! * `stream/temporal_12_frames_corr09` — cross-frame temporal
+//!   concentration: the same feed as a correlation-0.9 scene stream
+//!   with the per-session carry cache on, resolving provably
+//!   bit-stable column tiles to carried representatives instead of
+//!   re-scoring them. The snapshot records this leg at three
+//!   correlations plus the isolated-frame baseline on the same stream
+//!   (re-baseline v3, `temporal_*` fields).
 //!
 //! Under `cargo bench` (not `--test` smoke mode) the grid comparison
 //! also writes a `BENCH_batch.json` throughput snapshot to the repo
@@ -48,13 +55,15 @@ use criterion::{criterion_group, Criterion};
 use focus_bench::{video_grid, EVAL_SEED};
 use focus_core::exec::{
     BatchJob, BatchRunner, ExecMode, FocusService, FrameHandle, GatherStage, JobHandle, LayerCtx,
-    LayerExecutor, Priority, StageWorkspace, StreamConfig, StreamSession,
+    LayerExecutor, Priority, SessionStats, StageWorkspace, StreamConfig, StreamSession,
 };
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
+use focus_core::sic::TemporalCacheConfig;
 use focus_core::FocusConfig;
 use focus_sim::{ArchConfig, Engine, SimReport};
 use focus_tensor::DataType;
 use focus_vlm::embedding::Stage;
+use focus_vlm::scene::SceneStream;
 use focus_vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 
 const BATCH: u64 = 6;
@@ -193,6 +202,7 @@ fn stream_session(wls: &[Workload]) -> Vec<PipelineResult> {
         StreamConfig {
             window: STREAM_WINDOW,
             priority: Priority::Normal,
+            temporal: None,
         },
     );
     let handles: Vec<FrameHandle> = wls
@@ -200,6 +210,57 @@ fn stream_session(wls: &[Workload]) -> Vec<PipelineResult> {
         .map(|wl| session.push_frame(wl.clone()))
         .collect();
     handles.into_iter().map(FrameHandle::wait).collect()
+}
+
+/// Correlated-stream frames for the temporal legs: the same feed as a
+/// scene stream at `correlation`, where consecutive frames of one
+/// segment tile a single scene timeline (static content repeats
+/// bit-for-bit) and cuts re-seed everything.
+fn temporal_frame_workloads(correlation: f64) -> Vec<Workload> {
+    (0..STREAM_FRAMES)
+        .map(|frame| {
+            Workload::stream_frame(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                SceneStream {
+                    seed: EVAL_SEED,
+                    correlation,
+                },
+                frame,
+            )
+        })
+        .collect()
+}
+
+/// One streaming session over `wls` with cross-frame concentration on
+/// (or off, `temporal: None` — the isolated-frame baseline on the same
+/// stream). Window 1: temporal frames chain carry state and serialise
+/// anyway. Returns the session's cumulative stats with the results.
+fn temporal_session(
+    wls: &[Workload],
+    temporal: Option<TemporalCacheConfig>,
+) -> (Vec<PipelineResult>, SessionStats) {
+    let mut session = StreamSession::open(
+        FocusService::global(),
+        FocusPipeline::paper().with_exec_mode(ExecMode::Graph {
+            depth: ExecMode::DEFAULT_GRAPH_DEPTH,
+        }),
+        ArchConfig::focus(),
+        StreamConfig {
+            window: 1,
+            priority: Priority::Normal,
+            temporal,
+        },
+    );
+    let handles: Vec<FrameHandle> = wls
+        .iter()
+        .map(|wl| session.push_frame(wl.clone()))
+        .collect();
+    let results = handles.into_iter().map(FrameHandle::wait).collect();
+    session.flush();
+    let stats = session.stats();
+    (results, stats)
 }
 
 /// The measured-layer walk of one workload: every `(layer, retained)`
@@ -309,6 +370,13 @@ fn bench_stream_session(c: &mut Criterion) {
     });
 }
 
+fn bench_temporal_stream(c: &mut Criterion) {
+    let wls = temporal_frame_workloads(0.9);
+    c.bench_function("stream/temporal_12_frames_corr09", |b| {
+        b.iter(|| temporal_session(&wls, Some(TemporalCacheConfig::default())).0)
+    });
+}
+
 /// The synthesis-only fixture: the grid's measured walks, the four
 /// gather stages at paper config/fp16, and one workspace set per
 /// workload. One constructor serves both the criterion leg and the
@@ -361,7 +429,8 @@ criterion_group! {
     name = batch;
     config = Criterion::default().sample_size(10);
     targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new,
-        bench_measured_graph, bench_service_throughput, bench_stream_session, bench_synthesis
+        bench_measured_graph, bench_service_throughput, bench_stream_session,
+        bench_temporal_stream, bench_synthesis
 }
 
 fn median_secs(samples: &mut [Duration]) -> f64 {
@@ -393,12 +462,20 @@ fn write_snapshot() {
     let (walks, stages, mut ws) = synthesis_fixture(&wls);
 
     let stream_wls = stream_frame_workloads();
+    const TEMPORAL_CORRS: [f64; 3] = [0.0, 0.5, 0.9];
+    let temporal_wls: Vec<Vec<Workload>> = TEMPORAL_CORRS
+        .iter()
+        .map(|&c| temporal_frame_workloads(c))
+        .collect();
 
     let mut old = Vec::with_capacity(SAMPLES);
     let mut new = Vec::with_capacity(SAMPLES);
     let mut graph = Vec::with_capacity(SAMPLES);
     let mut service = Vec::with_capacity(SAMPLES);
     let mut stream = Vec::with_capacity(SAMPLES);
+    let mut temporal: [Vec<Duration>; 3] = [(); 3].map(|_| Vec::with_capacity(SAMPLES));
+    let mut temporal_isolated = Vec::with_capacity(SAMPLES);
+    let mut temporal_stats = [SessionStats::default(); 3];
     let mut synth = Vec::with_capacity(SAMPLES);
     let mut synth_scalar = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
@@ -417,6 +494,19 @@ fn write_snapshot() {
         let t = Instant::now();
         criterion::black_box(stream_session(&stream_wls));
         stream.push(t.elapsed());
+        // Cross-frame temporal concentration at three correlations,
+        // plus the isolated-frame baseline on the *same* corr-0.9
+        // stream (the only pair the fps comparison is meaningful for).
+        for (i, wls) in temporal_wls.iter().enumerate() {
+            let t = Instant::now();
+            let (results, stats) = temporal_session(wls, Some(TemporalCacheConfig::default()));
+            criterion::black_box(results);
+            temporal[i].push(t.elapsed());
+            temporal_stats[i] = stats; // deterministic across samples
+        }
+        let t = Instant::now();
+        criterion::black_box(temporal_session(&temporal_wls[2], None));
+        temporal_isolated.push(t.elapsed());
         let t = Instant::now();
         for ((wl, walk), ws) in wls.iter().zip(&walks).zip(ws.iter_mut()) {
             synthesis_pass(wl, walk, &stages, ws);
@@ -442,6 +532,22 @@ fn write_snapshot() {
     let graph_vs_pipelined = new_s / graph_s;
     let service_jobs_per_s = wls.len() as f64 / service_s;
     let stream_frames_per_s = STREAM_FRAMES as f64 / stream_s;
+    let [t00, t05, t09] = temporal.map(|mut s| STREAM_FRAMES as f64 / median_secs(&mut s));
+    let temporal_isolated_frames_per_s = STREAM_FRAMES as f64 / median_secs(&mut temporal_isolated);
+    let hit_rate = |s: &SessionStats| {
+        let probes = s.temporal_hits + s.temporal_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            s.temporal_hits as f64 / probes as f64
+        }
+    };
+    let [h00, h05, h09] = [
+        hit_rate(&temporal_stats[0]),
+        hit_rate(&temporal_stats[1]),
+        hit_rate(&temporal_stats[2]),
+    ];
+    let temporal_skipped_c09 = temporal_stats[2].gathers_skipped;
     let service_stats = FocusService::global().stats();
     let service_workers = service_stats.workers;
     // Cumulative fair-queue service per class across every leg above:
@@ -449,7 +555,7 @@ fn write_snapshot() {
     // runs Normal, so all three counters are live.
     let [served_high, served_normal, served_low] = service_stats.served_by_priority;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"synthesis_batched_s\": {:.6},\n  \"synthesis_kernel_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"temporal_frames_per_s_c00\": {:.3},\n  \"temporal_frames_per_s_c05\": {:.3},\n  \"temporal_frames_per_s_c09\": {:.3},\n  \"temporal_isolated_frames_per_s\": {:.3},\n  \"temporal_hit_rate_c00\": {:.4},\n  \"temporal_hit_rate_c05\": {:.4},\n  \"temporal_hit_rate_c09\": {:.4},\n  \"temporal_gathers_skipped_c09\": {},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"synthesis_batched_s\": {:.6},\n  \"synthesis_kernel_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
         rayon::current_num_threads(),
         old_s,
@@ -462,6 +568,14 @@ fn write_snapshot() {
         STREAM_FRAMES,
         STREAM_WINDOW,
         stream_frames_per_s,
+        t00,
+        t05,
+        t09,
+        temporal_isolated_frames_per_s,
+        h00,
+        h05,
+        h09,
+        temporal_skipped_c09,
         served_high,
         served_normal,
         served_low,
@@ -479,7 +593,10 @@ fn write_snapshot() {
              graph vs pipelined {graph_vs_pipelined:.2}x, \
              kernel batched vs scalar {synthesis_kernel_speedup:.2}x, \
              service {service_jobs_per_s:.1} jobs/s, \
-             stream {stream_frames_per_s:.1} frames/s\n{json}"
+             stream {stream_frames_per_s:.1} frames/s, \
+             temporal c0.9 {t09:.1} vs isolated \
+             {temporal_isolated_frames_per_s:.1} frames/s \
+             (hit rate {h09:.3})\n{json}"
         ),
         Err(e) => eprintln!("could not write BENCH_batch.json: {e}"),
     }

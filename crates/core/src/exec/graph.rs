@@ -1015,6 +1015,10 @@ pub(crate) struct PipelineGraph<'w> {
     /// Measure-accumulator buffers deposited by `Finish`, for the
     /// owning session to reclaim into the next frame.
     recycled: Mutex<Option<MeasureBuffers>>,
+    /// The owning session's cross-frame temporal cache, when temporal
+    /// concentration is enabled: gather nodes probe/commit through it.
+    /// The session retains its own `Arc` (no reclaim needed).
+    temporal: Option<Arc<crate::sic::TemporalCache>>,
 }
 
 impl<'w> PipelineGraph<'w> {
@@ -1043,9 +1047,9 @@ impl<'w> PipelineGraph<'w> {
         warm: Option<FrameWarm>,
     ) -> Self {
         let depth = depth.max(1);
-        let (plan, scratch, measure) = match warm {
-            Some(warm) => (Some(warm.plan), warm.scratch, warm.measure),
-            None => (None, None, None),
+        let (plan, scratch, measure, temporal) = match warm {
+            Some(warm) => (Some(warm.plan), warm.scratch, warm.measure, warm.temporal),
+            None => (None, None, None, None),
         };
         let exec =
             LayerExecutor::with_parts(pipeline, workload, ExecMode::Graph { depth }, plan, scratch);
@@ -1069,6 +1073,7 @@ impl<'w> PipelineGraph<'w> {
             lowered: (0..layers_n).map(|_| Mutex::new(None)).collect(),
             result: Mutex::new(None),
             recycled: Mutex::new(None),
+            temporal,
         }
     }
 
@@ -1213,8 +1218,17 @@ impl<'w> PipelineGraph<'w> {
 
     fn gather_task(&self, layer: usize, stage: usize, slot: usize) {
         let ws = self.exec.workspace(stage, slot);
-        let stats =
-            self.exec.gather_stages()[stage].gather(&self.ctx(layer), &mut ws.lock().unwrap());
+        let stats = match &self.temporal {
+            Some(cache) => self.exec.gather_stages()[stage].gather_temporal(
+                &self.ctx(layer),
+                &mut ws.lock().unwrap(),
+                cache,
+                stage,
+            ),
+            None => {
+                self.exec.gather_stages()[stage].gather(&self.ctx(layer), &mut ws.lock().unwrap())
+            }
+        };
         let stages_n = self.exec.gather_stages().len();
         *self.gathered[layer * stages_n + stage].lock().unwrap() = Some(stats);
     }

@@ -37,6 +37,7 @@ use crate::exec::graph::{lock_clean, Core, JobRun, PipelineGraph, Priority, Task
 use crate::exec::ExecMode;
 use crate::pipeline::PipelineResult;
 use crate::session::FrameWarm;
+use crate::sic::TemporalSnapshot;
 
 /// Sizing of a [`FocusService`].
 #[derive(Clone, Copy, Debug)]
@@ -115,6 +116,18 @@ pub struct ServiceStats {
     pub deficit_by_priority: [u64; Priority::LEVELS],
     /// Streaming sessions currently open against this service.
     pub sessions_open: usize,
+    /// Temporal-cache probes that carried a row from a prior frame,
+    /// summed over every session served (open or closed). Sessions
+    /// push deltas on frame retirement and on close, so the snapshot
+    /// trails in-flight frames but never loses counts.
+    pub temporal_hits: u64,
+    /// Temporal-cache probes that fell through to the per-frame path.
+    pub temporal_misses: u64,
+    /// Temporal-cache entries evicted (age-out or capacity).
+    pub temporal_evictions: u64,
+    /// Per-row gather probes skipped because a carried row left the
+    /// candidate set.
+    pub temporal_gathers_skipped: u64,
 }
 
 /// The owned inputs of one in-flight request. Boxed behind
@@ -273,6 +286,12 @@ pub struct FocusService {
     /// Streaming sessions currently open ([`crate::exec::StreamSession`]
     /// increments on open, decrements on drop).
     sessions_open: AtomicUsize,
+    /// Service-wide temporal-concentration counters, accumulated from
+    /// session deltas ([`FocusService::add_temporal`]).
+    temporal_hits: AtomicU64,
+    temporal_misses: AtomicU64,
+    temporal_evictions: AtomicU64,
+    temporal_gathers_skipped: AtomicU64,
 }
 
 impl FocusService {
@@ -294,6 +313,10 @@ impl FocusService {
             workers: Mutex::new(workers),
             jobs_submitted: AtomicU64::new(0),
             sessions_open: AtomicUsize::new(0),
+            temporal_hits: AtomicU64::new(0),
+            temporal_misses: AtomicU64::new(0),
+            temporal_evictions: AtomicU64::new(0),
+            temporal_gathers_skipped: AtomicU64::new(0),
         }
     }
 
@@ -397,7 +420,24 @@ impl FocusService {
             served_by_priority: self.core.served_by_priority(),
             deficit_by_priority: self.core.deficit_by_priority(),
             sessions_open: self.sessions_open.load(Ordering::SeqCst),
+            temporal_hits: self.temporal_hits.load(Ordering::SeqCst),
+            temporal_misses: self.temporal_misses.load(Ordering::SeqCst),
+            temporal_evictions: self.temporal_evictions.load(Ordering::SeqCst),
+            temporal_gathers_skipped: self.temporal_gathers_skipped.load(Ordering::SeqCst),
         }
+    }
+
+    /// Folds one session's temporal-counter delta into the
+    /// service-wide totals (called by
+    /// [`crate::exec::StreamSession`] on frame retirement and close).
+    pub(crate) fn add_temporal(&self, delta: TemporalSnapshot) {
+        self.temporal_hits.fetch_add(delta.hits, Ordering::SeqCst);
+        self.temporal_misses
+            .fetch_add(delta.misses, Ordering::SeqCst);
+        self.temporal_evictions
+            .fetch_add(delta.evictions, Ordering::SeqCst);
+        self.temporal_gathers_skipped
+            .fetch_add(delta.gathers_skipped, Ordering::SeqCst);
     }
 
     /// Session open/close accounting (called by

@@ -26,7 +26,9 @@ use focus_vlm::Workload;
 use crate::config::FocusConfig;
 use crate::pipeline::SecLayerStats;
 use crate::sec::SemanticConcentrator;
-use crate::sic::{ConvLayouter, Fhw, GatherScratch, MatrixGatherStats, SimilarityConcentrator};
+use crate::sic::{
+    ConvLayouter, Fhw, GatherScratch, MatrixGatherStats, SimilarityConcentrator, TemporalCache,
+};
 
 /// Everything a concentration stage may read while processing one
 /// layer.
@@ -337,6 +339,31 @@ impl GatherStage {
             &ws.scratch.acts,
             ctx.positions,
             &mut ws.scratch.gather,
+        )
+    }
+
+    /// [`GatherStage::gather`] with a cross-frame temporal probe:
+    /// streaming sessions pass their [`TemporalCache`] so rows proven
+    /// to replay the anchored frame bit-for-bit (unchanged signature,
+    /// fresh anchor, stability-model-stable tile) are carried instead
+    /// of re-gathered. `stage_index` selects the cache plane
+    /// (the executor's gather-stage ordinal); `ctx.retained` keys rows
+    /// to absolute token indices.
+    pub fn gather_temporal(
+        &self,
+        ctx: &LayerCtx<'_>,
+        ws: &mut StageWorkspace<'_>,
+        cache: &TemporalCache,
+        stage_index: usize,
+    ) -> MatrixGatherStats {
+        self.concentrator.gather_matrix_temporal(
+            &ws.scratch.acts,
+            ctx.positions,
+            ctx.retained,
+            &mut ws.scratch.gather,
+            cache,
+            ctx.layer,
+            stage_index,
         )
     }
 }

@@ -41,6 +41,8 @@ use std::sync::Arc;
 use focus_sim::ArchConfig;
 use focus_vlm::Workload;
 
+use focus_vlm::embedding::Stage;
+
 use crate::exec::batch::BatchJob;
 use crate::exec::graph::{JobRun, Priority};
 use crate::exec::service::{FocusService, JobHandle, ServiceJob};
@@ -48,6 +50,7 @@ use crate::exec::stage::StageScratch;
 use crate::pipeline::measure::MeasureBuffers;
 use crate::pipeline::{FocusPipeline, PipelineResult};
 use crate::session::{FrameWarm, RetentionPlan, SessionGeometry};
+use crate::sic::{TemporalCache, TemporalCacheConfig, TemporalSnapshot};
 
 /// Shape of one streaming session.
 #[derive(Clone, Copy, Debug)]
@@ -60,15 +63,26 @@ pub struct StreamConfig {
     /// traffic share the pool at the weight ratio instead of starving
     /// each other.
     pub priority: Priority,
+    /// Cross-frame temporal concentration: when set, the session keeps
+    /// a [`TemporalCache`] of compact vectors across frames and the
+    /// gather stages resolve bit-identical rows to **carried**
+    /// representatives instead of re-gathering them. Temporal frames
+    /// chain value state (frame *t+1* probes what frame *t*
+    /// committed), so the session runs them one at a time — the
+    /// in-flight window effectively becomes 1. `None` (the default)
+    /// keeps the stateless per-frame loop.
+    pub temporal: Option<TemporalCacheConfig>,
 }
 
 impl Default for StreamConfig {
     /// A two-frame window (mirroring the hardware's double-buffered
-    /// activation stream) at [`Priority::Normal`] weight.
+    /// activation stream) at [`Priority::Normal`] weight, without
+    /// temporal concentration.
     fn default() -> Self {
         StreamConfig {
             window: 2,
             priority: Priority::Normal,
+            temporal: None,
         }
     }
 }
@@ -88,12 +102,29 @@ pub struct SessionStats {
     /// after the pool warms up — the first `window` frames allocate
     /// fresh and seed it).
     pub warm_reuses: u64,
-    /// Times the feed's geometry diverged mid-session and the warm
-    /// state (retention plan + allocation pool) was re-derived from
-    /// scratch. Zero on a well-formed single-shape feed; a steadily
-    /// climbing value means the caller is funnelling unrelated feeds
-    /// through one session and paying a cold start per frame.
+    /// Times the feed's geometry diverged mid-session to a shape the
+    /// session had **not** seen before, forcing a fresh
+    /// [`RetentionPlan`] derivation. Zero on a well-formed
+    /// single-shape feed; a steadily climbing value means the caller
+    /// is funnelling unrelated feeds through one session and paying a
+    /// cold start per frame.
     pub warm_rederives: u64,
+    /// Mid-session geometry divergences resolved from the session's
+    /// plan cache (a previously seen shape returned): the allocation
+    /// pool still drops, but the plan derivation is skipped.
+    pub plan_cache_hits: u64,
+    /// Temporal-cache probes resolved from the previous frame (rows
+    /// carried bit-exactly). Zero unless [`StreamConfig::temporal`].
+    pub temporal_hits: u64,
+    /// Temporal-cache probes that fell through to the per-frame gather
+    /// path (unsigned token, changed signature, stale anchor, or an
+    /// unstable column tile).
+    pub temporal_misses: u64,
+    /// Temporal-cache entries dropped by age-out or capacity pressure.
+    pub temporal_evictions: u64,
+    /// In-frame candidate comparisons the temporal cache made
+    /// unnecessary (skipped gather work).
+    pub gathers_skipped: u64,
 }
 
 /// A frame admitted but not yet retired: the session's own references
@@ -167,15 +198,29 @@ pub struct StreamSession<'s> {
     arch: ArchConfig,
     config: StreamConfig,
     /// Derived from the first frame and shared by every frame of the
-    /// same geometry; re-derived (window drained, pool dropped) when
-    /// the feed's geometry diverges mid-session.
+    /// same geometry; swapped (window drained, pool dropped) when the
+    /// feed's geometry diverges mid-session.
     plan: Option<Arc<RetentionPlan>>,
+    /// Every plan this session has derived, by geometry: a feed that
+    /// alternates between a few shapes re-derives each plan **once**
+    /// (subsequent returns are [`SessionStats::plan_cache_hits`]).
+    /// Linear scan — sessions see a handful of shapes at most.
+    plans: Vec<(SessionGeometry, Arc<RetentionPlan>)>,
+    /// The cross-frame temporal cache (geometry-bound; dropped with
+    /// the plan on divergence). The session holds its own `Arc`; each
+    /// admitted frame's graph gets a clone via [`FrameWarm`].
+    temporal: Option<Arc<TemporalCache>>,
+    /// Totals folded out of dropped temporal caches.
+    temporal_acc: TemporalSnapshot,
+    /// Totals already pushed to the service's global counters.
+    temporal_reported: TemporalSnapshot,
     inflight: VecDeque<InflightFrame>,
     pool: Vec<FrameAllocs>,
     frames_pushed: u64,
     frames_retired: u64,
     warm_reuses: u64,
     warm_rederives: u64,
+    plan_cache_hits: u64,
 }
 
 impl<'s> StreamSession<'s> {
@@ -200,12 +245,17 @@ impl<'s> StreamSession<'s> {
             arch,
             config,
             plan: None,
+            plans: Vec::new(),
+            temporal: None,
+            temporal_acc: TemporalSnapshot::default(),
+            temporal_reported: TemporalSnapshot::default(),
             inflight: VecDeque::new(),
             pool: Vec::new(),
             frames_pushed: 0,
             frames_retired: 0,
             warm_reuses: 0,
             warm_rederives: 0,
+            plan_cache_hits: 0,
         }
     }
 
@@ -221,8 +271,10 @@ impl<'s> StreamSession<'s> {
         self.plan.as_ref().map(|plan| plan.geometry())
     }
 
-    /// Session statistics (window occupancy, warm-reuse counters).
+    /// Session statistics (window occupancy, warm-reuse and temporal
+    /// counters).
     pub fn stats(&self) -> SessionStats {
+        let t = self.temporal_totals();
         SessionStats {
             frames_pushed: self.frames_pushed,
             frames_retired: self.frames_retired,
@@ -230,6 +282,46 @@ impl<'s> StreamSession<'s> {
             window: self.config.window,
             warm_reuses: self.warm_reuses,
             warm_rederives: self.warm_rederives,
+            plan_cache_hits: self.plan_cache_hits,
+            temporal_hits: t.hits,
+            temporal_misses: t.misses,
+            temporal_evictions: t.evictions,
+            gathers_skipped: t.gathers_skipped,
+        }
+    }
+
+    /// The live temporal cache, if temporal concentration is enabled
+    /// and at least one frame has been admitted since the last
+    /// geometry divergence (bounded-memory assertions in tests).
+    pub fn temporal_cache(&self) -> Option<&TemporalCache> {
+        self.temporal.as_deref()
+    }
+
+    /// Session-lifetime temporal totals: dropped caches' counters plus
+    /// the live cache's.
+    fn temporal_totals(&self) -> TemporalSnapshot {
+        match &self.temporal {
+            Some(cache) => self.temporal_acc.plus(&cache.counters().snapshot()),
+            None => self.temporal_acc,
+        }
+    }
+
+    /// Pushes the counter movement since the last sync into the
+    /// service's global temporal statistics.
+    fn sync_temporal(&mut self) {
+        let totals = self.temporal_totals();
+        let delta = totals.since(&self.temporal_reported);
+        if delta != TemporalSnapshot::default() {
+            self.service.add_temporal(delta);
+            self.temporal_reported = totals;
+        }
+    }
+
+    /// Folds the live cache's totals into the accumulator and drops it
+    /// (geometry divergence: the plane shapes no longer fit).
+    fn drop_temporal(&mut self) {
+        if let Some(cache) = self.temporal.take() {
+            self.temporal_acc = self.temporal_acc.plus(&cache.counters().snapshot());
         }
     }
 
@@ -245,11 +337,14 @@ impl<'s> StreamSession<'s> {
     /// A frame whose geometry (layers, frame grid, scaled token count,
     /// measured-layer stride) differs from the session's current feed
     /// is **re-derived**, not rejected: the window drains, the warm
-    /// pool is dropped (its shapes no longer fit) and a fresh
-    /// retention plan is built from this frame — counted in
-    /// [`SessionStats::warm_rederives`]. Results stay bit-identical to
-    /// the serial loop either way; a climbing re-derive counter is the
-    /// signal that the caller should open one session per feed.
+    /// pool is dropped (its shapes no longer fit) and the retention
+    /// plan for this frame's shape is fetched from the session's plan
+    /// cache — or freshly derived on a never-seen shape, counted in
+    /// [`SessionStats::warm_rederives`] (cache returns count as
+    /// [`SessionStats::plan_cache_hits`] instead). Results stay
+    /// bit-identical to the serial loop either way; a climbing
+    /// re-derive counter is the signal that the caller should open one
+    /// session per feed.
     pub fn push_frame(&mut self, workload: Workload) -> FrameHandle {
         let geometry = SessionGeometry::of(&workload);
         let matches = self
@@ -259,16 +354,65 @@ impl<'s> StreamSession<'s> {
         let plan = if matches {
             Arc::clone(self.plan.as_ref().expect("geometry just matched"))
         } else {
-            if self.plan.is_some() {
+            let diverged = self.plan.is_some();
+            if diverged {
                 // Mid-feed divergence: retire everything shaped like
-                // the old feed before the new shape takes over.
+                // the old feed before the new shape takes over. The
+                // temporal cache is geometry-bound too.
                 self.flush();
                 self.pool.clear();
-                self.warm_rederives += 1;
+                self.drop_temporal();
             }
-            let plan = Arc::new(RetentionPlan::derive(&self.pipeline.focus, &workload));
+            let plan = match self.plans.iter().find(|(g, _)| *g == geometry) {
+                Some((_, cached)) => {
+                    if diverged {
+                        self.plan_cache_hits += 1;
+                    }
+                    Arc::clone(cached)
+                }
+                None => {
+                    if diverged {
+                        self.warm_rederives += 1;
+                    }
+                    let plan = Arc::new(RetentionPlan::derive(&self.pipeline.focus, &workload));
+                    self.plans.push((geometry, Arc::clone(&plan)));
+                    plan
+                }
+            };
             self.plan = Some(Arc::clone(&plan));
             plan
+        };
+
+        let temporal = match self.config.temporal {
+            Some(cfg) => {
+                // Temporal frames chain value state — frame t+1 probes
+                // what frame t committed — so drain the window before
+                // admitting (the frame clock and age sweep must not
+                // race an in-flight gather).
+                self.flush();
+                let cache = match &self.temporal {
+                    Some(cache) => Arc::clone(cache),
+                    None => {
+                        let cache = Arc::new(TemporalCache::new(
+                            cfg,
+                            geometry.layers,
+                            Stage::GATHER_POINTS.len(),
+                            geometry.m_img,
+                        ));
+                        self.temporal = Some(Arc::clone(&cache));
+                        cache
+                    }
+                };
+                // Frame clock + age sweep + the proof inputs: the
+                // scene key, per-token content signatures and the
+                // workload's stability model are everything reconcile
+                // needs to *prove* which column tiles replay the
+                // anchored frame bit-for-bit (no bytes are compared).
+                let (key, sigs) = workload.temporal_signatures();
+                cache.begin_frame_with(key, &sigs, workload.stability_model());
+                Some(cache)
+            }
+            None => None,
         };
 
         // Blocking backpressure: frame t + window waits for frame t.
@@ -288,6 +432,7 @@ impl<'s> StreamSession<'s> {
             plan,
             scratch,
             measure,
+            temporal,
         };
         let job = BatchJob {
             pipeline: self.pipeline.clone(),
@@ -323,14 +468,17 @@ impl<'s> StreamSession<'s> {
         let (scratch, measure) = frame.state.graph.reclaim_warm();
         self.pool.push(FrameAllocs { scratch, measure });
         self.frames_retired += 1;
+        self.sync_temporal();
     }
 }
 
 impl Drop for StreamSession<'_> {
     /// Closing a session drains its window (frames already admitted
-    /// run to completion) and releases its service registration.
+    /// run to completion), reports any unsynced temporal counters and
+    /// releases its service registration.
     fn drop(&mut self) {
         self.flush();
+        self.sync_temporal();
         self.service.session_closed();
     }
 }

@@ -35,7 +35,7 @@ use focus_vlm::Workload;
 use crate::config::FocusConfig;
 use crate::exec::StageScratch;
 use crate::pipeline::measure::MeasureBuffers;
-use crate::sic::{ConvLayouter, Fhw};
+use crate::sic::{ConvLayouter, Fhw, TemporalCache};
 
 /// The fixed shape of one streaming feed: what must agree across every
 /// frame of a session for warm state to be reusable.
@@ -143,4 +143,8 @@ pub(crate) struct FrameWarm {
     pub(crate) scratch: Option<Vec<StageScratch>>,
     /// Recycled measure-accumulator buffers, or `None` for fresh.
     pub(crate) measure: Option<MeasureBuffers>,
+    /// The session's cross-frame temporal cache, when temporal
+    /// concentration is enabled. The session keeps its own `Arc`
+    /// clone; the graph only borrows it for the frame's gathers.
+    pub(crate) temporal: Option<Arc<TemporalCache>>,
 }

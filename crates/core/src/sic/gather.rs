@@ -12,13 +12,14 @@
 use core::ops::Range;
 use std::collections::HashMap;
 
-use focus_tensor::ops::{cosine_similarity_with_norms, l2_norm};
+use focus_tensor::math::{cosine_with_norms_chunked, l2_norm_chunked};
 use focus_tensor::Matrix;
 
 use crate::config::BlockSize;
 use crate::sic::block::candidate_positions;
 use crate::sic::layout::{Fhw, PositionLookup};
 use crate::sic::map::SimilarityMap;
+use crate::sic::temporal::CarryMask;
 
 /// Gather parameters (a slice of [`FocusConfig`](crate::FocusConfig)).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,10 +45,21 @@ pub struct GatherResult {
     /// representative (1.0 for unique rows).
     pub fidelity: Vec<f32>,
     /// Matcher cycles: one norm slot plus up to `cells−1` comparison
-    /// slots per row (the paper's `8·m` bound for 2×2×2).
+    /// slots per row (the paper's `8·m` bound for 2×2×2); temporally
+    /// carried rows cost a single probe slot instead.
     pub cycles: u64,
     /// Multiply ops in the matcher datapath (dots + norms), for energy.
     pub dot_ops: u64,
+    /// Rows resolved from the temporal cache (carried): bit-exact
+    /// replays of the previous frame, excluded from the compact buffer
+    /// and from in-frame candidacy. Always 0 without a temporal probe.
+    pub carried: u64,
+    /// Planned in-frame comparisons avoided through carried rows (the
+    /// carried rows' own candidate lists plus probes that would have
+    /// targeted a carried candidate). Always 0 without a temporal
+    /// probe; the matrix-level gather folds it into the cache's
+    /// `gathers_skipped` counter.
+    pub avoided: u64,
 }
 
 impl GatherResult {
@@ -109,6 +121,7 @@ pub fn gather_tile(
                 }
             }
         },
+        None,
     )
 }
 
@@ -147,6 +160,7 @@ pub fn gather_tile_indexed(
                 }
             }
         },
+        None,
     )
 }
 
@@ -165,6 +179,10 @@ pub struct GatherScratch {
     /// The `(row_start, row_count)` the current plan was built for;
     /// [`gather_tile_planned`] refuses a mismatching tile.
     planned: Option<(usize, usize)>,
+    /// Recycled per-m-tile temporal carry decisions (filled by
+    /// [`TemporalCache::reconcile`](crate::sic::TemporalCache::reconcile)
+    /// on temporal sweeps, untouched otherwise).
+    pub carry: CarryMask,
 }
 
 impl GatherScratch {
@@ -175,6 +193,7 @@ impl GatherScratch {
             offsets: Vec::new(),
             cands: Vec::new(),
             planned: None,
+            carry: CarryMask::new(),
         }
     }
 
@@ -257,6 +276,52 @@ pub fn gather_tile_planned(
                 visit(cand as usize);
             }
         },
+        None,
+    )
+}
+
+/// [`gather_tile_planned`] over the carry decisions a
+/// [`TemporalCache::reconcile`](crate::sic::TemporalCache::reconcile)
+/// pre-pass settled for this m-tile: a row marked carried at
+/// `col_tile` — its bytes proven a bit-exact replay of its anchored
+/// frame — takes no norm, no candidate scoring and no compact slot,
+/// and its planned comparisons are counted as avoided. Everything
+/// else runs the exact per-frame path (same bits as
+/// [`gather_tile_planned`], except that carried rows drop out of the
+/// candidate pool). The gather itself never touches the cache: all
+/// proof-checking happened in the reconcile pass.
+///
+/// # Panics
+///
+/// Panics if the scratch plan is not for exactly this tile.
+#[allow(clippy::too_many_arguments)] // mirrors gather_tile_planned + the carry pair
+pub fn gather_tile_planned_temporal(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    cfg: &GatherConfig,
+    scratch: &GatherScratch,
+    mask: &CarryMask,
+    col_tile: usize,
+) -> GatherResult {
+    assert_eq!(
+        scratch.planned,
+        Some((row_start, row_count)),
+        "scratch plan is for a different tile"
+    );
+    gather_tile_core(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        |local, visit| {
+            for &cand in scratch.row_candidates(local) {
+                visit(cand as usize);
+            }
+        },
+        Some((mask, col_tile)),
     )
 }
 
@@ -271,6 +336,7 @@ fn gather_tile_core(
     col_range: Range<usize>,
     cfg: &GatherConfig,
     mut cands_for: impl FnMut(usize, &mut dyn FnMut(usize)),
+    temporal: Option<(&CarryMask, usize)>,
 ) -> GatherResult {
     assert!(
         row_start + row_count <= acts.rows(),
@@ -291,20 +357,47 @@ fn gather_tile_core(
     let mut comparisons: u64 = 0;
     let mut matches: u64 = 0;
     let mut dot_ops: u64 = 0;
+    let mut carried: u64 = 0;
+    // In-frame comparisons avoided through the temporal cache: the
+    // planned candidates of carried rows, plus probes that would have
+    // targeted a carried (hence compact-less) candidate.
+    let mut avoided: u64 = 0;
 
     // Indexing `fidelity[local]` directly (not via iter_mut) keeps the
     // closure below free to borrow the surrounding state.
     #[allow(clippy::needless_range_loop)]
     for local in 0..row_count {
         let row = &acts.row(row_start + local)[col_range.clone()];
-        let norm = l2_norm(row);
+
+        if let Some((mask, col_tile)) = temporal {
+            if let Some(slot) = mask.carried(local, col_tile) {
+                // Proven bit-exact replay of the anchored frame:
+                // fidelity is exactly 1.0 and only the reconcile
+                // pass's proof check was paid (no byte compare ever
+                // ran). The norm slot gets a sentinel
+                // (carried rows are never candidates, so it is never
+                // read).
+                map.push_carried(slot);
+                carried += 1;
+                norms.push(0.0);
+                dot_ops += width as u64;
+                cands_for(local, &mut |_| avoided += 1);
+                continue;
+            }
+        }
+
+        let norm = l2_norm_chunked(row);
         norms.push(norm);
         dot_ops += width as u64; // the norm's squared-sum pass
 
         let mut best: Option<(usize, f32)> = None;
         cands_for(local, &mut |cand_local| {
+            if map.is_carried(cand_local) {
+                avoided += 1;
+                return;
+            }
             let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
-            let cos = cosine_similarity_with_norms(row, norm, cand_row, norms[cand_local]);
+            let cos = cosine_with_norms_chunked(row, norm, cand_row, norms[cand_local]);
             comparisons += 1;
             dot_ops += width as u64;
             if cos >= cfg.threshold && best.is_none_or(|(_, b)| cos > b) {
@@ -321,7 +414,7 @@ fn gather_tile_core(
                 let rep_start = rep as usize * width;
                 let rep_row = &compact_rows[rep_start..rep_start + width];
                 fidelity[local] =
-                    cosine_similarity_with_norms(row, norm, rep_row, compact_norms[rep as usize]);
+                    cosine_with_norms_chunked(row, norm, rep_row, compact_norms[rep as usize]);
             }
             None => {
                 map.push_unique();
@@ -338,8 +431,12 @@ fn gather_tile_core(
         comparisons,
         matches,
         fidelity,
-        cycles: row_count as u64 * cfg.block.cells() as u64,
+        // Carried rows occupy a single probe slot; everything else
+        // pays the full block scan.
+        cycles: carried + (row_count as u64 - carried) * cfg.block.cells() as u64,
         dot_ops,
+        carried,
+        avoided,
     }
 }
 

@@ -7,11 +7,17 @@
 //! structure*: Similarity Scatter replays partial sums through it to
 //! reconstruct all `m` rows.
 
+/// High bit of an entry: the row is **carried** from the temporal
+/// cache (see [`crate::sic::temporal`]); the low bits hold the cache
+/// slot, not a compact index.
+const CARRIED_BIT: u32 = 1 << 31;
+
 /// Mapping from original tile rows to compact-buffer indices.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct SimilarityMap {
     entries: Vec<u32>,
     compact_len: usize,
+    carried: usize,
 }
 
 impl SimilarityMap {
@@ -31,6 +37,7 @@ impl SimilarityMap {
         SimilarityMap {
             entries,
             compact_len,
+            carried: 0,
         }
     }
 
@@ -39,6 +46,7 @@ impl SimilarityMap {
         SimilarityMap {
             entries: Vec::with_capacity(capacity),
             compact_len: 0,
+            carried: 0,
         }
     }
 
@@ -64,9 +72,53 @@ impl SimilarityMap {
         self.entries.push(representative);
     }
 
+    /// Appends a row **carried** from the temporal cache: its bytes
+    /// are a bit-exact replay of a previous frame (cache slot
+    /// `cache_slot`), so it occupies no compact slot and is never a
+    /// legal in-frame representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_slot` collides with the carried tag bit.
+    pub fn push_carried(&mut self, cache_slot: u32) {
+        assert!(
+            cache_slot < CARRIED_BIT,
+            "cache slot {cache_slot} collides with the carried tag"
+        );
+        self.entries.push(CARRIED_BIT | cache_slot);
+        self.carried += 1;
+    }
+
     /// The compact index of original row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row `i` is temporally carried — it has no compact
+    /// representative (use [`SimilarityMap::carried_slot`]).
     pub fn representative(&self, i: usize) -> u32 {
-        self.entries[i]
+        let e = self.entries[i];
+        assert_eq!(
+            e & CARRIED_BIT,
+            0,
+            "row {i} is temporally carried and has no compact representative"
+        );
+        e
+    }
+
+    /// Whether row `i` was carried from the temporal cache.
+    pub fn is_carried(&self, i: usize) -> bool {
+        self.entries[i] & CARRIED_BIT != 0
+    }
+
+    /// The temporal-cache slot row `i` was carried from, if carried.
+    pub fn carried_slot(&self, i: usize) -> Option<u32> {
+        let e = self.entries[i];
+        (e & CARRIED_BIT != 0).then_some(e & !CARRIED_BIT)
+    }
+
+    /// Number of carried rows.
+    pub fn carried_len(&self) -> usize {
+        self.carried
     }
 
     /// Number of original rows mapped.
@@ -125,6 +177,31 @@ mod tests {
     #[should_panic(expected = "beyond compact length")]
     fn new_validates_entries() {
         SimilarityMap::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn carried_rows_are_a_distinct_entry_class() {
+        let mut m = SimilarityMap::with_capacity(3);
+        let a = m.push_unique();
+        m.push_carried(17);
+        m.push_match(a);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.compact_len(), 1, "carried rows take no compact slot");
+        assert_eq!(m.carried_len(), 1);
+        assert!(m.is_carried(1));
+        assert!(!m.is_carried(0) && !m.is_carried(2));
+        assert_eq!(m.carried_slot(1), Some(17));
+        assert_eq!(m.carried_slot(2), None);
+        // Map storage is still 2 bytes per row.
+        assert_eq!(m.storage_bytes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporally carried")]
+    fn carried_rows_have_no_representative() {
+        let mut m = SimilarityMap::with_capacity(1);
+        m.push_carried(0);
+        m.representative(0);
     }
 
     #[test]

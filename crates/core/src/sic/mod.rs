@@ -20,14 +20,18 @@ pub mod gather;
 pub mod layout;
 pub mod map;
 pub mod scatter;
+pub mod temporal;
 
 pub use gather::{
-    gather_tile, gather_tile_indexed, gather_tile_planned, GatherConfig, GatherResult,
-    GatherScratch,
+    gather_tile, gather_tile_indexed, gather_tile_planned, gather_tile_planned_temporal,
+    GatherConfig, GatherResult, GatherScratch,
 };
 pub use layout::{BankAddress, ConvLayouter, Fhw, PositionLookup};
 pub use map::SimilarityMap;
 pub use scatter::{scatter, scatter_cycles, scatter_ops};
+pub use temporal::{
+    CarryMask, TemporalCache, TemporalCacheConfig, TemporalCounters, TemporalSnapshot,
+};
 
 use focus_tensor::ops::vector_ranges;
 use focus_tensor::Matrix;
@@ -53,6 +57,11 @@ pub struct MatrixGatherStats {
     pub comparisons: u64,
     /// Vectors that matched.
     pub matches: u64,
+    /// Vectors carried bit-exactly from the temporal cache (streaming
+    /// sessions only; see [`temporal`]). Carried vectors are neither
+    /// unique nor matched — they drop out of the compact payload
+    /// entirely.
+    pub carried: u64,
     /// Per-row mean reconstruction fidelity across column tiles.
     pub row_fidelity: Vec<f32>,
     /// Dense activation bytes (FP16).
@@ -116,7 +125,7 @@ impl SimilarityConcentrator {
     /// `positions[row]` is each row's decoded (F,H,W) position (`None`
     /// for text tokens).
     pub fn gather_matrix(&self, acts: &Matrix, positions: &[Option<Fhw>]) -> MatrixGatherStats {
-        self.gather_matrix_impl(acts, positions, None)
+        self.gather_matrix_impl(acts, positions, None, None)
     }
 
     /// [`SimilarityConcentrator::gather_matrix`] over a recycled
@@ -133,7 +142,38 @@ impl SimilarityConcentrator {
         positions: &[Option<Fhw>],
         scratch: &mut GatherScratch,
     ) -> MatrixGatherStats {
-        self.gather_matrix_impl(acts, positions, Some(scratch))
+        self.gather_matrix_impl(acts, positions, Some(scratch), None)
+    }
+
+    /// [`SimilarityConcentrator::gather_matrix_with`] with a
+    /// cross-frame temporal probe: each m-tile is settled against the
+    /// cache's `(layer, stage)` plane in one
+    /// [`TemporalCache::reconcile`] pass — the plane is locked once
+    /// per m-tile, byte-identical rows become **carried** entries and
+    /// moved rows are re-committed — and the per-column-tile sweeps
+    /// then read the resulting carry mask without touching the cache
+    /// (see [`temporal`]). `tokens[row]` keys each row to its absolute
+    /// token index across frames. With a cold or never-hitting cache
+    /// the statistics are identical to the per-frame path except for
+    /// the probe counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_matrix_temporal(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        tokens: &[usize],
+        scratch: &mut GatherScratch,
+        cache: &TemporalCache,
+        layer: usize,
+        stage: usize,
+    ) -> MatrixGatherStats {
+        assert!(tokens.len() >= acts.rows(), "tokens shorter than matrix");
+        self.gather_matrix_impl(
+            acts,
+            positions,
+            Some(scratch),
+            Some((cache, tokens, layer, stage)),
+        )
     }
 
     fn gather_matrix_impl(
@@ -141,6 +181,7 @@ impl SimilarityConcentrator {
         acts: &Matrix,
         positions: &[Option<Fhw>],
         mut scratch: Option<&mut GatherScratch>,
+        temporal: Option<(&TemporalCache, &[usize], usize, usize)>,
     ) -> MatrixGatherStats {
         let width = acts.cols();
         let v_len = self.vector_len.min(width.max(1));
@@ -152,6 +193,7 @@ impl SimilarityConcentrator {
             row_fidelity: vec![0.0; acts.rows()],
             ..MatrixGatherStats::default()
         };
+        let mut avoided: u64 = 0;
 
         for mt in 0..m_tiles {
             let row_start = mt * self.tile_m;
@@ -166,10 +208,32 @@ impl SimilarityConcentrator {
             stats.tile_heights.push(row_count);
             if let Some(scratch) = scratch.as_deref_mut() {
                 scratch.plan_tile(positions, row_start, row_count, self.gather.block);
+                if let Some((cache, tokens, layer, stage)) = temporal {
+                    cache.reconcile(
+                        layer,
+                        stage,
+                        acts,
+                        row_start,
+                        row_count,
+                        v_len,
+                        tokens,
+                        &mut scratch.carry,
+                    );
+                }
             }
-            for col_range in &col_ranges {
-                let r = match scratch.as_deref() {
-                    Some(scratch) => gather_tile_planned(
+            for (ct, col_range) in col_ranges.iter().enumerate() {
+                let r = match (scratch.as_deref(), temporal) {
+                    (Some(scratch), Some(_)) => gather_tile_planned_temporal(
+                        acts,
+                        row_start,
+                        row_count,
+                        col_range.clone(),
+                        &self.gather,
+                        scratch,
+                        &scratch.carry,
+                        ct,
+                    ),
+                    (Some(scratch), None) => gather_tile_planned(
                         acts,
                         row_start,
                         row_count,
@@ -177,7 +241,7 @@ impl SimilarityConcentrator {
                         &self.gather,
                         scratch,
                     ),
-                    None => gather_tile(
+                    (None, _) => gather_tile(
                         acts,
                         row_start,
                         row_count,
@@ -191,6 +255,8 @@ impl SimilarityConcentrator {
                 stats.unique_vectors += r.p() as u64;
                 stats.comparisons += r.comparisons;
                 stats.matches += r.matches;
+                stats.carried += r.carried;
+                avoided += r.avoided;
                 stats.matcher_cycles += r.cycles;
                 stats.dot_ops += r.dot_ops;
                 stats.dense_bytes += (row_count * col_range.len() * 2) as u64;
@@ -199,6 +265,9 @@ impl SimilarityConcentrator {
                     stats.row_fidelity[row_start + local] += f / col_ranges.len() as f32;
                 }
             }
+        }
+        if let Some((cache, ..)) = temporal {
+            cache.add_skipped(avoided);
         }
         stats
     }

@@ -14,7 +14,10 @@ use crate::sic::map::SimilarityMap;
 ///
 /// # Panics
 ///
-/// Panics if the map's compact length differs from `partial.rows()`.
+/// Panics if the map's compact length differs from `partial.rows()`,
+/// or if the map contains temporally **carried** rows — their partial
+/// sums live in the previous frame's replay, not in `partial` (the
+/// `representative` call below enforces this).
 pub fn scatter(partial: &Matrix, map: &SimilarityMap) -> Matrix {
     assert_eq!(
         map.compact_len(),

@@ -398,6 +398,125 @@ pub fn f16_round_fill_f16c(values: &mut [f32]) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// Lane-chunked dot-product scoring kernel
+//
+// The similarity matcher's hot loop is row-norm + candidate-cosine
+// scoring — all dot products. A sequential `iter().sum()` dot cannot
+// vectorise without changing the accumulation order, so the chunked
+// kernel *defines* a new frozen order: eight independent lane
+// accumulators (lane `j` sums the products at indices `≡ j (mod 8)`),
+// a shared scalar tail, and one fixed pairwise reduction tree. The
+// AVX2 path and the chunked-scalar fallback execute that order
+// operation for operation, so they are bit-identical on every input —
+// the same contract as the synthesis fills above (this re-ordering vs.
+// the old sequential dot is what re-baseline v3 pins).
+// ---------------------------------------------------------------------
+
+/// Full-chunk lane accumulation of the chunked-scalar path: lane `j`
+/// gathers products `a[8k+j]·b[8k+j]`, exactly like one AVX2 register.
+#[inline]
+fn dot_lanes_scalar(a: &[f32], b: &[f32], lanes: &mut [f32; 8]) {
+    for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        for j in 0..8 {
+            lanes[j] += ca[j] * cb[j];
+        }
+    }
+}
+
+/// The frozen reduction tree of the eight lane accumulators, shared by
+/// both paths (the SIMD path stores its register back and reduces in
+/// scalar, so there is exactly one definition of the order).
+#[inline]
+fn reduce_lanes(l: [f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Lane-chunked dot product, runtime-dispatched like
+/// [`box_muller_fill`]: AVX2 where detected (unless [`force_scalar`]),
+/// chunked scalar otherwise, bit-identical either way.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_chunked(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    let full = a.len() / 8 * 8;
+    let mut lanes = [0.0f32; 8];
+    #[cfg(target_arch = "x86_64")]
+    let vectorised = simd_active() && {
+        // SAFETY: `simd_active` implies AVX2 was detected at runtime.
+        unsafe { dot_lanes_avx2_raw(&a[..full], &b[..full], &mut lanes) };
+        true
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let vectorised = false;
+    if !vectorised {
+        dot_lanes_scalar(&a[..full], &b[..full], &mut lanes);
+    }
+    // Shared scalar tail: element `full + j` lands in lane `j`.
+    for (j, i) in (full..a.len()).enumerate() {
+        lanes[j] += a[i] * b[i];
+    }
+    reduce_lanes(lanes)
+}
+
+/// The portable chunked-scalar path of [`dot_chunked`], for the
+/// bit-identity property tests.
+pub fn dot_chunked_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    let full = a.len() / 8 * 8;
+    let mut lanes = [0.0f32; 8];
+    dot_lanes_scalar(&a[..full], &b[..full], &mut lanes);
+    for (j, i) in (full..a.len()).enumerate() {
+        lanes[j] += a[i] * b[i];
+    }
+    reduce_lanes(lanes)
+}
+
+/// The explicit AVX2 path of [`dot_chunked`]; `None` when the host
+/// lacks AVX2.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_chunked_avx2(a: &[f32], b: &[f32]) -> Option<f32> {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    if !avx2_available() {
+        return None;
+    }
+    let full = a.len() / 8 * 8;
+    let mut lanes = [0.0f32; 8];
+    // SAFETY: AVX2 detected above.
+    unsafe { dot_lanes_avx2_raw(&a[..full], &b[..full], &mut lanes) };
+    for (j, i) in (full..a.len()).enumerate() {
+        lanes[j] += a[i] * b[i];
+    }
+    Some(reduce_lanes(lanes))
+}
+
+/// Lane-chunked L2 norm: `sqrt(dot_chunked(a, a))`.
+pub fn l2_norm_chunked(a: &[f32]) -> f32 {
+    dot_chunked(a, a).sqrt()
+}
+
+/// Lane-chunked cosine similarity with caller-supplied norms, with the
+/// same degenerate-input conventions as
+/// `focus_tensor::ops::cosine_similarity_with_norms`: two zero norms
+/// are perfectly similar, one zero norm is orthogonal, and the result
+/// is clamped into `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_with_norms_chunked(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot_chunked(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+// ---------------------------------------------------------------------
 // AVX2 kernels
 //
 // Eight f32 lanes per iteration, mirroring the scalar pipeline op for
@@ -592,6 +711,27 @@ mod avx2 {
         }
     }
 
+    /// Lane accumulation of [`super::dot_chunked`] over whole 8-lane
+    /// chunks: one vertical multiply/add per chunk (separate
+    /// intrinsics, no FMA), the register stored back into `lanes` so
+    /// the caller's shared tail + reduction tree finish the job.
+    /// Slice lengths must be equal multiples of 8.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_lanes_avx2_raw(a: &[f32], b: &[f32], lanes: &mut [f32; 8]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len() % 8, 0);
+        let mut acc = _mm256_loadu_ps(lanes.as_ptr());
+        for ci in 0..a.len() / 8 {
+            let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    }
+
     /// # Safety
     /// Requires AVX2 and F16C.
     #[target_feature(enable = "avx2", enable = "f16c")]
@@ -620,7 +760,8 @@ mod avx2 {
 
 #[cfg(target_arch = "x86_64")]
 use avx2::{
-    box_muller_fill_avx2_raw, cos_fill_avx2_raw, f16_round_fill_f16c_raw, ln_fill_avx2_raw,
+    box_muller_fill_avx2_raw, cos_fill_avx2_raw, dot_lanes_avx2_raw, f16_round_fill_f16c_raw,
+    ln_fill_avx2_raw,
 };
 
 #[cfg(test)]
@@ -637,6 +778,49 @@ mod tests {
             let r1 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n)));
             let r2 = splitmix_mix(seed.wrapping_add(GAMMA.wrapping_mul(n + 1)));
             assert_eq!(v.to_bits(), normal_from_raw(r1, r2).to_bits(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_dot_is_close_to_sequential_and_exact_on_structure() {
+        let a: Vec<f32> = (0..67).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..67).map(|i| (i as f32 * 0.11).cos()).collect();
+        let seq: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let chunked = dot_chunked_scalar(&a, &b);
+        assert!((seq - chunked).abs() < 1e-4, "{seq} vs {chunked}");
+        // Exact on a one-hot: order cannot matter.
+        let mut e = vec![0.0f32; 19];
+        e[13] = 3.0;
+        assert_eq!(dot_chunked_scalar(&e, &e), 9.0);
+        assert_eq!(l2_norm_chunked(&e), 3.0);
+    }
+
+    #[test]
+    fn chunked_cosine_keeps_the_degenerate_conventions() {
+        let z = [0.0f32; 12];
+        let v: Vec<f32> = (0..12).map(|i| i as f32 - 4.0).collect();
+        let nv = l2_norm_chunked(&v);
+        assert_eq!(cosine_with_norms_chunked(&z, 0.0, &z, 0.0), 1.0);
+        assert_eq!(cosine_with_norms_chunked(&z, 0.0, &v, nv), 0.0);
+        let c = cosine_with_norms_chunked(&v, nv, &v, nv);
+        assert!((0.9999..=1.0).contains(&c), "{c}");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn chunked_dot_avx2_matches_scalar_bitwise() {
+        // Odd lengths exercise the shared tail; values span magnitudes
+        // so accumulation-order differences would show.
+        for len in [0usize, 1, 7, 8, 9, 16, 31, 32, 33, 100] {
+            let a: Vec<f32> = (0..len)
+                .map(|i| ((i as f32 + 0.5) * 0.7).sin() * (10.0f32).powi((i % 7) as i32 - 3))
+                .collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i as f32) * 1.3).cos()).collect();
+            let Some(simd) = dot_chunked_avx2(&a, &b) else {
+                return; // host without AVX2: nothing to compare
+            };
+            let scalar = dot_chunked_scalar(&a, &b);
+            assert_eq!(simd.to_bits(), scalar.to_bits(), "len {len}");
         }
     }
 

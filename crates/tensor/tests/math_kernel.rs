@@ -16,7 +16,8 @@
 
 use focus_tensor::math::{
     box_muller_fill, box_muller_fill_scalar, cos_phase24_fill, cos_phase24_fill_scalar,
-    f16_round_fill, f16_round_fill_scalar, fixed_ln, force_scalar, ln_fill, ln_fill_scalar,
+    cosine_with_norms_chunked, dot_chunked, dot_chunked_scalar, f16_round_fill,
+    f16_round_fill_scalar, fixed_ln, force_scalar, l2_norm_chunked, ln_fill, ln_fill_scalar,
     normal_from_raw, splitmix_mix, GAMMA,
 };
 use proptest::prelude::*;
@@ -127,6 +128,42 @@ proptest! {
             if focus_tensor::math::f16_round_fill_f16c(&mut f16c) {
                 assert_bits_eq(&f16c, &scalar, "f16 f16c vs scalar");
             }
+        }
+    }
+
+    /// Scalar ≡ dispatched ≡ AVX2 for the lane-chunked dot kernel the
+    /// similarity matcher scores with, across every tail length and a
+    /// wide magnitude spread (where a different accumulation order
+    /// would change last bits).
+    #[test]
+    fn dot_chunked_paths_are_bit_identical(
+        pairs in proptest::collection::vec((-8.0f32..8.0, -8.0f32..8.0), 0..70),
+        exp in -20i32..20,
+    ) {
+        let scale = (exp as f32).exp2();
+        let a: Vec<f32> = pairs.iter().map(|p| p.0 * scale).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+
+        let scalar = dot_chunked_scalar(&a, &b);
+        prop_assert_eq!(dot_chunked(&a, &b).to_bits(), scalar.to_bits());
+
+        #[cfg(target_arch = "x86_64")]
+        if let Some(simd) = focus_tensor::math::dot_chunked_avx2(&a, &b) {
+            prop_assert_eq!(simd.to_bits(), scalar.to_bits());
+        }
+
+        // The norm and cosine built on it inherit the identity; the
+        // cosine stays clamped and respects the zero conventions.
+        let na = l2_norm_chunked(&a);
+        let nb = l2_norm_chunked(&b);
+        prop_assert_eq!(na.to_bits(), dot_chunked_scalar(&a, &a).sqrt().to_bits());
+        let cos = cosine_with_norms_chunked(&a, na, &b, nb);
+        if na == 0.0 && nb == 0.0 {
+            prop_assert_eq!(cos, 1.0);
+        } else if na == 0.0 || nb == 0.0 {
+            prop_assert_eq!(cos, 0.0);
+        } else {
+            prop_assert!((-1.0..=1.0).contains(&cos));
         }
     }
 

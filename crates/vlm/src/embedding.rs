@@ -161,6 +161,123 @@ impl SplitMix64 {
     }
 }
 
+/// The deterministic group-stability law of activation synthesis:
+/// which [`GROUP`]-wide slices of a content key's rows are bit-stable
+/// across frames, as a pure function of `(key, layer, stage, width)`
+/// under a synthesiser seed.
+///
+/// [`ActivationSynthesizer::token_row`] draws its stability pattern
+/// from this model, and the temporal concentrator consults the *same*
+/// model to prove — before a single byte is synthesised — that a
+/// column tile of a signature-stable token will re-synthesise
+/// bit-identically next frame. One definition, two consumers: the
+/// carry proof cannot drift from the synthesis it predicts.
+#[derive(Clone, Copy, Debug)]
+pub struct StabilityModel {
+    redundancy: RedundancyProfile,
+    layers: usize,
+    seed: u64,
+}
+
+impl StabilityModel {
+    /// A model under the given dataset profile, total layer count and
+    /// synthesiser seed — the same triple fed to
+    /// [`ActivationSynthesizer::new`].
+    pub fn new(redundancy: RedundancyProfile, layers: usize, seed: u64) -> Self {
+        StabilityModel {
+            redundancy,
+            layers,
+            seed,
+        }
+    }
+
+    /// Context salt for a (layer, stage) pair.
+    fn context_salt(&self, layer: usize, stage: Stage) -> u64 {
+        hash_words(self.seed, &[0xCC, layer as u64, stage.salt()])
+    }
+
+    /// Per-content stable-group fraction: the dataset mean plus a
+    /// per-content offset and a mild depth decay.
+    fn stable_fraction_for(&self, key: ContentKey, layer: usize) -> f64 {
+        let z = centered_unit(key.stable_hash(self.seed ^ 0x5F5F));
+        let depth = layer as f64 / self.layers.max(1) as f64;
+        (self.redundancy.stable_fraction + 0.24 * z - 0.05 * depth).clamp(0.02, 0.995)
+    }
+
+    /// Hierarchical per-[`GROUP`] stability flags of `key`'s rows at
+    /// `(layer, stage, width)`.
+    ///
+    /// Channel stability in real activations is spatially *clustered*:
+    /// whole 32-wide feature blocks freeze for static content, and
+    /// inside a volatile block some 8-wide sub-groups still repeat.
+    /// Two tiers reproduce the Fig. 2(b) CDF at both ends — the
+    /// 8-dim `>0.9` fraction equals `sf`, while the 32-dim fraction
+    /// equals the block-tier stability `s32 = α·sf` — without the
+    /// `sf⁴` collapse a flat i.i.d. model would force on vector-level
+    /// matching.
+    pub fn group_pattern(
+        &self,
+        key: ContentKey,
+        layer: usize,
+        stage: Stage,
+        width: usize,
+    ) -> Vec<bool> {
+        self.group_pattern_salted(key, layer, self.context_salt(layer, stage), width)
+    }
+
+    fn group_pattern_salted(
+        &self,
+        key: ContentKey,
+        layer: usize,
+        salt: u64,
+        width: usize,
+    ) -> Vec<bool> {
+        let sf = self.stable_fraction_for(key, layer);
+        const BLOCK_TIER: f64 = 0.72;
+        let s32 = BLOCK_TIER * sf;
+        let s8 = ((sf - s32) / (1.0 - s32)).clamp(0.0, 1.0);
+        let stability_seed = key.stable_hash(salt ^ 0xABCD);
+        let groups_per_block = 32 / GROUP;
+        (0..width / GROUP)
+            .map(|g| {
+                let block = g / groups_per_block;
+                let block_stable =
+                    unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
+                block_stable || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8
+            })
+            .collect()
+    }
+
+    /// Column-tile stability at SIC vector granularity `v_len`: a tile
+    /// is provably bit-stable iff every [`GROUP`] inside it is. Returns
+    /// one flag per tile (the tiling of `width` used by the gather
+    /// sweeps); all-false — nothing provable — when the tiling does not
+    /// align to whole groups.
+    pub fn tile_pattern(
+        &self,
+        key: ContentKey,
+        layer: usize,
+        stage: Stage,
+        width: usize,
+        v_len: usize,
+    ) -> Vec<bool> {
+        let tiles = width.div_ceil(v_len.max(1)).max(1);
+        if width == 0 || v_len == 0 || !width.is_multiple_of(GROUP) || !v_len.is_multiple_of(GROUP)
+        {
+            return vec![false; tiles];
+        }
+        let groups = self.group_pattern(key, layer, stage, width);
+        let per_tile = v_len / GROUP;
+        (0..tiles)
+            .map(|t| {
+                groups[t * per_tile..((t + 1) * per_tile).min(groups.len())]
+                    .iter()
+                    .all(|&s| s)
+            })
+            .collect()
+    }
+}
+
 /// Synthesises per-layer, per-stage activation matrices for a scene.
 ///
 /// Holds an appearance cache keyed by content; the cache is flushed when
@@ -207,12 +324,10 @@ impl<'a> ActivationSynthesizer<'a> {
         hash_words(self.seed, &[0xCC, layer as u64, stage.salt()])
     }
 
-    /// Per-content stable-group fraction: the dataset mean plus a
-    /// per-content offset and a mild depth decay.
-    fn stable_fraction_for(&self, key: ContentKey, layer: usize) -> f64 {
-        let z = centered_unit(key.stable_hash(self.seed ^ 0x5F5F));
-        let depth = layer as f64 / self.layers.max(1) as f64;
-        (self.redundancy.stable_fraction + 0.24 * z - 0.05 * depth).clamp(0.02, 0.995)
+    /// The stability law this synthesiser's rows obey (the proof side
+    /// of temporal carry).
+    pub fn stability_model(&self) -> StabilityModel {
+        StabilityModel::new(self.redundancy, self.layers, self.seed)
     }
 
     /// Deterministic appearance vector of a content key at the current
@@ -319,42 +434,31 @@ impl<'a> ActivationSynthesizer<'a> {
         }
         self.deterministic_row(token, width, salt, out);
 
-        // Hierarchical group stability. Channel stability in real
-        // activations is spatially *clustered*: whole 32-wide feature
-        // blocks freeze for static content, and inside a volatile block
-        // some 8-wide sub-groups still repeat. Two tiers reproduce the
-        // Fig. 2(b) CDF at both ends — the 8-dim >0.9 fraction equals
-        // `sf`, while the 32-dim fraction equals the block-tier
-        // stability `s32 = α·sf` — without the `sf⁴` collapse a flat
-        // i.i.d. model would force on vector-level matching.
-        //
-        // The flags are a pure function of (content, width) within the
-        // current context, so tokens repeating a content key — the
-        // scene's redundancy itself — share one memoised pattern. The
-        // additive noise below stays strictly per (token, group).
+        // Group stability comes from the shared [`StabilityModel`] law
+        // (see its docs for the two-tier structure). The flags are a
+        // pure function of (content, width) within the current context,
+        // so tokens repeating a content key — the scene's redundancy
+        // itself — share one memoised pattern. The additive noise below
+        // stays strictly per (token, group).
         let key = self.scene.patch_by_index(token).primary;
         if !self.stability_cache.contains_key(&(key, width)) {
-            let sf = self.stable_fraction_for(key, layer);
-            const BLOCK_TIER: f64 = 0.72;
-            let s32 = BLOCK_TIER * sf;
-            let s8 = ((sf - s32) / (1.0 - s32)).clamp(0.0, 1.0);
-            let stability_seed = key.stable_hash(salt ^ 0xABCD);
-            let groups_per_block = 32 / GROUP;
-            let pattern: Vec<bool> = (0..width / GROUP)
-                .map(|g| {
-                    let block = g / groups_per_block;
-                    let block_stable =
-                        unit_from(hash_words(stability_seed, &[0x32, block as u64])) < s32;
-                    block_stable || unit_from(hash_words(stability_seed, &[0x8, g as u64])) < s8
-                })
-                .collect();
+            let pattern = self
+                .stability_model()
+                .group_pattern_salted(key, layer, salt, width);
             self.stability_cache.insert((key, width), pattern);
         }
         let pattern = &self.stability_cache[&(key, width)];
         let sigma = self.redundancy.noise_sigma as f32;
         let mut noise = [0.0f32; GROUP];
+        // Noise keys off the *global-time* token index: at origin 0 this
+        // is the local index (bit-identical to every pinned value), and
+        // in a scene stream it advances with the window, so unstable
+        // groups redraw each wall-clock frame while stable groups stay
+        // bit-identical — exactly the cross-window redundancy the
+        // temporal concentrator harvests.
+        let noise_token = self.scene.global_token(token) as u64;
         for (g, _) in pattern.iter().enumerate().filter(|(_, &stable)| !stable) {
-            let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[token as u64, g as u64]));
+            let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[noise_token, g as u64]));
             rng.fill_normals(&mut noise);
             for (v, &n) in out[g * GROUP..(g + 1) * GROUP].iter_mut().zip(&noise) {
                 *v += sigma * n;
@@ -526,6 +630,80 @@ mod tests {
             "stable groups must repeat ({identical})"
         );
         assert!(different > 0, "unstable groups must differ");
+    }
+
+    #[test]
+    fn stability_model_predicts_byte_repeats_exactly() {
+        // The carry proof: for any two tokens showing the same content
+        // signature, a group flagged stable by the model is
+        // bit-identical between their rows, and a group flagged
+        // unstable differs (noise keys off the distinct token indices).
+        let scene = make_scene();
+        let mut syn = ActivationSynthesizer::new(&scene, profile(), 28, 7);
+        let model = syn.stability_model();
+        let per_frame = 14 * 14;
+        let width = 256;
+        let (layer, stage) = (5, Stage::OProjOut);
+        let mut a = vec![0.0; width];
+        let mut b = vec![0.0; width];
+        let (mut stable_checked, mut unstable_checked) = (0, 0);
+        for p in 0..per_frame {
+            let (t0, t1) = (p, per_frame + p);
+            if scene.token_signature(t0) != scene.token_signature(t1) {
+                continue;
+            }
+            syn.token_row(t0, layer, stage, &mut a);
+            syn.token_row(t1, layer, stage, &mut b);
+            let key = scene.patch_by_index(t0).primary;
+            for (g, &stable) in model
+                .group_pattern(key, layer, stage, width)
+                .iter()
+                .enumerate()
+            {
+                let ga = &a[g * GROUP..(g + 1) * GROUP];
+                let gb = &b[g * GROUP..(g + 1) * GROUP];
+                let same = ga.iter().zip(gb).all(|(x, y)| x.to_bits() == y.to_bits());
+                if stable {
+                    assert!(same, "model says stable, bytes moved (token {p} group {g})");
+                    stable_checked += 1;
+                } else {
+                    assert!(
+                        !same,
+                        "model says unstable, bytes repeated (token {p} group {g})"
+                    );
+                    unstable_checked += 1;
+                }
+            }
+        }
+        assert!(
+            stable_checked > 100,
+            "stable groups checked: {stable_checked}"
+        );
+        assert!(
+            unstable_checked > 100,
+            "unstable groups checked: {unstable_checked}"
+        );
+    }
+
+    #[test]
+    fn tile_pattern_requires_every_group_and_aligned_tiling() {
+        let scene = make_scene();
+        let model = ActivationSynthesizer::new(&scene, profile(), 28, 7).stability_model();
+        let key = scene.patch_by_index(0).primary;
+        let (layer, stage, width) = (3, Stage::PvOut, 256);
+        let groups = model.group_pattern(key, layer, stage, width);
+        let tiles = model.tile_pattern(key, layer, stage, width, 32);
+        assert_eq!(tiles.len(), width / 32);
+        for (t, &stable) in tiles.iter().enumerate() {
+            let per_tile = 32 / GROUP;
+            let expect = groups[t * per_tile..(t + 1) * per_tile].iter().all(|&s| s);
+            assert_eq!(stable, expect, "tile {t}");
+        }
+        // Misaligned tilings prove nothing.
+        assert!(model
+            .tile_pattern(key, layer, stage, width, 12)
+            .iter()
+            .all(|&s| !s));
     }
 
     #[test]

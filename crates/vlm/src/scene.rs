@@ -147,6 +147,26 @@ pub struct PatchContent {
     pub saliency: f32,
 }
 
+/// The synthesis-visible content signature of one token: exactly the
+/// patch fields that determine the *deterministic* component of its
+/// activation rows ([`PatchContent::primary`], and
+/// [`PatchContent::secondary`] with the blend weight's exact bits).
+/// Saliency and object identity are excluded — they steer attention
+/// and pruning, never activation bytes.
+///
+/// Signatures are compared by plain field equality (no hashing), so
+/// under one workload seed two frames whose token signatures are equal
+/// synthesise **identical** deterministic rows; only the per-frame
+/// noise on unstable channel groups can differ. The temporal cache's
+/// pre-filter is built on that implication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenSig {
+    /// Dominant content key.
+    pub primary: ContentKey,
+    /// Straddling content key and the exact bits of its blend weight.
+    pub secondary: Option<(ContentKey, u32)>,
+}
+
 /// Geometry and statistics of a synthesised scene.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SceneConfig {
@@ -166,6 +186,12 @@ pub struct SceneConfig {
 #[derive(Clone, Debug)]
 pub struct Scene {
     config: SceneConfig,
+    /// Global-time frame offset: local frame `f` shows the underlying
+    /// scene at global frame `origin + f`. Zero for standalone clips;
+    /// scene streams advance it so consecutive pushed frames continue
+    /// one timeline (epochs, trajectories and noise all run in global
+    /// time).
+    origin: usize,
     /// `frames × (grid_h·grid_w)` patch descriptors, row-major.
     patches: Vec<PatchContent>,
     /// Epoch active in each frame.
@@ -189,32 +215,50 @@ impl Scene {
     /// Synthesises a scene from its configuration. Deterministic in
     /// `config` (same config ⇒ identical scene).
     pub fn synthesize(config: SceneConfig) -> Scene {
+        Scene::synthesize_at(config, 0)
+    }
+
+    /// Synthesises the window `[origin, origin + frames)` of the
+    /// infinite scene that `config` describes. `synthesize` is the
+    /// `origin = 0` case; a scene stream re-synthesises successive
+    /// windows of one timeline, so a window's first frame continues
+    /// exactly where the previous window's last frame left off (same
+    /// epochs, same object trajectories). Deterministic in
+    /// `(config, origin)`.
+    pub fn synthesize_at(config: SceneConfig, origin: usize) -> Scene {
         let red = config.redundancy;
         let n_patches = config.grid_h * config.grid_w;
         let mut patches = Vec::with_capacity(config.frames * n_patches);
         let mut frame_epochs = Vec::with_capacity(config.frames);
 
-        // Scene-cut schedule: epoch increments between frames with
-        // probability `scene_cut_prob`.
+        // Scene-cut schedule in global time: epoch increments between
+        // frames with probability `scene_cut_prob`. The walk covers the
+        // whole prefix `0..origin` too, so a window sees the same epoch
+        // numbering whichever origin it starts at.
         let mut epoch: u32 = 0;
-        for f in 0..config.frames {
-            if f > 0 {
-                let h = hash_words(config.seed, &[0xC07, f as u64]);
+        let mut epoch_start: usize = 0;
+        let mut epoch_starts = Vec::with_capacity(config.frames);
+        for g in 0..origin + config.frames {
+            if g > 0 {
+                let h = hash_words(config.seed, &[0xC07, g as u64]);
                 if unit_from_hash(h) < red.scene_cut_prob {
                     epoch += 1;
+                    epoch_start = g;
                 }
             }
-            frame_epochs.push(epoch);
+            if g >= origin {
+                frame_epochs.push(epoch);
+                epoch_starts.push(epoch_start);
+            }
         }
 
         // Object trajectories are drawn per epoch so a cut re-frames
         // everything. `positions[o]` is evaluated lazily per frame.
         for f in 0..config.frames {
             let epoch = frame_epochs[f];
-            // Frames elapsed since this epoch began, so motion restarts
-            // at a cut.
-            let epoch_start = frame_epochs.iter().position(|&e| e == epoch).unwrap();
-            let t = (f - epoch_start) as f64;
+            // Global frames elapsed since this epoch began, so motion
+            // restarts at a cut and runs continuously across windows.
+            let t = (origin + f - epoch_starts[f]) as f64;
             // Per-object state for this frame.
             let mut object_pos: Vec<(f64, f64, f64)> = Vec::with_capacity(red.object_count);
             for o in 0..red.object_count {
@@ -314,6 +358,7 @@ impl Scene {
 
         Scene {
             config,
+            origin,
             patches,
             frame_epochs,
         }
@@ -322,6 +367,22 @@ impl Scene {
     /// The configuration this scene was synthesised from.
     pub fn config(&self) -> &SceneConfig {
         &self.config
+    }
+
+    /// Global-time frame offset of this window (0 for standalone clips).
+    pub fn origin(&self) -> usize {
+        self.origin
+    }
+
+    /// The global-time token index of local token `token`: the same
+    /// grid position at the same *global* frame always maps to the same
+    /// value, whichever window it is observed through. Per-frame noise
+    /// keys off this, so a streamed window reproduces a standalone
+    /// clip's rows bit-for-bit at `origin = 0`.
+    pub fn global_token(&self, token: usize) -> usize {
+        let per_frame = self.config.grid_h * self.config.grid_w;
+        let (f, p) = (token / per_frame, token % per_frame);
+        (self.origin + f) * per_frame + p
     }
 
     /// Patch descriptor at `(frame, r, c)`.
@@ -341,6 +402,16 @@ impl Scene {
     /// Patch descriptor by flat token index (frame-major, row-major).
     pub fn patch_by_index(&self, token: usize) -> &PatchContent {
         &self.patches[token]
+    }
+
+    /// The temporal signature of flat token index `token` (see
+    /// [`TokenSig`]).
+    pub fn token_signature(&self, token: usize) -> TokenSig {
+        let p = &self.patches[token];
+        TokenSig {
+            primary: p.primary,
+            secondary: p.secondary.map(|(key, w)| (key, w.to_bits())),
+        }
     }
 
     /// Total number of image tokens (frames × grid cells).
@@ -371,6 +442,54 @@ impl Scene {
             .filter(|p| p.object == Some(object))
             .count();
         covered as f64 / self.patches.len() as f64
+    }
+}
+
+/// Seed format of a correlated scene stream.
+///
+/// A stream is a sequence of pushed clips ("stream frames"). At each
+/// boundary between consecutive stream frames the scene either
+/// *continues* (probability [`SceneStream::correlation`]) — the next
+/// clip is the next window of the same scene timeline, so static
+/// content persists bit-for-bit and objects keep moving along their
+/// trajectories — or *cuts* to a freshly seeded, statistically
+/// independent scene. `correlation = 0` therefore reproduces today's
+/// isolated per-frame workloads exactly, and `correlation = 1` is one
+/// unbroken timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SceneStream {
+    /// Master seed of the stream; every segment seed derives from it.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a stream-frame boundary continues
+    /// the running scene instead of cutting to a fresh one.
+    pub correlation: f64,
+}
+
+impl SceneStream {
+    /// `(segment, offset)` of stream frame `index`: the index of the
+    /// continuous scene segment it belongs to, and how many stream
+    /// frames of that segment precede it. Walks the deterministic
+    /// boundary decisions `1..=index`.
+    pub fn segment_of(&self, index: u64) -> (u64, u64) {
+        let (mut segment, mut offset) = (0u64, 0u64);
+        for i in 1..=index {
+            let h = hash_words(self.seed, &[0x5EB, i]);
+            if unit_from_hash(h) < self.correlation {
+                offset += 1;
+            } else {
+                segment += 1;
+                offset = 0;
+            }
+        }
+        (segment, offset)
+    }
+
+    /// Master seed of the scene segment containing stream frame
+    /// `index`. Stream frames of one segment share it (their windows
+    /// tile one timeline); a cut re-derives it, decorrelating
+    /// everything downstream.
+    pub fn segment_seed(&self, index: u64) -> u64 {
+        hash_words(self.seed, &[0x57E, self.segment_of(index).0])
     }
 }
 
@@ -504,6 +623,71 @@ mod tests {
         cfg.frames = 16;
         let scene = Scene::synthesize(cfg);
         assert!(scene.epoch_of_frame(15) >= 8, "cuts should accumulate");
+    }
+
+    #[test]
+    fn windows_tile_one_timeline() {
+        // A window at `origin` must reproduce the same frames of the
+        // full scene exactly: epochs, content keys, blends, saliency.
+        let mut cfg = test_config(42);
+        cfg.frames = 8;
+        let full = Scene::synthesize(cfg);
+        let mut wcfg = cfg;
+        wcfg.frames = 3;
+        let window = Scene::synthesize_at(wcfg, 4);
+        for f in 0..3 {
+            assert_eq!(window.epoch_of_frame(f), full.epoch_of_frame(4 + f));
+            for r in 0..14 {
+                for c in 0..14 {
+                    assert_eq!(window.patch(f, r, c), full.patch(4 + f, r, c));
+                }
+            }
+        }
+        let per_frame = 14 * 14;
+        assert_eq!(window.global_token(per_frame + 3), 5 * per_frame + 3);
+        assert_eq!(full.global_token(7), 7);
+    }
+
+    #[test]
+    fn scene_stream_correlation_extremes() {
+        let cut_every = SceneStream {
+            seed: 9,
+            correlation: 0.0,
+        };
+        let never_cut = SceneStream {
+            seed: 9,
+            correlation: 1.0,
+        };
+        for i in 0..6u64 {
+            assert_eq!(cut_every.segment_of(i), (i, 0));
+            assert_eq!(never_cut.segment_of(i), (0, i));
+        }
+        // Fresh segments get fresh seeds; continued frames share one.
+        assert_ne!(cut_every.segment_seed(0), cut_every.segment_seed(1));
+        assert_eq!(never_cut.segment_seed(0), never_cut.segment_seed(5));
+    }
+
+    #[test]
+    fn scene_stream_mid_correlation_mixes_cuts_and_runs() {
+        let s = SceneStream {
+            seed: 1234,
+            correlation: 0.5,
+        };
+        let mut cuts = 0;
+        let mut runs = 0;
+        for i in 1..64u64 {
+            let (seg_prev, _) = s.segment_of(i - 1);
+            let (seg, off) = s.segment_of(i);
+            if seg == seg_prev {
+                runs += 1;
+                assert!(off > 0);
+            } else {
+                cuts += 1;
+                assert_eq!(off, 0);
+            }
+        }
+        assert!(cuts > 8, "cuts {cuts}");
+        assert!(runs > 8, "runs {runs}");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crate::attention::{relevance, AttentionSynthesizer, Prompt};
 use crate::config::{ModelConfig, ModelKind, WorkloadScale};
 use crate::dataset::{DatasetKind, DatasetProfile};
-use crate::embedding::ActivationSynthesizer;
-use crate::scene::{hash_words, Scene, SceneConfig};
+use crate::embedding::{ActivationSynthesizer, StabilityModel};
+use crate::scene::{hash_words, Scene, SceneConfig, SceneStream, TokenSig};
 
 /// One evaluation cell: a model running a benchmark sample.
 #[derive(Clone, Debug)]
@@ -42,17 +42,54 @@ impl Workload {
         seed: u64,
         prompt: Prompt,
     ) -> Self {
+        Workload::build(model, dataset, scale, seed, 0, prompt)
+    }
+
+    /// Stream frame `index` of a correlated scene stream: the workload
+    /// whose clip is the next window of the stream's running scene
+    /// segment (see [`SceneStream`]). All frames of one segment share a
+    /// seed and tile one scene timeline, so static content repeats
+    /// bit-for-bit across consecutive stream frames; a cut re-seeds
+    /// everything. At `correlation = 0` every frame cuts, and the
+    /// result is indistinguishable from independent
+    /// [`Workload::new`] calls with per-frame seeds.
+    pub fn stream_frame(
+        model: ModelKind,
+        dataset: DatasetKind,
+        scale: WorkloadScale,
+        stream: SceneStream,
+        index: u64,
+    ) -> Self {
+        let (_, offset) = stream.segment_of(index);
+        let seed = stream.segment_seed(index);
+        let profile = DatasetProfile::for_model(dataset, model);
+        let frames = scale.frames.min(profile.frames);
+        let origin = offset as usize * frames;
+        Workload::build(model, dataset, scale, seed, origin, Prompt::default())
+    }
+
+    fn build(
+        model: ModelKind,
+        dataset: DatasetKind,
+        scale: WorkloadScale,
+        seed: u64,
+        origin: usize,
+        prompt: Prompt,
+    ) -> Self {
         let model_cfg = ModelConfig::paper(model);
         let scaled = model_cfg.scaled(&scale);
         let profile = DatasetProfile::for_model(dataset, model);
         let frames = scale.frames.min(profile.frames);
-        let scene = Scene::synthesize(SceneConfig {
-            frames,
-            grid_h: model_cfg.grid_h,
-            grid_w: model_cfg.grid_w,
-            redundancy: profile.redundancy,
-            seed: hash_words(seed, &[model as u64 + 1, dataset as u64 + 1]),
-        });
+        let scene = Scene::synthesize_at(
+            SceneConfig {
+                frames,
+                grid_h: model_cfg.grid_h,
+                grid_w: model_cfg.grid_w,
+                redundancy: profile.redundancy,
+                seed: hash_words(seed, &[model as u64 + 1, dataset as u64 + 1]),
+            },
+            origin,
+        );
         Workload {
             model: model_cfg,
             scaled,
@@ -102,6 +139,33 @@ impl Workload {
     /// Image tokens at measured scale (`frames_scaled × grid`).
     pub fn image_tokens_scaled(&self) -> usize {
         self.scene.token_count()
+    }
+
+    /// Per-image-token temporal signatures of this frame's window, plus
+    /// the scene identity key they are valid under (derived from the
+    /// workload seed, model and dataset — everything that feeds the
+    /// activation synthesiser besides the patch content itself). Two
+    /// stream frames agreeing on the key *and* a token's [`TokenSig`]
+    /// synthesise identical deterministic rows for that token; see the
+    /// temporal cache's signature pre-filter.
+    pub fn temporal_signatures(&self) -> (u64, Vec<TokenSig>) {
+        let key = self.scene.config().seed;
+        let sigs = (0..self.scene.token_count())
+            .map(|t| self.scene.token_signature(t))
+            .collect();
+        (key, sigs)
+    }
+
+    /// The group-stability law governing this workload's activation
+    /// synthesis — the proof side of temporal carry. Identical to
+    /// [`Workload::activation_synthesizer`]`().stability_model()`
+    /// without borrowing the scene.
+    pub fn stability_model(&self) -> StabilityModel {
+        StabilityModel::new(
+            self.profile.redundancy,
+            self.model.layers,
+            hash_words(self.seed, &[0xAC7]),
+        )
     }
 
     /// Image tokens at paper scale (`frames_full × grid`).
@@ -235,6 +299,133 @@ mod tests {
             6,
         );
         assert_ne!(a.relevance(), c.relevance());
+    }
+
+    #[test]
+    fn stream_frames_continue_one_timeline_when_correlated() {
+        let stream = SceneStream {
+            seed: 77,
+            correlation: 1.0,
+        };
+        let a = Workload::stream_frame(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            stream,
+            0,
+        );
+        let b = Workload::stream_frame(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            stream,
+            1,
+        );
+        assert_eq!(a.seed(), b.seed(), "one segment, one seed");
+        let frames = a.scene().frames();
+        assert_eq!(a.scene().origin(), 0);
+        assert_eq!(b.scene().origin(), frames);
+        // Frame 1's window starts where frame 0's would continue: both
+        // describe the same global scene, so a static patch of the same
+        // epoch shows the same content key.
+        let wide = Scene::synthesize_at(
+            SceneConfig {
+                frames: 2 * frames,
+                ..*a.scene().config()
+            },
+            0,
+        );
+        for f in 0..frames {
+            for r in 0..a.model().grid_h {
+                for c in 0..a.model().grid_w {
+                    assert_eq!(b.scene().patch(f, r, c), wide.patch(frames + f, r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stable_tiles_of_sig_stable_tokens_replay_bitwise_across_stream_frames() {
+        // The temporal carry theorem, end to end: between consecutive
+        // windows of one stream segment, any token whose signature held
+        // re-synthesises every model-stable column tile bit-identically
+        // — the proof the temporal cache substitutes for byte compares.
+        use crate::embedding::Stage;
+        let stream = SceneStream {
+            seed: 11,
+            correlation: 1.0,
+        };
+        let mk = |index| {
+            Workload::stream_frame(
+                ModelKind::LlavaVideo7B,
+                DatasetKind::VideoMme,
+                WorkloadScale::tiny(),
+                stream,
+                index,
+            )
+        };
+        let (a, b) = (mk(0), mk(1));
+        let (key_a, sigs_a) = a.temporal_signatures();
+        let (key_b, sigs_b) = b.temporal_signatures();
+        assert_eq!(key_a, key_b, "one segment, one identity key");
+        let model = b.stability_model();
+        let mut syn_a = a.activation_synthesizer();
+        let mut syn_b = b.activation_synthesizer();
+        let (width, v_len) = (64, 32);
+        let mut ra = vec![0.0; width];
+        let mut rb = vec![0.0; width];
+        let mut proved = 0;
+        for (layer, stage) in [(0, Stage::PvOut), (2, Stage::FfnAct)] {
+            for t in 0..a.image_tokens_scaled() {
+                if sigs_a[t] != sigs_b[t] {
+                    continue;
+                }
+                syn_a.token_row(t, layer, stage, &mut ra);
+                syn_b.token_row(t, layer, stage, &mut rb);
+                let tiles = model.tile_pattern(sigs_a[t].primary, layer, stage, width, v_len);
+                for (ct, &stable) in tiles.iter().enumerate() {
+                    if !stable {
+                        continue;
+                    }
+                    let c0 = ct * v_len;
+                    let c1 = (c0 + v_len).min(width);
+                    assert!(
+                        ra[c0..c1]
+                            .iter()
+                            .zip(&rb[c0..c1])
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "proved-stable tile moved (token {t} layer {layer} tile {ct})"
+                    );
+                    proved += 1;
+                }
+            }
+        }
+        assert!(proved > 20, "theorem exercised on {proved} tiles only");
+    }
+
+    #[test]
+    fn uncorrelated_stream_frames_are_independent_clips() {
+        let stream = SceneStream {
+            seed: 77,
+            correlation: 0.0,
+        };
+        let a = Workload::stream_frame(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            stream,
+            0,
+        );
+        let b = Workload::stream_frame(
+            ModelKind::LlavaVideo7B,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            stream,
+            1,
+        );
+        assert_ne!(a.seed(), b.seed());
+        assert_eq!(a.scene().origin(), 0);
+        assert_eq!(b.scene().origin(), 0);
     }
 
     #[test]

@@ -53,6 +53,13 @@ fn bench_snapshot_has_the_expected_shape() {
         "stream_frames",
         "stream_window",
         "stream_frames_per_s",
+        "temporal_frames_per_s_c00",
+        "temporal_frames_per_s_c05",
+        "temporal_frames_per_s_c09",
+        "temporal_isolated_frames_per_s",
+        "temporal_hit_rate_c05",
+        "temporal_hit_rate_c09",
+        "temporal_gathers_skipped_c09",
         "fair_served_high",
         "fair_served_normal",
         "fair_served_low",
@@ -90,6 +97,22 @@ fn bench_snapshot_has_the_expected_shape() {
     assert!(
         field(&json, "stream_window") >= 1.0,
         "the stream leg must declare its in-flight window"
+    );
+    // Re-baseline v3 (temporal concentration): the carry cache must
+    // record *zero* hits on the correlation-0 stream (every frame is a
+    // scene cut, so nothing may carry — the bit-identity contract) and
+    // a strictly positive, correlation-ordered hit rate once frames
+    // actually repeat. Frames/s is machine noise and stays unasserted.
+    assert_eq!(
+        field(&json, "temporal_hit_rate_c00"),
+        0.0,
+        "a correlation-0 stream cuts every frame; any carry would break bit-identity"
+    );
+    let h05 = field(&json, "temporal_hit_rate_c05");
+    let h09 = field(&json, "temporal_hit_rate_c09");
+    assert!(
+        h09 >= h05 && h05 > 0.0,
+        "temporal hit rate must be positive and grow with correlation, got c05={h05} c09={h09}"
     );
     // Re-baseline v2 (batched synthesis kernel): the committed snapshot
     // must have been taken with the batched leg at least as fast as the

@@ -20,7 +20,9 @@ use focus::core::exec::{
     StreamConfig, StreamSession,
 };
 use focus::core::pipeline::{FocusPipeline, PipelineResult};
+use focus::core::sic::TemporalCacheConfig;
 use focus::sim::ArchConfig;
+use focus::vlm::scene::SceneStream;
 use focus::vlm::{DatasetKind, ModelKind, Workload, WorkloadScale};
 use proptest::prelude::*;
 
@@ -93,6 +95,7 @@ proptest! {
                     StreamConfig {
                         window,
                         priority: Priority::ALL[priority_pick],
+                        temporal: None,
                     },
                 )
             })
@@ -149,6 +152,7 @@ fn warm_scratch_recycles_across_frames() {
         StreamConfig {
             window: 2,
             priority: Priority::Normal,
+            temporal: None,
         },
     );
     assert_eq!(service.stats().sessions_open, 1);
@@ -272,6 +276,7 @@ fn stride_divergence_rederives_and_drops_the_pool() {
         StreamConfig {
             window: 1,
             priority: Priority::Normal,
+            temporal: None,
         },
     );
     // Two same-shape frames: with window 1 the second reuses the
@@ -307,6 +312,249 @@ fn stride_divergence_rederives_and_drops_the_pool() {
         stats.warm_reuses, 1,
         "the old shape's pool must be dropped, not reused: {stats:?}"
     );
+}
+
+/// Frame `index` of a correlated scene stream over the session's
+/// fixed feed shape.
+fn stream_workload(stream: SceneStream, index: u64) -> Workload {
+    Workload::stream_frame(
+        ModelKind::LlavaVideo7B,
+        DatasetKind::VideoMme,
+        WorkloadScale::tiny(),
+        stream,
+        index,
+    )
+}
+
+fn temporal_config(window: usize, temporal: Option<TemporalCacheConfig>) -> StreamConfig {
+    StreamConfig {
+        window,
+        priority: Priority::Normal,
+        temporal,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The temporal-correctness contract, both directions:
+    ///
+    /// 1. Temporal concentration **enabled** on an *uncorrelated*
+    ///    stream (`correlation = 0`): every frame is an independent
+    ///    clip, so every cache probe misses on byte inequality and
+    ///    each frame stays bit-identical to the serial per-frame loop
+    ///    — the cache can only ever carry perfect replays.
+    /// 2. Temporal concentration **disabled** on a *correlated*
+    ///    stream: the stateless loop must not care how correlated the
+    ///    feed is.
+    #[test]
+    fn temporal_off_or_uncorrelated_matches_the_serial_loop(
+        frames in 2u64..4,
+        seed in 1u64..1_000,
+        corr_pick in 0usize..3,
+    ) {
+        force_parallel_pool();
+        let service = FocusService::new(ServiceConfig {
+            threads: 2,
+            max_inflight_nodes: 4096,
+        });
+
+        // Leg 1: cache on, correlation 0.
+        let stream = SceneStream { seed, correlation: 0.0 };
+        let mut session = StreamSession::open(
+            &service,
+            graph_pipeline(),
+            ArchConfig::focus(),
+            temporal_config(2, Some(TemporalCacheConfig::default())),
+        );
+        for f in 0..frames {
+            let streamed = session.push_frame(stream_workload(stream, f)).wait();
+            let serial = serial_reference(&stream_workload(stream, f));
+            assert_identical(&streamed, &serial, &format!("temporal corr-0 frame {f}"));
+        }
+        session.flush();
+        let stats = session.stats();
+        prop_assert!(stats.temporal_hits == 0, "independent clips must never carry: {stats:?}");
+        prop_assert!(stats.temporal_misses > 0, "the cache was probed: {stats:?}");
+        prop_assert_eq!(stats.gathers_skipped, 0);
+        drop(session);
+
+        // Leg 2: cache off, correlated stream.
+        let correlation = [0.5, 0.9, 1.0][corr_pick];
+        let stream = SceneStream { seed, correlation };
+        let mut session = StreamSession::open(
+            &service,
+            graph_pipeline(),
+            ArchConfig::focus(),
+            temporal_config(2, None),
+        );
+        for f in 0..frames {
+            let streamed = session.push_frame(stream_workload(stream, f)).wait();
+            let serial = serial_reference(&stream_workload(stream, f));
+            assert_identical(
+                &streamed,
+                &serial,
+                &format!("cache-off corr-{correlation} frame {f}"),
+            );
+        }
+        session.flush();
+        let stats = session.stats();
+        prop_assert!(
+            stats.temporal_hits + stats.temporal_misses == 0,
+            "no cache, no probes: {stats:?}"
+        );
+    }
+}
+
+/// The payoff path: on a fully correlated stream (one scene timeline,
+/// static content re-synthesising bit-identically) the cache carries
+/// rows from frame 2 on, skips their in-frame candidate comparisons,
+/// and the per-session counters surface through the service snapshot.
+#[test]
+fn correlated_stream_carries_rows_and_skips_gathers() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let stream = SceneStream {
+        seed: 42,
+        correlation: 1.0,
+    };
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        temporal_config(2, Some(TemporalCacheConfig::default())),
+    );
+    // Frame 0 fills a cold cache: still bit-identical to the serial
+    // loop (nothing to carry yet).
+    let first = session.push_frame(stream_workload(stream, 0)).wait();
+    assert_identical(
+        &first,
+        &serial_reference(&stream_workload(stream, 0)),
+        "cold temporal frame",
+    );
+    for f in 1..4 {
+        session.push_frame(stream_workload(stream, f)).wait();
+    }
+    session.flush();
+    let stats = session.stats();
+    assert!(
+        stats.temporal_hits > 0,
+        "a correlated stream must carry rows: {stats:?}"
+    );
+    assert!(
+        stats.gathers_skipped > 0,
+        "carried rows must skip in-frame comparisons: {stats:?}"
+    );
+    // Satellite plumbing: the session's totals reach the service-wide
+    // snapshot on retirement (this service serves only this session).
+    let service_stats = service.stats();
+    assert_eq!(service_stats.temporal_hits, stats.temporal_hits);
+    assert_eq!(service_stats.temporal_misses, stats.temporal_misses);
+    assert_eq!(
+        service_stats.temporal_gathers_skipped,
+        stats.gathers_skipped
+    );
+}
+
+/// Bounded memory: a cache capped far below the token count never
+/// grows past its configured capacity, no matter how many correlated
+/// frames stream through — overflow shows up as evictions, not growth.
+#[test]
+fn temporal_cache_memory_stays_bounded() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let cfg = TemporalCacheConfig {
+        capacity: 16,
+        max_age: 4,
+        refresh_after: 8,
+    };
+    let stream = SceneStream {
+        seed: 9,
+        correlation: 1.0,
+    };
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        temporal_config(1, Some(cfg)),
+    );
+    // MiniCPM's 64-token single view keeps each frame cheap enough to
+    // stream hundreds of them; 64 tokens >> 16 slots keeps the cache
+    // under constant capacity pressure.
+    const FRAMES: u64 = 200;
+    for f in 0..FRAMES {
+        let wl = Workload::stream_frame(
+            ModelKind::MiniCpmV26,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            stream,
+            f,
+        );
+        session.push_frame(wl).wait();
+        let cache = session.temporal_cache().expect("temporal is enabled");
+        assert!(
+            cache.max_live() <= cache.capacity(),
+            "frame {f}: live {} > capacity {}",
+            cache.max_live(),
+            cache.capacity()
+        );
+    }
+    let cache = session.temporal_cache().expect("temporal is enabled");
+    assert_eq!(cache.frames(), FRAMES as u32);
+    assert_eq!(cache.capacity(), 16, "capped below the 64-token feed");
+    let stats = session.stats();
+    assert!(
+        stats.temporal_evictions > 0,
+        "capacity pressure must evict: {stats:?}"
+    );
+}
+
+/// The plan cache (satellite): a feed that alternates between two
+/// shapes derives each plan **once** — returning to a seen shape is a
+/// `plan_cache_hits`, not another `warm_rederives`.
+#[test]
+fn returning_to_a_seen_geometry_hits_the_plan_cache() {
+    force_parallel_pool();
+    let service = FocusService::new(ServiceConfig {
+        threads: 2,
+        max_inflight_nodes: 4096,
+    });
+    let mut session = StreamSession::open(
+        &service,
+        graph_pipeline(),
+        ArchConfig::focus(),
+        temporal_config(1, None),
+    );
+    let shape_a = || frame_workload(0, 0);
+    let shape_b = || {
+        Workload::new(
+            ModelKind::MiniCpmV26,
+            DatasetKind::VideoMme,
+            WorkloadScale::tiny(),
+            1,
+        )
+    };
+    let a1 = session.push_frame(shape_a()).wait();
+    session.push_frame(shape_b()).wait();
+    let a2 = session.push_frame(shape_a()).wait();
+    session.flush();
+    let stats = session.stats();
+    assert_eq!(
+        stats.warm_rederives, 1,
+        "only the never-seen shape B derives: {stats:?}"
+    );
+    assert_eq!(
+        stats.plan_cache_hits, 1,
+        "returning to shape A is a cache hit: {stats:?}"
+    );
+    // Same workload, cached vs freshly derived plan: same bits.
+    assert_identical(&a2, &a1, "replanned shape-A frame");
 }
 
 /// Starvation regression (ROADMAP (k)): a **saturating** stream of
