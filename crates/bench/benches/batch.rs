@@ -58,9 +58,10 @@ use focus_core::exec::{
     LayerExecutor, Priority, SessionStats, StageWorkspace, StreamConfig, StreamSession,
 };
 use focus_core::pipeline::{FocusPipeline, PipelineResult};
-use focus_core::sic::TemporalCacheConfig;
+use focus_core::sic::{ConvLayouter, Fhw, TemporalCacheConfig};
 use focus_core::FocusConfig;
 use focus_sim::{ArchConfig, Engine, SimReport};
+use focus_tensor::backend::{scalar_ref, simd, BackendHandle};
 use focus_tensor::DataType;
 use focus_vlm::embedding::Stage;
 use focus_vlm::scene::SceneStream;
@@ -301,6 +302,92 @@ fn synthesis_pass(
     }
 }
 
+/// One workload's measured walk with per-layer gather positions
+/// precomputed, so the staged passes below time kernels, not position
+/// decoding.
+type StagedWalk = Vec<(usize, Vec<usize>, Vec<Option<Fhw>>)>;
+
+/// The backend-staged fixture: measured walks with positions, the four
+/// gather stages and one workspace set per workload, all pinned to an
+/// explicit kernel `backend` (so a `FOCUS_BACKEND` override cannot
+/// relabel what a leg measures) and `dtype`.
+#[allow(clippy::type_complexity)]
+fn staged_fixture<'w>(
+    wls: &'w [Workload],
+    dtype: DataType,
+    backend: BackendHandle,
+) -> (
+    Vec<StagedWalk>,
+    Vec<GatherStage>,
+    Vec<Vec<StageWorkspace<'w>>>,
+) {
+    let walks = wls
+        .iter()
+        .map(|wl| {
+            let scaled = wl.scaled_model();
+            let layouter = ConvLayouter::new(scaled.grid_h, scaled.grid_w);
+            measured_walk(wl)
+                .into_iter()
+                .map(|(layer, retained)| {
+                    let positions = retained
+                        .iter()
+                        .map(|&t| Some(layouter.position_of(t)))
+                        .collect();
+                    (layer, retained, positions)
+                })
+                .collect()
+        })
+        .collect();
+    let stages: Vec<GatherStage> = Stage::GATHER_POINTS
+        .iter()
+        .map(|&s| GatherStage::new_on(&FocusConfig::paper(), s, dtype, backend))
+        .collect();
+    let ws = wls
+        .iter()
+        .map(|wl| {
+            stages
+                .iter()
+                .map(|_| StageWorkspace::new_on(wl, backend))
+                .collect()
+        })
+        .collect();
+    (walks, stages, ws)
+}
+
+/// Runs the grid's measured walks end to end on backend-dispatched
+/// stages, accumulating the time spent in each kernel phase:
+/// synthesis fill, dtype conversion, gather scoring.
+fn staged_grid_pass(
+    wls: &[Workload],
+    walks: &[StagedWalk],
+    stages: &[GatherStage],
+    ws: &mut [Vec<StageWorkspace<'_>>],
+) -> (Duration, Duration, Duration) {
+    let (mut synth, mut convert, mut gather) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+    for ((wl, walk), ws) in wls.iter().zip(walks).zip(ws.iter_mut()) {
+        for (layer, retained, positions) in walk {
+            for (si, stage) in stages.iter().enumerate() {
+                let ctx = LayerCtx {
+                    workload: wl,
+                    layer: *layer,
+                    retained,
+                    positions,
+                };
+                let t = Instant::now();
+                stage.synth_raw(&ctx, &mut ws[si]);
+                synth += t.elapsed();
+                let t = Instant::now();
+                stage.convert(&mut ws[si]);
+                convert += t.elapsed();
+                let t = Instant::now();
+                criterion::black_box(stage.gather(&ctx, &mut ws[si]));
+                gather += t.elapsed();
+            }
+        }
+    }
+    (synth, convert, gather)
+}
+
 /// The pipelined-schedule runner, **pinned** — every comparison leg in
 /// this bench names its schedule, so a `FOCUS_EXEC_MODE` override
 /// (honoured by `FocusPipeline::paper()` elsewhere) cannot silently
@@ -425,12 +512,69 @@ fn bench_synthesis(c: &mut Criterion) {
     focus_tensor::math::force_scalar(false);
 }
 
+/// The backend-kernel micro legs, paired dispatched-vs-scalar: gather
+/// scoring re-runs over activations synthesised once in setup (the
+/// gather is read-only on the buffer and re-plans per call), and the
+/// INT8 fake-quantise re-runs on its own output (the round trip is
+/// idempotent: the absmax of a quantised row reproduces its scale).
+/// Values are bit-identical across the pair (proptest-enforced), so
+/// each pair measures exactly the SIMD dispatch win.
+fn bench_backend_kernels(c: &mut Criterion) {
+    let wls = fig09_grid_workloads();
+    let cell = std::slice::from_ref(&wls[0]);
+    for (name, backend) in [("simd", simd()), ("scalar", scalar_ref())] {
+        let (walks, stages, mut ws) = staged_fixture(cell, DataType::Fp16, backend);
+        let (layer, retained, positions) = &walks[0][0];
+        for (si, stage) in stages.iter().enumerate() {
+            let ctx = LayerCtx {
+                workload: &wls[0],
+                layer: *layer,
+                retained,
+                positions,
+            };
+            stage.synth(&ctx, &mut ws[0][si]);
+        }
+        c.bench_function(&format!("gather/scoring_fig09_cell0_{name}"), |b| {
+            b.iter(|| {
+                for (si, stage) in stages.iter().enumerate() {
+                    let ctx = LayerCtx {
+                        workload: &wls[0],
+                        layer: *layer,
+                        retained,
+                        positions,
+                    };
+                    criterion::black_box(stage.gather(&ctx, &mut ws[0][si]));
+                }
+            })
+        });
+
+        let (walks, stages, mut ws) = staged_fixture(cell, DataType::Int8, backend);
+        let (layer, retained, positions) = &walks[0][0];
+        for (si, stage) in stages.iter().enumerate() {
+            let ctx = LayerCtx {
+                workload: &wls[0],
+                layer: *layer,
+                retained,
+                positions,
+            };
+            stage.synth(&ctx, &mut ws[0][si]);
+        }
+        c.bench_function(&format!("quantize/fake_quantize_fig09_cell0_{name}"), |b| {
+            b.iter(|| {
+                for (si, stage) in stages.iter().enumerate() {
+                    stage.convert(&mut ws[0][si]);
+                }
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = batch;
     config = Criterion::default().sample_size(10);
     targets = bench_serial, bench_batch_runner, bench_measured_old, bench_measured_new,
         bench_measured_graph, bench_service_throughput, bench_stream_session,
-        bench_temporal_stream, bench_synthesis
+        bench_temporal_stream, bench_synthesis, bench_backend_kernels
 }
 
 fn median_secs(samples: &mut [Duration]) -> f64 {
@@ -450,6 +594,15 @@ fn median_secs(samples: &mut [Duration]) -> f64 {
 /// (the one the pipeline actually runs — `synthesis_share` uses it),
 /// and `synthesis_kernel_speedup` their ratio.
 ///
+/// Backend-kernel fields (PR 8, `Backend`-dispatched stage kernels):
+/// `gather_phase_s`/`gather_phase_scalar_s` time the gather-scoring
+/// phase of the grid's measured walks on the dispatched `simd` backend
+/// vs the `scalar` oracle (bit-identical values), and
+/// `gather_kernel_speedup` is their ratio; `gather_share` is gather's
+/// fraction of the staged kernel walk. `quantize_phase_s`/
+/// `quantize_phase_scalar_s`/`quantize_kernel_speedup` are the same
+/// comparison for the whole-matrix INT8 fake-quantise.
+///
 /// `main` forces a pool of ≥ 2 workers before any leg runs: the
 /// cross-layer and cross-request overlap of the pipelined/graph/
 /// service schedules only pays with real concurrency, and the
@@ -460,6 +613,14 @@ fn write_snapshot() {
     let runner = pipelined_runner();
     let graph_runner = graph_runner();
     let (walks, stages, mut ws) = synthesis_fixture(&wls);
+    // Backend-staged fixtures for the per-phase kernel comparison:
+    // dispatched (`simd`) vs the `scalar` oracle, at both precisions.
+    let (fp16_walks, fp16_stages, mut fp16_ws) = staged_fixture(&wls, DataType::Fp16, simd());
+    let (fp16_sc_walks, fp16_sc_stages, mut fp16_sc_ws) =
+        staged_fixture(&wls, DataType::Fp16, scalar_ref());
+    let (int8_walks, int8_stages, mut int8_ws) = staged_fixture(&wls, DataType::Int8, simd());
+    let (int8_sc_walks, int8_sc_stages, mut int8_sc_ws) =
+        staged_fixture(&wls, DataType::Int8, scalar_ref());
 
     let stream_wls = stream_frame_workloads();
     const TEMPORAL_CORRS: [f64; 3] = [0.0, 0.5, 0.9];
@@ -478,6 +639,12 @@ fn write_snapshot() {
     let mut temporal_stats = [SessionStats::default(); 3];
     let mut synth = Vec::with_capacity(SAMPLES);
     let mut synth_scalar = Vec::with_capacity(SAMPLES);
+    let mut staged_synth = Vec::with_capacity(SAMPLES);
+    let mut staged_convert = Vec::with_capacity(SAMPLES);
+    let mut gather_fast = Vec::with_capacity(SAMPLES);
+    let mut gather_scalar = Vec::with_capacity(SAMPLES);
+    let mut quant_fast = Vec::with_capacity(SAMPLES);
+    let mut quant_scalar = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t = Instant::now();
         criterion::black_box(serial_resynthesis(&wls));
@@ -521,11 +688,35 @@ fn write_snapshot() {
         }
         synth_scalar.push(t.elapsed());
         focus_tensor::math::force_scalar(false);
+        // Per-phase kernel times on the dispatched backend vs the
+        // scalar oracle: gather scoring (fp16 legs) and the INT8
+        // fake-quantise (int8 legs).
+        let (s, cv, g) = staged_grid_pass(&wls, &fp16_walks, &fp16_stages, &mut fp16_ws);
+        staged_synth.push(s);
+        staged_convert.push(cv);
+        gather_fast.push(g);
+        let (_, _, g) = staged_grid_pass(&wls, &fp16_sc_walks, &fp16_sc_stages, &mut fp16_sc_ws);
+        gather_scalar.push(g);
+        let (_, cv, _) = staged_grid_pass(&wls, &int8_walks, &int8_stages, &mut int8_ws);
+        quant_fast.push(cv);
+        let (_, cv, _) = staged_grid_pass(&wls, &int8_sc_walks, &int8_sc_stages, &mut int8_sc_ws);
+        quant_scalar.push(cv);
     }
     let (old_s, new_s) = (median_secs(&mut old), median_secs(&mut new));
     let (graph_s, synth_s) = (median_secs(&mut graph), median_secs(&mut synth));
     let synth_scalar_s = median_secs(&mut synth_scalar);
     let synthesis_kernel_speedup = synth_scalar_s / synth_s;
+    let staged_synth_s = median_secs(&mut staged_synth);
+    let staged_convert_s = median_secs(&mut staged_convert);
+    let gather_phase_s = median_secs(&mut gather_fast);
+    let gather_phase_scalar_s = median_secs(&mut gather_scalar);
+    let gather_kernel_speedup = gather_phase_scalar_s / gather_phase_s;
+    // Gather's share of the staged kernel walk (synth + convert +
+    // gather), all on the dispatched backend.
+    let gather_share = gather_phase_s / (staged_synth_s + staged_convert_s + gather_phase_s);
+    let quantize_phase_s = median_secs(&mut quant_fast);
+    let quantize_phase_scalar_s = median_secs(&mut quant_scalar);
+    let quantize_kernel_speedup = quantize_phase_scalar_s / quantize_phase_s;
     let service_s = median_secs(&mut service);
     let stream_s = median_secs(&mut stream);
     let speedup = old_s / new_s;
@@ -555,7 +746,7 @@ fn write_snapshot() {
     // runs Normal, so all three counters are live.
     let [served_high, served_normal, served_low] = service_stats.served_by_priority;
     let json = format!(
-        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"temporal_frames_per_s_c00\": {:.3},\n  \"temporal_frames_per_s_c05\": {:.3},\n  \"temporal_frames_per_s_c09\": {:.3},\n  \"temporal_isolated_frames_per_s\": {:.3},\n  \"temporal_hit_rate_c00\": {:.4},\n  \"temporal_hit_rate_c05\": {:.4},\n  \"temporal_hit_rate_c09\": {:.4},\n  \"temporal_gathers_skipped_c09\": {},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"synthesis_batched_s\": {:.6},\n  \"synthesis_kernel_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"measured_phase_fig09_grid_tiny\",\n  \"cells\": {},\n  \"threads\": {},\n  \"serial_resynthesis_s\": {:.6},\n  \"pipelined_batched_s\": {:.6},\n  \"graph_batched_s\": {:.6},\n  \"service_staggered_s\": {:.6},\n  \"service_jobs_per_s\": {:.3},\n  \"service_workers\": {},\n  \"stream_session_s\": {:.6},\n  \"stream_frames\": {},\n  \"stream_window\": {},\n  \"stream_frames_per_s\": {:.3},\n  \"temporal_frames_per_s_c00\": {:.3},\n  \"temporal_frames_per_s_c05\": {:.3},\n  \"temporal_frames_per_s_c09\": {:.3},\n  \"temporal_isolated_frames_per_s\": {:.3},\n  \"temporal_hit_rate_c00\": {:.4},\n  \"temporal_hit_rate_c05\": {:.4},\n  \"temporal_hit_rate_c09\": {:.4},\n  \"temporal_gathers_skipped_c09\": {},\n  \"fair_served_high\": {},\n  \"fair_served_normal\": {},\n  \"fair_served_low\": {},\n  \"synthesis_only_s\": {:.6},\n  \"synthesis_batched_s\": {:.6},\n  \"synthesis_kernel_speedup\": {:.3},\n  \"gather_phase_s\": {:.6},\n  \"gather_phase_scalar_s\": {:.6},\n  \"gather_kernel_speedup\": {:.3},\n  \"gather_share\": {:.4},\n  \"quantize_phase_s\": {:.6},\n  \"quantize_phase_scalar_s\": {:.6},\n  \"quantize_kernel_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"graph_vs_pipelined\": {:.3},\n  \"synthesis_share\": {:.3}\n}}\n",
         wls.len(),
         rayon::current_num_threads(),
         old_s,
@@ -582,6 +773,13 @@ fn write_snapshot() {
         synth_scalar_s,
         synth_s,
         synthesis_kernel_speedup,
+        gather_phase_s,
+        gather_phase_scalar_s,
+        gather_kernel_speedup,
+        gather_share,
+        quantize_phase_s,
+        quantize_phase_scalar_s,
+        quantize_kernel_speedup,
         speedup,
         graph_vs_pipelined,
         synth_s / new_s,
@@ -592,6 +790,8 @@ fn write_snapshot() {
             "\nBENCH_batch.json snapshot: speedup {speedup:.2}x, \
              graph vs pipelined {graph_vs_pipelined:.2}x, \
              kernel batched vs scalar {synthesis_kernel_speedup:.2}x, \
+             gather kernel {gather_kernel_speedup:.2}x, \
+             quantize kernel {quantize_kernel_speedup:.2}x, \
              service {service_jobs_per_s:.1} jobs/s, \
              stream {stream_frames_per_s:.1} frames/s, \
              temporal c0.9 {t09:.1} vs isolated \

@@ -306,7 +306,7 @@ impl<'w> LayerExecutor<'w> {
         );
         let gathers: Vec<GatherStage> = Stage::GATHER_POINTS
             .iter()
-            .map(|&s| GatherStage::new(config, s, pipeline.dtype))
+            .map(|&s| GatherStage::new_on(config, s, pipeline.dtype, pipeline.backend))
             .collect();
         // Serial mode only ever calls `run_fresh`, which builds its own
         // state — don't charge it idle workspaces (ring = 0).
@@ -318,12 +318,21 @@ impl<'w> LayerExecutor<'w> {
                     "donated scratch must cover stages x ring"
                 );
                 sets.into_iter()
-                    .map(|s| Mutex::new(StageWorkspace::with_scratch(workload, s)))
+                    .map(|s| {
+                        Mutex::new(StageWorkspace::with_scratch_on(
+                            workload,
+                            s,
+                            pipeline.backend,
+                        ))
+                    })
                     .collect()
             }
             None => gathers
                 .iter()
-                .flat_map(|_| (0..mode.ring()).map(|_| Mutex::new(StageWorkspace::new(workload))))
+                .flat_map(|_| {
+                    (0..mode.ring())
+                        .map(|_| Mutex::new(StageWorkspace::new_on(workload, pipeline.backend)))
+                })
                 .collect(),
         };
         LayerExecutor {

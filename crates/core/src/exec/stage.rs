@@ -17,7 +17,8 @@
 //! ([`GatherStage::run_fresh`] keeps that reference path alive, and
 //! `tests/batch_determinism.rs` asserts the equivalence).
 
-use focus_tensor::quant::{fake_quantize, fake_quantize_in_place, DataType};
+use focus_tensor::backend::{self, BackendHandle};
+use focus_tensor::quant::DataType;
 use focus_tensor::Matrix;
 use focus_vlm::attention::AttentionSynthesizer;
 use focus_vlm::embedding::{ActivationSynthesizer, Stage};
@@ -101,9 +102,15 @@ pub struct StageWorkspace<'w> {
 }
 
 impl<'w> StageWorkspace<'w> {
-    /// A workspace for one stage of `workload`'s stage graph.
+    /// A workspace for one stage of `workload`'s stage graph, on the
+    /// process-wide active kernel backend.
     pub fn new(workload: &'w Workload) -> Self {
-        StageWorkspace::with_scratch(workload, StageScratch::for_workload(workload))
+        StageWorkspace::new_on(workload, backend::active())
+    }
+
+    /// [`StageWorkspace::new`] on an explicit kernel backend.
+    pub fn new_on(workload: &'w Workload, backend: BackendHandle) -> Self {
+        StageWorkspace::with_scratch_on(workload, StageScratch::for_workload(workload), backend)
     }
 
     /// A workspace pairing `workload`'s synthesiser with donated
@@ -111,8 +118,18 @@ impl<'w> StageWorkspace<'w> {
     /// scratch must have been built for the same frame grid (the
     /// session enforces geometry compatibility at `push_frame`).
     pub fn with_scratch(workload: &'w Workload, scratch: StageScratch) -> Self {
+        StageWorkspace::with_scratch_on(workload, scratch, backend::active())
+    }
+
+    /// [`StageWorkspace::with_scratch`] on an explicit kernel backend:
+    /// the synthesiser's noise-fill kernel dispatches through `backend`.
+    pub fn with_scratch_on(
+        workload: &'w Workload,
+        scratch: StageScratch,
+        backend: BackendHandle,
+    ) -> Self {
         StageWorkspace {
-            syn: workload.activation_synthesizer(),
+            syn: workload.activation_synthesizer_on(backend),
             scratch,
         }
     }
@@ -237,10 +254,12 @@ pub struct GatherStage {
     pub stage: Stage,
     concentrator: SimilarityConcentrator,
     dtype: DataType,
+    backend: BackendHandle,
 }
 
 impl GatherStage {
-    /// Builds the stage for one gather point.
+    /// Builds the stage for one gather point, on the process-wide
+    /// active kernel backend.
     ///
     /// The tile height is NOT scaled down with the frame count: what
     /// governs boundary statistics is the tile span measured in frames
@@ -249,6 +268,18 @@ impl GatherStage {
     /// temporal twin (one frame-stride away in the packed stream) from
     /// most keys and destroy the match rate.
     pub fn new(config: &FocusConfig, stage: Stage, dtype: DataType) -> Self {
+        GatherStage::new_on(config, stage, dtype, backend::active())
+    }
+
+    /// [`GatherStage::new`] on an explicit kernel backend: every hot
+    /// kernel the stage launches (gather scoring, dtype conversion,
+    /// synthesis fill) dispatches through `backend`.
+    pub fn new_on(
+        config: &FocusConfig,
+        stage: Stage,
+        dtype: DataType,
+        backend: BackendHandle,
+    ) -> Self {
         GatherStage {
             stage,
             concentrator: SimilarityConcentrator {
@@ -260,7 +291,13 @@ impl GatherStage {
                 tile_m: config.tile_m,
             },
             dtype,
+            backend,
         }
+    }
+
+    /// The kernel backend this stage dispatches through.
+    pub fn backend(&self) -> BackendHandle {
+        self.backend
     }
 
     /// The pre-workspace reference path: a fresh synthesiser, a fresh
@@ -269,13 +306,15 @@ impl GatherStage {
     /// test and the old-vs-new throughput bench.
     pub fn run_fresh(&self, ctx: &LayerCtx<'_>) -> StageOutput {
         let width = self.stage.width(ctx.workload.scaled_model());
-        let mut syn = ctx.workload.activation_synthesizer();
+        let mut syn = ctx.workload.activation_synthesizer_on(self.backend);
         let mut acts = syn.activations(ctx.retained, ctx.layer, self.stage, width);
         match self.dtype {
-            DataType::Fp16 => acts.round_to_f16(),
-            DataType::Int8 => acts = fake_quantize(&acts),
+            DataType::Fp16 => self.backend.f16_round(&mut acts),
+            DataType::Int8 => self.backend.fake_quantize(&mut acts),
         }
-        let stats = self.concentrator.gather_matrix(&acts, ctx.positions);
+        let stats = self
+            .concentrator
+            .gather_matrix_on(&acts, ctx.positions, self.backend);
         StageOutput::Gathered {
             stage: self.stage,
             stats,
@@ -315,6 +354,15 @@ impl GatherStage {
     /// output does not depend on which machine or dispatch path ran
     /// it, only on the workload.
     pub fn synth(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) {
+        self.synth_raw(ctx, ws);
+        self.convert(ws);
+    }
+
+    /// The synthesis half of [`GatherStage::synth`]: fills the
+    /// workspace's recycled buffer with this stage's full-precision
+    /// activations, without the dtype pass. Split out so the bench can
+    /// time synthesis and conversion separately.
+    pub fn synth_raw(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) {
         let width = self.stage.width(ctx.workload.scaled_model());
         ws.syn.activations_into(
             ctx.retained,
@@ -323,9 +371,16 @@ impl GatherStage {
             width,
             &mut ws.scratch.acts,
         );
+    }
+
+    /// The dtype half of [`GatherStage::synth`]: applies this stage's
+    /// datapath precision to the synthesised buffer through the
+    /// backend's whole-matrix conversion kernel (FP16 rounding or INT8
+    /// fake-quantisation).
+    pub fn convert(&self, ws: &mut StageWorkspace<'_>) {
         match self.dtype {
-            DataType::Fp16 => ws.scratch.acts.round_to_f16(),
-            DataType::Int8 => fake_quantize_in_place(&mut ws.scratch.acts),
+            DataType::Fp16 => self.backend.f16_round(&mut ws.scratch.acts),
+            DataType::Int8 => self.backend.fake_quantize(&mut ws.scratch.acts),
         }
     }
 
@@ -335,10 +390,11 @@ impl GatherStage {
     /// graph scheduler can overlap one layer's gathers with another
     /// layer's synthesis at any pipeline depth.
     pub fn gather(&self, ctx: &LayerCtx<'_>, ws: &mut StageWorkspace<'_>) -> MatrixGatherStats {
-        self.concentrator.gather_matrix_with(
+        self.concentrator.gather_matrix_with_on(
             &ws.scratch.acts,
             ctx.positions,
             &mut ws.scratch.gather,
+            self.backend,
         )
     }
 
@@ -356,7 +412,7 @@ impl GatherStage {
         cache: &TemporalCache,
         stage_index: usize,
     ) -> MatrixGatherStats {
-        self.concentrator.gather_matrix_temporal(
+        self.concentrator.gather_matrix_temporal_on(
             &ws.scratch.acts,
             ctx.positions,
             ctx.retained,
@@ -364,6 +420,7 @@ impl GatherStage {
             cache,
             ctx.layer,
             stage_index,
+            self.backend,
         )
     }
 }

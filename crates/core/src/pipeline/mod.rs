@@ -34,6 +34,7 @@ pub(crate) mod stats;
 pub use stats::{LayerStats, PipelineResult, SecLayerStats};
 
 use focus_sim::ArchConfig;
+use focus_tensor::backend::{self, BackendHandle};
 use focus_tensor::quant::DataType;
 use focus_vlm::accuracy::AccuracyModel;
 use focus_vlm::Workload;
@@ -54,6 +55,12 @@ pub struct FocusPipeline {
     /// Measured-phase schedule (results are bit-identical across
     /// modes; only throughput differs).
     pub exec_mode: ExecMode,
+    /// Kernel backend for the hot stage kernels (gather scoring, dtype
+    /// conversion, synthesis fill). Results are bit-identical across
+    /// the numeric backends; only throughput differs. Defaults to the
+    /// process-wide active backend
+    /// ([`focus_tensor::backend::BACKEND_ENV`] override honoured).
+    pub backend: BackendHandle,
 }
 
 impl FocusPipeline {
@@ -69,6 +76,7 @@ impl FocusPipeline {
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
             exec_mode: ExecMode::env_or_default(),
+            backend: backend::active(),
         }
     }
 
@@ -81,12 +89,20 @@ impl FocusPipeline {
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
             exec_mode: ExecMode::env_or_default(),
+            backend: backend::active(),
         }
     }
 
     /// The same pipeline under a different measured-phase schedule.
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
+        self
+    }
+
+    /// The same pipeline on a different kernel backend (the numeric
+    /// backends are bit-identical; see [`focus_tensor::backend`]).
+    pub fn with_backend(mut self, backend: BackendHandle) -> Self {
+        self.backend = backend;
         self
     }
 

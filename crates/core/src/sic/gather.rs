@@ -12,7 +12,7 @@
 use core::ops::Range;
 use std::collections::HashMap;
 
-use focus_tensor::math::{cosine_with_norms_chunked, l2_norm_chunked};
+use focus_tensor::backend::{self, BackendHandle};
 use focus_tensor::Matrix;
 
 use crate::config::BlockSize;
@@ -89,6 +89,30 @@ pub fn gather_tile(
     positions: &[Option<Fhw>],
     cfg: &GatherConfig,
 ) -> GatherResult {
+    gather_tile_on(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        positions,
+        cfg,
+        backend::active(),
+    )
+}
+
+/// [`gather_tile`] on an explicit kernel [`Backend`] instead of the
+/// process-wide default.
+///
+/// [`Backend`]: focus_tensor::backend::Backend
+pub fn gather_tile_on(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    positions: &[Option<Fhw>],
+    cfg: &GatherConfig,
+    backend: BackendHandle,
+) -> GatherResult {
     // Position → tile-local row index, for candidate lookup. This is
     // the reference path: it rebuilds the map per call; the measured
     // hot path goes through [`gather_tile_planned`] with a recycled
@@ -122,6 +146,7 @@ pub fn gather_tile(
             }
         },
         None,
+        backend,
     )
 }
 
@@ -161,6 +186,7 @@ pub fn gather_tile_indexed(
             }
         },
         None,
+        backend::active(),
     )
 }
 
@@ -260,6 +286,30 @@ pub fn gather_tile_planned(
     cfg: &GatherConfig,
     scratch: &GatherScratch,
 ) -> GatherResult {
+    gather_tile_planned_on(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        scratch,
+        backend::active(),
+    )
+}
+
+/// [`gather_tile_planned`] on an explicit kernel [`Backend`] — what the
+/// matrix-level sweep threads through from the pipeline config.
+///
+/// [`Backend`]: focus_tensor::backend::Backend
+pub fn gather_tile_planned_on(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    cfg: &GatherConfig,
+    scratch: &GatherScratch,
+    backend: BackendHandle,
+) -> GatherResult {
     assert_eq!(
         scratch.planned,
         Some((row_start, row_count)),
@@ -277,6 +327,7 @@ pub fn gather_tile_planned(
             }
         },
         None,
+        backend,
     )
 }
 
@@ -305,6 +356,34 @@ pub fn gather_tile_planned_temporal(
     mask: &CarryMask,
     col_tile: usize,
 ) -> GatherResult {
+    gather_tile_planned_temporal_on(
+        acts,
+        row_start,
+        row_count,
+        col_range,
+        cfg,
+        scratch,
+        mask,
+        col_tile,
+        backend::active(),
+    )
+}
+
+/// [`gather_tile_planned_temporal`] on an explicit kernel [`Backend`].
+///
+/// [`Backend`]: focus_tensor::backend::Backend
+#[allow(clippy::too_many_arguments)] // mirrors gather_tile_planned + the carry pair
+pub fn gather_tile_planned_temporal_on(
+    acts: &Matrix,
+    row_start: usize,
+    row_count: usize,
+    col_range: Range<usize>,
+    cfg: &GatherConfig,
+    scratch: &GatherScratch,
+    mask: &CarryMask,
+    col_tile: usize,
+    backend: BackendHandle,
+) -> GatherResult {
     assert_eq!(
         scratch.planned,
         Some((row_start, row_count)),
@@ -322,6 +401,7 @@ pub fn gather_tile_planned_temporal(
             }
         },
         Some((mask, col_tile)),
+        backend,
     )
 }
 
@@ -329,6 +409,23 @@ pub fn gather_tile_planned_temporal(
 /// with the tile-local indices of `local`'s candidates, in block scan
 /// order, earlier rows only — the contract every caller above
 /// discharges identically.
+///
+/// All numeric work — norms, candidate scoring, fidelity — dispatches
+/// through `backend`; this function only owns the control flow. Carry
+/// decisions are mask-driven (settled in the temporal reconcile
+/// pre-pass, never by scores), so the whole tile's norms and candidate
+/// probes are known up front: the sweep launches **one**
+/// [`Backend::row_norms`](focus_tensor::backend::Backend::row_norms)
+/// over every live row and **one**
+/// [`Backend::score_pairs`](focus_tensor::backend::Backend::score_pairs)
+/// over every `(row, candidate)` probe (the SIMD backend runs eight
+/// rows/pairs per pass), then the sequential best-match walk just reads
+/// the precomputed scores — comparison counts and tie-breaking are
+/// identical to the historical one-candidate-at-a-time loop. Matched
+/// rows' fidelity is a second batched launch after the walk, scored
+/// against each representative's *source* row (byte-identical to the
+/// compact copy, so the bits cannot differ).
+#[allow(clippy::too_many_arguments)] // the tile tuple + plan/carry context + backend
 fn gather_tile_core(
     acts: &Matrix,
     row_start: usize,
@@ -337,6 +434,7 @@ fn gather_tile_core(
     cfg: &GatherConfig,
     mut cands_for: impl FnMut(usize, &mut dyn FnMut(usize)),
     temporal: Option<(&CarryMask, usize)>,
+    backend: BackendHandle,
 ) -> GatherResult {
     assert!(
         row_start + row_count <= acts.rows(),
@@ -345,14 +443,13 @@ fn gather_tile_core(
     assert!(col_range.end <= acts.cols(), "column range out of bounds");
 
     let width = col_range.len();
-    let mut norms = Vec::with_capacity(row_count);
+    let row_of = |local: usize| -> &[f32] { &acts.row(row_start + local)[col_range.clone()] };
+    let carried_at = |local: usize| -> Option<u32> {
+        temporal.and_then(|(mask, col_tile)| mask.carried(local, col_tile))
+    };
+
     let mut map = SimilarityMap::with_capacity(row_count);
     let mut compact_rows: Vec<f32> = Vec::new();
-    // Norms of the compact rows, pushed as uniques land: a compact row
-    // is byte-identical to its source row, so its (deterministic) norm
-    // is too — reusing it spares the matcher a full re-norm pass per
-    // matched row without moving a single bit.
-    let mut compact_norms: Vec<f32> = Vec::new();
     let mut fidelity = vec![1.0f32; row_count];
     let mut comparisons: u64 = 0;
     let mut matches: u64 = 0;
@@ -363,64 +460,129 @@ fn gather_tile_core(
     // targeted a carried (hence compact-less) candidate.
     let mut avoided: u64 = 0;
 
-    // Indexing `fidelity[local]` directly (not via iter_mut) keeps the
-    // closure below free to borrow the surrounding state.
-    #[allow(clippy::needless_range_loop)]
-    for local in 0..row_count {
-        let row = &acts.row(row_start + local)[col_range.clone()];
+    // Pre-pass 1: batched norms of every live (non-carried) row.
+    // Carried rows keep a 0.0 sentinel (they are never candidates, so
+    // their slot is never read).
+    let mut norms = vec![0.0f32; row_count];
+    let live: Vec<u32> = (0..row_count as u32)
+        .filter(|&l| carried_at(l as usize).is_none())
+        .collect();
+    let live_rows: Vec<&[f32]> = live.iter().map(|&l| row_of(l as usize)).collect();
+    let mut live_norms = vec![0.0f32; live.len()];
+    backend.row_norms(&live_rows, &mut live_norms);
+    for (&l, &n) in live.iter().zip(&live_norms) {
+        norms[l as usize] = n;
+    }
 
-        if let Some((mask, col_tile)) = temporal {
-            if let Some(slot) = mask.carried(local, col_tile) {
-                // Proven bit-exact replay of the anchored frame:
-                // fidelity is exactly 1.0 and only the reconcile
-                // pass's proof check was paid (no byte compare ever
-                // ran). The norm slot gets a sentinel
-                // (carried rows are never candidates, so it is never
-                // read).
-                map.push_carried(slot);
-                carried += 1;
-                norms.push(0.0);
-                dot_ops += width as u64;
-                cands_for(local, &mut |_| avoided += 1);
-                continue;
+    // Pre-pass 2: resolve every row's live candidate probes
+    // (`cand_offsets[local]..cand_offsets[local+1]` indexes `cand_idx`)
+    // and score them all in one batched launch. A probe is live iff
+    // neither endpoint is carried; dead probes count as avoided exactly
+    // where the one-row-at-a-time walk counted them.
+    let mut cand_offsets: Vec<u32> = Vec::with_capacity(row_count + 1);
+    let mut cand_idx: Vec<u32> = Vec::new();
+    cand_offsets.push(0);
+    for local in 0..row_count {
+        if carried_at(local).is_some() {
+            cands_for(local, &mut |_| avoided += 1);
+        } else {
+            cands_for(local, &mut |cand_local| {
+                if carried_at(cand_local).is_some() {
+                    avoided += 1;
+                } else {
+                    cand_idx.push(cand_local as u32);
+                }
+            });
+        }
+        cand_offsets.push(cand_idx.len() as u32);
+    }
+    let mut scores = vec![0.0f32; cand_idx.len()];
+    {
+        let mut pair_a: Vec<&[f32]> = Vec::with_capacity(cand_idx.len());
+        let mut pair_an: Vec<f32> = Vec::with_capacity(cand_idx.len());
+        let mut pair_b: Vec<&[f32]> = Vec::with_capacity(cand_idx.len());
+        let mut pair_bn: Vec<f32> = Vec::with_capacity(cand_idx.len());
+        for local in 0..row_count {
+            let probes = cand_offsets[local] as usize..cand_offsets[local + 1] as usize;
+            for &cand in &cand_idx[probes] {
+                pair_a.push(row_of(local));
+                pair_an.push(norms[local]);
+                pair_b.push(row_of(cand as usize));
+                pair_bn.push(norms[cand as usize]);
             }
         }
+        backend.score_pairs(&pair_a, &pair_an, &pair_b, &pair_bn, &mut scores);
+    }
 
-        let norm = l2_norm_chunked(row);
-        norms.push(norm);
+    // The sequential walk: carried replay, best-match selection over
+    // the precomputed scores, compact append — byte-identical control
+    // flow to the historical loop.
+    //
+    // Compact slot → source row: a compact row is byte-identical to
+    // its source row, so its (deterministic) norm is too — scoring
+    // fidelity against the source row spares the matcher a re-norm
+    // pass per matched row without moving a single bit.
+    let mut rep_source: Vec<u32> = Vec::new();
+    // Matched rows' deferred fidelity probes `(local, compact slot)`.
+    let mut fid_pairs: Vec<(u32, u32)> = Vec::new();
+    for local in 0..row_count {
+        if let Some(slot) = carried_at(local) {
+            // Proven bit-exact replay of the anchored frame: fidelity
+            // is exactly 1.0 and only the reconcile pass's proof check
+            // was paid (no byte compare ever ran).
+            map.push_carried(slot);
+            carried += 1;
+            dot_ops += width as u64;
+            continue;
+        }
         dot_ops += width as u64; // the norm's squared-sum pass
 
+        // Best-match selection in visit order: a strictly better score
+        // wins, a tie keeps the earlier candidate — exactly the
+        // streaming matcher's behaviour.
+        let probes = cand_offsets[local] as usize..cand_offsets[local + 1] as usize;
         let mut best: Option<(usize, f32)> = None;
-        cands_for(local, &mut |cand_local| {
-            if map.is_carried(cand_local) {
-                avoided += 1;
-                return;
-            }
-            let cand_row = &acts.row(row_start + cand_local)[col_range.clone()];
-            let cos = cosine_with_norms_chunked(row, norm, cand_row, norms[cand_local]);
+        for (&cand, &cos) in cand_idx[probes.clone()].iter().zip(&scores[probes]) {
             comparisons += 1;
             dot_ops += width as u64;
             if cos >= cfg.threshold && best.is_none_or(|(_, b)| cos > b) {
-                best = Some((cand_local, cos));
+                best = Some((cand as usize, cos));
             }
-        });
+        }
 
         match best {
             Some((cand_local, _)) => {
                 let rep = map.representative(cand_local);
                 map.push_match(rep);
                 matches += 1;
-                // Fidelity against the representative actually stored.
-                let rep_start = rep as usize * width;
-                let rep_row = &compact_rows[rep_start..rep_start + width];
-                fidelity[local] =
-                    cosine_with_norms_chunked(row, norm, rep_row, compact_norms[rep as usize]);
+                fid_pairs.push((local as u32, rep));
             }
             None => {
                 map.push_unique();
-                compact_rows.extend_from_slice(row);
-                compact_norms.push(norm);
+                compact_rows.extend_from_slice(row_of(local));
+                rep_source.push(local as u32);
             }
+        }
+    }
+
+    // Deferred fidelity of the matched rows, one batched launch:
+    // cosine against the representative actually stored (via its
+    // byte-identical source row and that row's norm).
+    if !fid_pairs.is_empty() {
+        let pair_a: Vec<&[f32]> = fid_pairs.iter().map(|&(l, _)| row_of(l as usize)).collect();
+        let pair_an: Vec<f32> = fid_pairs.iter().map(|&(l, _)| norms[l as usize]).collect();
+        let pair_b: Vec<&[f32]> = fid_pairs
+            .iter()
+            .map(|&(_, rep)| row_of(rep_source[rep as usize] as usize))
+            .collect();
+        let pair_bn: Vec<f32> = fid_pairs
+            .iter()
+            .map(|&(_, rep)| norms[rep_source[rep as usize] as usize])
+            .collect();
+        let mut fid = vec![0.0f32; fid_pairs.len()];
+        backend.score_pairs(&pair_a, &pair_an, &pair_b, &pair_bn, &mut fid);
+        for (&(l, _), &f) in fid_pairs.iter().zip(&fid) {
+            fidelity[l as usize] = f;
         }
     }
 

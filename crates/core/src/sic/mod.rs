@@ -23,16 +23,18 @@ pub mod scatter;
 pub mod temporal;
 
 pub use gather::{
-    gather_tile, gather_tile_indexed, gather_tile_planned, gather_tile_planned_temporal,
-    GatherConfig, GatherResult, GatherScratch,
+    gather_tile, gather_tile_indexed, gather_tile_on, gather_tile_planned, gather_tile_planned_on,
+    gather_tile_planned_temporal, gather_tile_planned_temporal_on, GatherConfig, GatherResult,
+    GatherScratch,
 };
 pub use layout::{BankAddress, ConvLayouter, Fhw, PositionLookup};
 pub use map::SimilarityMap;
-pub use scatter::{scatter, scatter_cycles, scatter_ops};
+pub use scatter::{scatter, scatter_cycles, scatter_on, scatter_ops};
 pub use temporal::{
     CarryMask, TemporalCache, TemporalCacheConfig, TemporalCounters, TemporalSnapshot,
 };
 
+use focus_tensor::backend::{self, BackendHandle, KernelLaunch};
 use focus_tensor::ops::vector_ranges;
 use focus_tensor::Matrix;
 
@@ -125,7 +127,20 @@ impl SimilarityConcentrator {
     /// `positions[row]` is each row's decoded (F,H,W) position (`None`
     /// for text tokens).
     pub fn gather_matrix(&self, acts: &Matrix, positions: &[Option<Fhw>]) -> MatrixGatherStats {
-        self.gather_matrix_impl(acts, positions, None, None)
+        self.gather_matrix_impl(acts, positions, None, None, backend::active())
+    }
+
+    /// [`SimilarityConcentrator::gather_matrix`] on an explicit kernel
+    /// [`Backend`].
+    ///
+    /// [`Backend`]: focus_tensor::backend::Backend
+    pub fn gather_matrix_on(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        backend: BackendHandle,
+    ) -> MatrixGatherStats {
+        self.gather_matrix_impl(acts, positions, None, None, backend)
     }
 
     /// [`SimilarityConcentrator::gather_matrix`] over a recycled
@@ -142,7 +157,22 @@ impl SimilarityConcentrator {
         positions: &[Option<Fhw>],
         scratch: &mut GatherScratch,
     ) -> MatrixGatherStats {
-        self.gather_matrix_impl(acts, positions, Some(scratch), None)
+        self.gather_matrix_impl(acts, positions, Some(scratch), None, backend::active())
+    }
+
+    /// [`SimilarityConcentrator::gather_matrix_with`] on an explicit
+    /// kernel [`Backend`] — the handle the stage pipeline threads down
+    /// from [`FocusPipeline::backend`](crate::FocusPipeline).
+    ///
+    /// [`Backend`]: focus_tensor::backend::Backend
+    pub fn gather_matrix_with_on(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        scratch: &mut GatherScratch,
+        backend: BackendHandle,
+    ) -> MatrixGatherStats {
+        self.gather_matrix_impl(acts, positions, Some(scratch), None, backend)
     }
 
     /// [`SimilarityConcentrator::gather_matrix_with`] with a
@@ -167,12 +197,41 @@ impl SimilarityConcentrator {
         layer: usize,
         stage: usize,
     ) -> MatrixGatherStats {
+        self.gather_matrix_temporal_on(
+            acts,
+            positions,
+            tokens,
+            scratch,
+            cache,
+            layer,
+            stage,
+            backend::active(),
+        )
+    }
+
+    /// [`SimilarityConcentrator::gather_matrix_temporal`] on an
+    /// explicit kernel [`Backend`].
+    ///
+    /// [`Backend`]: focus_tensor::backend::Backend
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_matrix_temporal_on(
+        &self,
+        acts: &Matrix,
+        positions: &[Option<Fhw>],
+        tokens: &[usize],
+        scratch: &mut GatherScratch,
+        cache: &TemporalCache,
+        layer: usize,
+        stage: usize,
+        backend: BackendHandle,
+    ) -> MatrixGatherStats {
         assert!(tokens.len() >= acts.rows(), "tokens shorter than matrix");
         self.gather_matrix_impl(
             acts,
             positions,
             Some(scratch),
             Some((cache, tokens, layer, stage)),
+            backend,
         )
     }
 
@@ -182,8 +241,15 @@ impl SimilarityConcentrator {
         positions: &[Option<Fhw>],
         mut scratch: Option<&mut GatherScratch>,
         temporal: Option<(&TemporalCache, &[usize], usize, usize)>,
+        backend: BackendHandle,
     ) -> MatrixGatherStats {
         let width = acts.cols();
+        // One coarse launch record for the whole matrix sweep (the
+        // numeric backends drop it; the trace backend logs it).
+        backend.record(KernelLaunch::GatherScore {
+            rows: acts.rows(),
+            width,
+        });
         let v_len = self.vector_len.min(width.max(1));
         let col_ranges = vector_ranges(width, v_len);
         let m_tiles = acts.rows().div_ceil(self.tile_m).max(1);
@@ -223,7 +289,7 @@ impl SimilarityConcentrator {
             }
             for (ct, col_range) in col_ranges.iter().enumerate() {
                 let r = match (scratch.as_deref(), temporal) {
-                    (Some(scratch), Some(_)) => gather_tile_planned_temporal(
+                    (Some(scratch), Some(_)) => gather_tile_planned_temporal_on(
                         acts,
                         row_start,
                         row_count,
@@ -232,22 +298,25 @@ impl SimilarityConcentrator {
                         scratch,
                         &scratch.carry,
                         ct,
+                        backend,
                     ),
-                    (Some(scratch), None) => gather_tile_planned(
+                    (Some(scratch), None) => gather_tile_planned_on(
                         acts,
                         row_start,
                         row_count,
                         col_range.clone(),
                         &self.gather,
                         scratch,
+                        backend,
                     ),
-                    (None, _) => gather_tile(
+                    (None, _) => gather_tile_on(
                         acts,
                         row_start,
                         row_count,
                         col_range.clone(),
                         positions,
                         &self.gather,
+                        backend,
                     ),
                 };
                 stats.tile_p.push(r.p());

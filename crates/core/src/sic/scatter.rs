@@ -6,6 +6,7 @@
 //! accumulation. A bank of `2a` accumulators (Table I: 64) absorbs the
 //! reconstructed stream; Fig. 10(d) sweeps that width.
 
+use focus_tensor::backend::{self, BackendHandle};
 use focus_tensor::Matrix;
 
 use crate::sic::map::SimilarityMap;
@@ -17,8 +18,17 @@ use crate::sic::map::SimilarityMap;
 /// Panics if the map's compact length differs from `partial.rows()`,
 /// or if the map contains temporally **carried** rows — their partial
 /// sums live in the previous frame's replay, not in `partial` (the
-/// `representative` call below enforces this).
+/// `representative` resolution below enforces this).
 pub fn scatter(partial: &Matrix, map: &SimilarityMap) -> Matrix {
+    scatter_on(partial, map, backend::active())
+}
+
+/// [`scatter`] on an explicit kernel [`Backend`]: the map is resolved
+/// to a flat representative list here, and the row replay itself is
+/// the backend's scatter kernel.
+///
+/// [`Backend`]: focus_tensor::backend::Backend
+pub fn scatter_on(partial: &Matrix, map: &SimilarityMap, backend: BackendHandle) -> Matrix {
     assert_eq!(
         map.compact_len(),
         partial.rows(),
@@ -26,11 +36,9 @@ pub fn scatter(partial: &Matrix, map: &SimilarityMap) -> Matrix {
         map.compact_len(),
         partial.rows()
     );
+    let reps: Vec<u32> = (0..map.len()).map(|i| map.representative(i)).collect();
     let mut out = Matrix::zeros(map.len(), partial.cols());
-    for i in 0..map.len() {
-        let rep = map.representative(i) as usize;
-        out.row_mut(i).copy_from_slice(partial.row(rep));
-    }
+    backend.scatter_rows(partial, &reps, &mut out);
     out
 }
 

@@ -17,7 +17,12 @@
 //! * [`math`] — the batched, bit-deterministic transcendental kernel
 //!   (fixed-polynomial `ln`/`cos`, `box_muller_fill`) behind all
 //!   activation synthesis, with a runtime-dispatched SIMD path that is
-//!   bit-identical to its scalar fallback.
+//!   bit-identical to its scalar fallback;
+//! * [`backend`] — the pluggable [`Backend`] trait putting the hot
+//!   stage kernels (gather scoring, compact norms, fake-quantise, FP16
+//!   rounding, scatter, synthesis fill) behind one dispatch surface,
+//!   with bit-identical `scalar`/`simd` implementations and a
+//!   launch-recording `trace` backend (`FOCUS_BACKEND`).
 //!
 //! Everything is deterministic: no global RNG, no time sources. Workload
 //! synthesis seeds [`rand::rngs::StdRng`] explicitly.
@@ -36,12 +41,14 @@
 //!
 //! [HPCA 2026]: https://arxiv.org/abs/2512.14661
 
+pub mod backend;
 pub mod half;
 pub mod math;
 pub mod matrix;
 pub mod ops;
 pub mod quant;
 
+pub use crate::backend::{Backend, BackendHandle, BackendKind, KernelLaunch};
 pub use crate::half::f16;
 pub use crate::matrix::{Matrix, TileIter, TileSpec};
 pub use crate::quant::{DataType, QuantParams, QuantizedTensor};

@@ -431,9 +431,21 @@ fn reduce_lanes(l: [f32; 8]) -> f32 {
     ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
 }
 
+/// Below this width the explicitly-dispatched AVX2 single-dot path
+/// loses to the auto-vectorised chunked-scalar loop: the per-call
+/// dispatch and ymm spill/`vzeroupper` overhead dominates a handful of
+/// 8-wide passes (measured crossover ≈ 256 lanes on an AVX2 host).
+/// Both paths are bit-identical, so the cutoff is pure scheduling;
+/// batched kernels ([`dot_multi_chunked`], [`dot_pairs_chunked`],
+/// [`l2_norms_chunked`]) amortise that overhead over eight rows and
+/// win at every width.
+const DOT_SIMD_MIN_LEN: usize = 256;
+
 /// Lane-chunked dot product, runtime-dispatched like
-/// [`box_muller_fill`]: AVX2 where detected (unless [`force_scalar`]),
-/// chunked scalar otherwise, bit-identical either way.
+/// [`box_muller_fill`]: AVX2 where detected (unless [`force_scalar`])
+/// and the row is wide enough to pay for the dispatch
+/// ([`DOT_SIMD_MIN_LEN`]), chunked scalar otherwise, bit-identical
+/// either way.
 ///
 /// # Panics
 ///
@@ -443,7 +455,7 @@ pub fn dot_chunked(a: &[f32], b: &[f32]) -> f32 {
     let full = a.len() / 8 * 8;
     let mut lanes = [0.0f32; 8];
     #[cfg(target_arch = "x86_64")]
-    let vectorised = simd_active() && {
+    let vectorised = a.len() >= DOT_SIMD_MIN_LEN && simd_active() && {
         // SAFETY: `simd_active` implies AVX2 was detected at runtime.
         unsafe { dot_lanes_avx2_raw(&a[..full], &b[..full], &mut lanes) };
         true
@@ -514,6 +526,237 @@ pub fn cosine_with_norms_chunked(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 
         return 0.0;
     }
     (dot_chunked(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// The explicitly chunked-scalar path of [`cosine_with_norms_chunked`]
+/// (same conventions, [`dot_chunked_scalar`] underneath) — the scalar
+/// backend's candidate-scoring reference.
+pub fn cosine_with_norms_chunked_scalar(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot_chunked_scalar(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Multi-candidate dot kernel: `out[i] = dot_chunked(a, bs[i])` for
+/// every candidate row, with candidates processed eight at a time on
+/// the SIMD path so each 8-wide chunk of `a` is loaded once per group
+/// instead of once per candidate (and the eight accumulator chains run
+/// independently). Every candidate's accumulation executes the frozen
+/// [`dot_chunked`] order — lane `j` sums indices `≡ j (mod 8)`, shared
+/// scalar tail, fixed reduction tree — so the batching is bit-invisible
+/// per candidate.
+///
+/// # Panics
+///
+/// Panics if `bs` and `out` differ in length, or any candidate differs
+/// in length from `a`.
+pub fn dot_multi_chunked(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(bs.len(), out.len(), "one output slot per candidate");
+    for b in bs {
+        assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    }
+    let full = a.len() / 8 * 8;
+    let mut idx = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        while idx + 8 <= bs.len() {
+            let group: &[&[f32]; 8] = bs[idx..idx + 8].try_into().unwrap();
+            let mut lanes = [[0.0f32; 8]; 8];
+            // SAFETY: `simd_active` implies AVX2 was detected at
+            // runtime; lengths were asserted above.
+            unsafe { dot8_lanes_avx2_raw(&a[..full], group, &mut lanes) };
+            for (c, l) in lanes.iter_mut().enumerate() {
+                let b = bs[idx + c];
+                for (j, i) in (full..a.len()).enumerate() {
+                    l[j] += a[i] * b[i];
+                }
+                out[idx + c] = reduce_lanes(*l);
+            }
+            idx += 8;
+        }
+    }
+    for c in idx..bs.len() {
+        out[c] = dot_chunked(a, bs[c]);
+    }
+}
+
+/// The chunked-scalar path of [`dot_multi_chunked`]: one
+/// [`dot_chunked_scalar`] per candidate, for the bit-identity property
+/// tests and the scalar backend.
+pub fn dot_multi_chunked_scalar(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(bs.len(), out.len(), "one output slot per candidate");
+    for (b, o) in bs.iter().zip(out) {
+        *o = dot_chunked_scalar(a, b);
+    }
+}
+
+fn assert_pair_widths(pa: &[&[f32]], pb: &[&[f32]], out: &[f32]) -> usize {
+    assert_eq!(pa.len(), pb.len(), "one left slice per right slice");
+    assert_eq!(pa.len(), out.len(), "one output slot per pair");
+    let n = pa.first().map_or(0, |s| s.len());
+    for (a, b) in pa.iter().zip(pb) {
+        assert_eq!(a.len(), n, "pair width mismatch");
+        assert_eq!(b.len(), n, "pair width mismatch");
+    }
+    n
+}
+
+/// Independent-pair dot kernel: `out[i] = dot_chunked(pa[i], pb[i])`
+/// for equally-wide pairs, eight pairs per SIMD pass. Unlike
+/// [`dot_multi_chunked`] nothing is shared between the pairs — the
+/// batching amortises the per-call dispatch overhead that makes the
+/// single-dot path a loss below [`DOT_SIMD_MIN_LEN`], and keeps eight
+/// independent accumulator chains in flight. Every pair executes the
+/// frozen [`dot_chunked`] order (lane `j` sums indices `≡ j (mod 8)`,
+/// shared scalar tail, fixed reduction tree), so the batching is
+/// bit-invisible per pair.
+///
+/// # Panics
+///
+/// Panics if `pa`, `pb` and `out` differ in length or any slice
+/// differs in width from the first.
+pub fn dot_pairs_chunked(pa: &[&[f32]], pb: &[&[f32]], out: &mut [f32]) {
+    let n = assert_pair_widths(pa, pb, out);
+    let full = n / 8 * 8;
+    let mut idx = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        while idx + 8 <= pa.len() {
+            let ga: &[&[f32]; 8] = pa[idx..idx + 8].try_into().unwrap();
+            let gb: &[&[f32]; 8] = pb[idx..idx + 8].try_into().unwrap();
+            let mut lanes = [[0.0f32; 8]; 8];
+            // SAFETY: `simd_active` implies AVX2 was detected at
+            // runtime; widths were asserted above.
+            unsafe { dot8_pairs_avx2_raw(ga, gb, full, &mut lanes) };
+            for (p, l) in lanes.iter_mut().enumerate() {
+                let (a, b) = (ga[p], gb[p]);
+                for (j, i) in (full..n).enumerate() {
+                    l[j] += a[i] * b[i];
+                }
+                out[idx + p] = reduce_lanes(*l);
+            }
+            idx += 8;
+        }
+    }
+    for p in idx..pa.len() {
+        out[p] = dot_chunked(pa[p], pb[p]);
+    }
+}
+
+/// The chunked-scalar path of [`dot_pairs_chunked`], for the
+/// bit-identity property tests and the scalar backend. Same shape
+/// contract as the dispatched kernel.
+pub fn dot_pairs_chunked_scalar(pa: &[&[f32]], pb: &[&[f32]], out: &mut [f32]) {
+    assert_pair_widths(pa, pb, out);
+    for ((a, b), o) in pa.iter().zip(pb).zip(out) {
+        *o = dot_chunked_scalar(a, b);
+    }
+}
+
+/// Batched L2 norms of equally-wide rows, eight rows per SIMD pass:
+/// `out[i] = l2_norm_chunked(rows[i])` bit for bit (self-dot in the
+/// frozen lane order, then `sqrt`), with the whole row group's chunk
+/// loop amortising the dispatch overhead a norm-per-call loop pays.
+///
+/// # Panics
+///
+/// Panics if `rows` and `out` differ in length or any row differs in
+/// width from the first.
+pub fn l2_norms_chunked(rows: &[&[f32]], out: &mut [f32]) {
+    let n = assert_pair_widths(rows, rows, out);
+    let full = n / 8 * 8;
+    let mut idx = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        while idx + 8 <= rows.len() {
+            let group: &[&[f32]; 8] = rows[idx..idx + 8].try_into().unwrap();
+            let mut lanes = [[0.0f32; 8]; 8];
+            // SAFETY: `simd_active` implies AVX2 was detected at
+            // runtime; widths were asserted above.
+            unsafe { norms8_lanes_avx2_raw(group, full, &mut lanes) };
+            for (r, l) in lanes.iter_mut().enumerate() {
+                let row = group[r];
+                for (j, i) in (full..n).enumerate() {
+                    l[j] += row[i] * row[i];
+                }
+                out[idx + r] = reduce_lanes(*l).sqrt();
+            }
+            idx += 8;
+        }
+    }
+    for r in idx..rows.len() {
+        out[r] = dot_chunked(rows[r], rows[r]).sqrt();
+    }
+}
+
+/// The chunked-scalar path of [`l2_norms_chunked`], for the
+/// bit-identity property tests and the scalar backend.
+pub fn l2_norms_chunked_scalar(rows: &[&[f32]], out: &mut [f32]) {
+    assert_pair_widths(rows, rows, out);
+    for (row, o) in rows.iter().zip(out) {
+        *o = dot_chunked_scalar(row, row).sqrt();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched INT8 fake-quantise kernel
+//
+// The per-row round trip `dequantize(quantize(v))` is two pure
+// per-element maps plus one absmax reduction — nothing accumulates
+// across elements except the max, and max over absolute values is
+// order-independent (ties are identical bits, NaN inputs are ignored by
+// both `f32::max` and the `maxps` orientation used below). The SIMD
+// path therefore needs no re-baseline: it reproduces the sequential
+// reference bit for bit, including Rust's round-half-away-from-zero
+// (`f32::round`) semantics, which `roundps` lacks — ties are detected
+// exactly (|x − rne(x)| = 0.5 ⇔ x is a half-integer, and that
+// subtraction is exact by Sterbenz) and pulled away from zero.
+// ---------------------------------------------------------------------
+
+/// Absmax reduction of the per-row INT8 scale, runtime-dispatched like
+/// [`dot_chunked`]. Bit-identical to the sequential
+/// `fold(0.0, |m, v| m.max(v.abs()))` reference on every input.
+pub fn quant_absmax(values: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2 was detected at runtime.
+        return unsafe { absmax_avx2_raw(values) };
+    }
+    quant_absmax_scalar(values)
+}
+
+/// The sequential-fold reference of [`quant_absmax`].
+pub fn quant_absmax_scalar(values: &[f32]) -> f32 {
+    values.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// In-place INT8 fake-quantise of one row at a known `scale`:
+/// `v ← (round(v/scale).clamp(−127, 127) as i8) as f32 · scale`,
+/// runtime-dispatched. The SIMD path runs the whole row batched and is
+/// bit-identical to the scalar round trip on every input (the integer
+/// conversion collapses `−0.0` and NaN exactly like the `as i8` cast).
+pub fn int8_round_fill(values: &mut [f32], scale: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if simd_active() {
+        // SAFETY: `simd_active` implies AVX2 was detected at runtime.
+        unsafe { int8_round_fill_avx2_raw(values, scale) };
+        return;
+    }
+    int8_round_fill_scalar(values, scale);
+}
+
+/// The per-element scalar reference of [`int8_round_fill`] — verbatim
+/// `QuantParams::dequantize(QuantParams::quantize(v))` arithmetic.
+pub fn int8_round_fill_scalar(values: &mut [f32], scale: f32) {
+    for v in values.iter_mut() {
+        let q = (*v / scale).round().clamp(-127.0, 127.0) as i8;
+        *v = q as f32 * scale;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -756,12 +999,188 @@ mod avx2 {
             *v = crate::half::round_to_f16(*v);
         }
     }
+
+    /// Eight-candidate dot batch: per candidate `c`, the 8-lane partial
+    /// sums of `a · bs[c]` accumulated in the frozen [`dot_chunked`]
+    /// lane order (`super::dot_chunked`). Each 8-wide chunk of `a` is
+    /// loaded once and shared across the eight independent accumulator
+    /// registers. The caller finishes each candidate with the shared
+    /// scalar tail + reduction tree. `a.len()` must be a multiple of 8
+    /// and every `bs[c]` at least as long as `a`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8_lanes_avx2_raw(
+        a: &[f32],
+        bs: &[&[f32]; 8],
+        lanes: &mut [[f32; 8]; 8],
+    ) {
+        debug_assert_eq!(a.len() % 8, 0);
+        for b in bs {
+            debug_assert!(b.len() >= a.len());
+        }
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for (v, l) in acc.iter_mut().zip(lanes.iter()) {
+            *v = _mm256_loadu_ps(l.as_ptr());
+        }
+        for ci in 0..a.len() / 8 {
+            let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
+            for (v, b) in acc.iter_mut().zip(bs.iter()) {
+                let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+                *v = _mm256_add_ps(*v, _mm256_mul_ps(va, vb));
+            }
+        }
+        for (v, l) in acc.iter().zip(lanes.iter_mut()) {
+            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+        }
+    }
+
+    /// Eight-pair dot batch: per pair `i`, the 8-lane partial sums of
+    /// `pa[i] · pb[i]` accumulated in the frozen `dot_chunked` lane
+    /// order. Unlike [`dot8_lanes_avx2_raw`] nothing is shared between
+    /// the pairs; the batching keeps eight independent accumulator
+    /// registers in flight and amortises the call overhead. The caller
+    /// finishes each pair with the shared scalar tail + reduction
+    /// tree. `len8` must be a multiple of 8 and no slice shorter.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8_pairs_avx2_raw(
+        pa: &[&[f32]; 8],
+        pb: &[&[f32]; 8],
+        len8: usize,
+        lanes: &mut [[f32; 8]; 8],
+    ) {
+        debug_assert_eq!(len8 % 8, 0);
+        for (a, b) in pa.iter().zip(pb) {
+            debug_assert!(a.len() >= len8 && b.len() >= len8);
+        }
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for (v, l) in acc.iter_mut().zip(lanes.iter()) {
+            *v = _mm256_loadu_ps(l.as_ptr());
+        }
+        for ci in 0..len8 / 8 {
+            for ((v, a), b) in acc.iter_mut().zip(pa.iter()).zip(pb.iter()) {
+                let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
+                let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+                *v = _mm256_add_ps(*v, _mm256_mul_ps(va, vb));
+            }
+        }
+        for (v, l) in acc.iter().zip(lanes.iter_mut()) {
+            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+        }
+    }
+
+    /// Eight-row squared-norm batch: per row `r`, the 8-lane partial
+    /// sums of `rows[r] · rows[r]` in the frozen `dot_chunked` lane
+    /// order — [`dot8_pairs_avx2_raw`] with one load per chunk instead
+    /// of two. The caller adds the scalar tail, reduces and takes the
+    /// square root. `len8` must be a multiple of 8 and no row shorter.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn norms8_lanes_avx2_raw(
+        rows: &[&[f32]; 8],
+        len8: usize,
+        lanes: &mut [[f32; 8]; 8],
+    ) {
+        debug_assert_eq!(len8 % 8, 0);
+        for row in rows {
+            debug_assert!(row.len() >= len8);
+        }
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for (v, l) in acc.iter_mut().zip(lanes.iter()) {
+            *v = _mm256_loadu_ps(l.as_ptr());
+        }
+        for ci in 0..len8 / 8 {
+            for (v, row) in acc.iter_mut().zip(rows.iter()) {
+                let vr = _mm256_loadu_ps(row.as_ptr().add(ci * 8));
+                *v = _mm256_add_ps(*v, _mm256_mul_ps(vr, vr));
+            }
+        }
+        for (v, l) in acc.iter().zip(lanes.iter_mut()) {
+            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+        }
+    }
+
+    /// Absmax reduction matching `fold(0.0, |m, v| m.max(v.abs()))` bit
+    /// for bit: max over absolute values is order-independent for
+    /// non-NaN inputs (ties carry identical bits, `abs` erases `−0.0`),
+    /// and the `maxps` operand orientation below returns the
+    /// accumulator when the fresh lane is NaN — the same
+    /// NaN-is-ignored behaviour as `f32::max`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn absmax_avx2_raw(values: &[f32]) -> f32 {
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let mut acc = _mm256_setzero_ps();
+        let chunks = values.len() / 8;
+        for ci in 0..chunks {
+            let v = _mm256_loadu_ps(values.as_ptr().add(ci * 8));
+            // maxps returns the SECOND operand when the first is NaN.
+            acc = _mm256_max_ps(_mm256_andnot_ps(sign_mask, v), acc);
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+        for v in &values[chunks * 8..] {
+            m = m.max(v.abs());
+        }
+        m
+    }
+
+    /// Whole-row INT8 fake-quantise round trip at a fixed `scale`,
+    /// emulating Rust's round-half-away-from-zero: `roundps` rounds to
+    /// nearest-even, so exact ties (|x − rne(x)| = 0.5, a subtraction
+    /// exact by Sterbenz) are pulled away from zero with
+    /// `x + copysign(0.5, x)` — exact because tied x are half-integers
+    /// well under 2²³. The `cvtps_epi32`/`cvtepi32_ps` round trip
+    /// mirrors the scalar `as i8` cast (collapses `−0.0`, exact for
+    /// integral values ≤ 127), and the unordered-compare blend zeroes
+    /// NaN inputs just like the saturating NaN→0 cast.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn int8_round_fill_avx2_raw(values: &mut [f32], scale: f32) {
+        let vscale = _mm256_set1_ps(scale);
+        let half = _mm256_set1_ps(0.5);
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let hi = _mm256_set1_ps(127.0);
+        let lo = _mm256_set1_ps(-127.0);
+        let chunks = values.len() / 8;
+        let ptr = values.as_mut_ptr();
+        for ci in 0..chunks {
+            let v = _mm256_loadu_ps(ptr.add(ci * 8));
+            let x = _mm256_div_ps(v, vscale);
+            let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(x);
+            let d = _mm256_sub_ps(x, r);
+            let tie = _mm256_cmp_ps::<_CMP_EQ_OQ>(_mm256_andnot_ps(sign_mask, d), half);
+            let away = _mm256_add_ps(x, _mm256_or_ps(half, _mm256_and_ps(x, sign_mask)));
+            let rounded = _mm256_blendv_ps(r, away, tie);
+            let clamped = _mm256_max_ps(_mm256_min_ps(rounded, hi), lo);
+            let q = _mm256_cvtepi32_ps(_mm256_cvtps_epi32(clamped));
+            let is_nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+            let q = _mm256_andnot_ps(is_nan, q);
+            _mm256_storeu_ps(ptr.add(ci * 8), _mm256_mul_ps(q, vscale));
+        }
+        for v in &mut values[chunks * 8..] {
+            let q = (*v / scale).round().clamp(-127.0, 127.0) as i8;
+            *v = q as f32 * scale;
+        }
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
 use avx2::{
-    box_muller_fill_avx2_raw, cos_fill_avx2_raw, dot_lanes_avx2_raw, f16_round_fill_f16c_raw,
-    ln_fill_avx2_raw,
+    absmax_avx2_raw, box_muller_fill_avx2_raw, cos_fill_avx2_raw, dot8_lanes_avx2_raw,
+    dot8_pairs_avx2_raw, dot_lanes_avx2_raw, f16_round_fill_f16c_raw, int8_round_fill_avx2_raw,
+    ln_fill_avx2_raw, norms8_lanes_avx2_raw,
 };
 
 #[cfg(test)]

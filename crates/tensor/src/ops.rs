@@ -8,21 +8,23 @@
 
 use crate::matrix::Matrix;
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices. Delegates to the
+/// runtime-dispatched chunked kernel ([`crate::math::dot_chunked`]), so
+/// every dot in the workspace accumulates in the same frozen lane
+/// order regardless of entry point.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::math::dot_chunked(a, b)
 }
 
-/// Euclidean (L2) norm of a slice.
+/// Euclidean (L2) norm of a slice, via the chunked dot kernel.
 #[inline]
 pub fn l2_norm(a: &[f32]) -> f32 {
-    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+    crate::math::l2_norm_chunked(a)
 }
 
 /// Cosine similarity between two vectors: `a·b / (‖a‖‖b‖)`.
@@ -44,16 +46,7 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 /// assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
 /// ```
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
-    let na = l2_norm(a);
-    let nb = l2_norm(b);
-    if na == 0.0 && nb == 0.0 {
-        return 1.0;
-    }
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    crate::math::cosine_with_norms_chunked(a, l2_norm(a), b, l2_norm(b))
 }
 
 /// Cosine similarity using a caller-supplied precomputed norm for each
@@ -64,14 +57,7 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn cosine_similarity_with_norms(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
-    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
-    if na == 0.0 && nb == 0.0 {
-        return 1.0;
-    }
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    crate::math::cosine_with_norms_chunked(a, na, b, nb)
 }
 
 /// Numerically stable softmax over a slice, in place.
@@ -162,14 +148,25 @@ pub fn vector_ranges(len: usize, vector_len: usize) -> Vec<core::ops::Range<usiz
 /// wins). This is the functional specification the streaming top-k bubble
 /// sorter is tested against.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
+    let cmp = |a: &usize, b: &usize| {
+        scores[*b]
+            .partial_cmp(&scores[*a])
             .unwrap_or(core::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
+            .then(a.cmp(b))
+    };
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < idx.len() {
+        // Partial selection: O(n) to split off the k best, then sort
+        // only those. The index tiebreak makes `cmp` a strict total
+        // order (comparable scores never leave ties), so the selected
+        // prefix and its sorted order match the old full sort exactly.
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
     idx
 }
 
@@ -284,6 +281,11 @@ mod tests {
         assert_eq!(top_k_indices(&scores, 3), vec![1, 2, 3]);
         assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
         assert_eq!(top_k_indices(&scores, 10).len(), 4, "k clamps to len");
+        // A tie straddling the selection boundary: lower index wins the
+        // last slot, and the kept prefix comes back fully ordered.
+        let many = [5.0, 1.0, 3.0, 3.0, 2.0, 3.0, 4.0, 0.0];
+        assert_eq!(top_k_indices(&many, 4), vec![0, 6, 2, 3]);
+        assert_eq!(top_k_indices(&many, 8), vec![0, 6, 2, 3, 5, 4, 1, 7]);
     }
 
     #[test]

@@ -167,6 +167,22 @@ pub fn fake_quantize_in_place(m: &mut Matrix) {
     }
 }
 
+/// Batched, runtime-dispatched [`fake_quantize_in_place`]: the per-row
+/// absmax scale comes from [`crate::math::quant_absmax`] and the
+/// quantise + dequantise round trip runs over the whole row through
+/// [`crate::math::int8_round_fill`]. Bit-identical to the sequential
+/// reference on every input — absmax is an order-independent reduction
+/// and the round trip is a pure per-element map (see the kernel docs
+/// for the round-half-away-from-zero and NaN/`−0.0` parity argument).
+pub fn fake_quantize_in_place_batched(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let absmax = crate::math::quant_absmax(row);
+        let scale = if absmax == 0.0 { 1.0 } else { absmax / 127.0 };
+        crate::math::int8_round_fill(row, scale);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +249,30 @@ mod tests {
         let mut in_place = m.clone();
         fake_quantize_in_place(&mut in_place);
         assert_eq!(in_place, reference);
+    }
+
+    #[test]
+    fn batched_fake_quantize_matches_reference() {
+        // Widths straddling the 8-lane boundary, plus awkward values:
+        // exact ties, zeros, negatives, and a constant row.
+        for cols in [1usize, 7, 8, 9, 24, 65] {
+            let m = Matrix::from_fn(5, cols, |r, c| match (r, c % 5) {
+                (4, _) => 3.25,
+                (_, 0) => 0.0,
+                (r, k) => ((r * 37 + k * 11) as f32 - 40.0) / 6.5,
+            });
+            let mut reference = m.clone();
+            fake_quantize_in_place(&mut reference);
+            let mut batched = m.clone();
+            fake_quantize_in_place_batched(&mut batched);
+            for (a, b) in reference.as_slice().iter().zip(batched.as_slice()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batched path diverged ({cols} cols)"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,11 @@
 
 use focus_tensor::math::{
     box_muller_fill, box_muller_fill_scalar, cos_phase24_fill, cos_phase24_fill_scalar,
-    cosine_with_norms_chunked, dot_chunked, dot_chunked_scalar, f16_round_fill,
-    f16_round_fill_scalar, fixed_ln, force_scalar, l2_norm_chunked, ln_fill, ln_fill_scalar,
-    normal_from_raw, splitmix_mix, GAMMA,
+    cosine_with_norms_chunked, dot_chunked, dot_chunked_scalar, dot_multi_chunked,
+    dot_multi_chunked_scalar, dot_pairs_chunked, dot_pairs_chunked_scalar, f16_round_fill,
+    f16_round_fill_scalar, fixed_ln, force_scalar, int8_round_fill, int8_round_fill_scalar,
+    l2_norm_chunked, l2_norms_chunked, l2_norms_chunked_scalar, ln_fill, ln_fill_scalar,
+    normal_from_raw, quant_absmax, quant_absmax_scalar, splitmix_mix, GAMMA,
 };
 use proptest::prelude::*;
 
@@ -164,6 +166,139 @@ proptest! {
             prop_assert_eq!(cos, 0.0);
         } else {
             prop_assert!((-1.0..=1.0).contains(&cos));
+        }
+    }
+
+    /// Scalar ≡ dispatched for the candidate-batched multi-dot the
+    /// gather matcher scores with: every candidate's dot must equal the
+    /// single-candidate chunked-scalar kernel bit for bit, across every
+    /// width tail, candidate count (sweeping the 8-candidate group
+    /// boundary) and a wide magnitude spread.
+    #[test]
+    fn dot_multi_paths_are_bit_identical(
+        row in proptest::collection::vec(-8.0f32..8.0, 0..70),
+        n_cands in 0usize..20,
+        seed in 0u32..1000,
+        exp in -20i32..20,
+    ) {
+        let scale = (exp as f32).exp2();
+        let width = row.len();
+        let cands: Vec<Vec<f32>> = (0..n_cands)
+            .map(|c| {
+                (0..width)
+                    .map(|i| {
+                        let h = (c * 131 + i * 31 + seed as usize) % 97;
+                        (h as f32 / 48.5 - 1.0) * scale
+                    })
+                    .collect()
+            })
+            .collect();
+        let views: Vec<&[f32]> = cands.iter().map(|c| c.as_slice()).collect();
+
+        let mut scalar = vec![0.0f32; n_cands];
+        dot_multi_chunked_scalar(&row, &views, &mut scalar);
+        for (c, got) in scalar.iter().enumerate() {
+            prop_assert_eq!(got.to_bits(), dot_chunked_scalar(&row, views[c]).to_bits());
+        }
+
+        let mut dispatched = vec![0.0f32; n_cands];
+        dot_multi_chunked(&row, &views, &mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "multi-dot dispatched vs scalar");
+    }
+
+    /// Scalar ≡ dispatched for the independent-pair dot batch and the
+    /// batched row norms, across pair counts sweeping the 8-group
+    /// boundary and widths sweeping every SIMD tail length. Each pair
+    /// must also match its own single [`dot_chunked_scalar`] — the
+    /// batching is bit-invisible per pair.
+    #[test]
+    fn pair_kernel_paths_are_bit_identical(
+        width in 0usize..70,
+        n_pairs in 0usize..20,
+        seed in 0u32..1000,
+        exp in -20i32..20,
+    ) {
+        let scale = (exp as f32).exp2();
+        let fill = |p: usize, side: usize| -> Vec<f32> {
+            (0..width)
+                .map(|i| {
+                    let h = (p * 131 + side * 53 + i * 31 + seed as usize) % 97;
+                    (h as f32 / 48.5 - 1.0) * scale
+                })
+                .collect()
+        };
+        let left: Vec<Vec<f32>> = (0..n_pairs).map(|p| fill(p, 0)).collect();
+        let right: Vec<Vec<f32>> = (0..n_pairs).map(|p| fill(p, 1)).collect();
+        let pa: Vec<&[f32]> = left.iter().map(|r| r.as_slice()).collect();
+        let pb: Vec<&[f32]> = right.iter().map(|r| r.as_slice()).collect();
+
+        let mut scalar = vec![0.0f32; n_pairs];
+        dot_pairs_chunked_scalar(&pa, &pb, &mut scalar);
+        for (p, got) in scalar.iter().enumerate() {
+            prop_assert_eq!(got.to_bits(), dot_chunked_scalar(pa[p], pb[p]).to_bits());
+        }
+        let mut dispatched = vec![0.0f32; n_pairs];
+        dot_pairs_chunked(&pa, &pb, &mut dispatched);
+        assert_bits_eq(&dispatched, &scalar, "pair-dot dispatched vs scalar");
+
+        let mut scalar_norms = vec![0.0f32; n_pairs];
+        l2_norms_chunked_scalar(&pa, &mut scalar_norms);
+        for (p, got) in scalar_norms.iter().enumerate() {
+            prop_assert_eq!(
+                got.to_bits(),
+                dot_chunked_scalar(pa[p], pa[p]).sqrt().to_bits()
+            );
+        }
+        let mut dispatched_norms = vec![0.0f32; n_pairs];
+        l2_norms_chunked(&pa, &mut dispatched_norms);
+        assert_bits_eq(
+            &dispatched_norms,
+            &scalar_norms,
+            "batched norms dispatched vs scalar",
+        );
+    }
+
+    /// Scalar ≡ dispatched for the quantiser's absmax reduction and the
+    /// whole-row int8 round-trip, over raw 32-bit patterns — normals,
+    /// subnormals, signed zeros, infinities and NaNs must all reduce
+    /// and round identically (`f32::max` drops NaN from the absmax and
+    /// the saturating `as i8` cast quantises it to zero).
+    #[test]
+    fn int8_round_trip_paths_are_bit_identical(
+        patterns in proptest::collection::vec(0u32..u32::MAX, 1..70),
+        exp in -30i32..30,
+    ) {
+        let xs: Vec<f32> = patterns.iter().map(|&b| f32::from_bits(b)).collect();
+
+        let absmax = quant_absmax(&xs);
+        prop_assert_eq!(absmax.to_bits(), quant_absmax_scalar(&xs).to_bits());
+
+        let scale = (exp as f32).exp2();
+        let mut scalar = xs.clone();
+        int8_round_fill_scalar(&mut scalar, scale);
+        let mut dispatched = xs;
+        int8_round_fill(&mut dispatched, scale);
+        assert_bits_eq(&dispatched, &scalar, "int8 round dispatched vs scalar");
+    }
+
+    /// The int8 rounder's half-integer ties break away from zero on
+    /// every path, exactly like `f32::round`.
+    #[test]
+    fn int8_round_breaks_ties_away_from_zero(
+        halves in proptest::collection::vec(-255i32..=255, 1..40),
+        exp in -8i32..8,
+    ) {
+        let scale = (exp as f32).exp2();
+        // v/scale lands exactly on k + 0.5 for odd h = 2k+1.
+        let xs: Vec<f32> = halves.iter().map(|&h| h as f32 / 2.0 * scale).collect();
+        let mut scalar = xs.clone();
+        int8_round_fill_scalar(&mut scalar, scale);
+        let mut dispatched = xs.clone();
+        int8_round_fill(&mut dispatched, scale);
+        assert_bits_eq(&dispatched, &scalar, "int8 ties dispatched vs scalar");
+        for (&h, got) in halves.iter().zip(&scalar) {
+            let code = (h as f32 / 2.0).round().clamp(-127.0, 127.0);
+            prop_assert_eq!(got.to_bits(), (code * scale).to_bits());
         }
     }
 

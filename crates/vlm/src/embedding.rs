@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+use focus_tensor::backend::{self, BackendHandle, KernelLaunch};
 use focus_tensor::Matrix;
 
 use crate::dataset::RedundancyProfile;
@@ -159,6 +160,21 @@ impl SplitMix64 {
             .0
             .wrapping_add(focus_tensor::math::GAMMA.wrapping_mul(2 * out.len() as u64));
     }
+
+    /// [`SplitMix64::fill_normals`] through an explicit [`Backend`]
+    /// handle — the synthesis-fill kernel the stage pipeline
+    /// dispatches. The generator advances identically whatever the
+    /// backend does (the trace backend zero-fills without numeric
+    /// work; the numeric backends are bit-identical to each other).
+    ///
+    /// [`Backend`]: focus_tensor::backend::Backend
+    #[inline]
+    pub fn fill_normals_with(&mut self, backend: BackendHandle, out: &mut [f32]) {
+        backend.normal_fill(self.0, out);
+        self.0 = self
+            .0
+            .wrapping_add(focus_tensor::math::GAMMA.wrapping_mul(2 * out.len() as u64));
+    }
 }
 
 /// The deterministic group-stability law of activation synthesis:
@@ -289,6 +305,9 @@ pub struct ActivationSynthesizer<'a> {
     redundancy: RedundancyProfile,
     seed: u64,
     layers: usize,
+    /// Kernel backend every normal fill routes through (and the sink
+    /// for synthesis-launch records).
+    backend: BackendHandle,
     cache_salt: u64,
     appearance_cache: HashMap<(ContentKey, usize), Vec<f32>, FnvBuild>,
     /// Per-(content, width) group-stability flags — a pure function of
@@ -308,10 +327,18 @@ impl<'a> ActivationSynthesizer<'a> {
             redundancy,
             seed,
             layers,
+            backend: backend::active(),
             cache_salt: u64::MAX,
             appearance_cache: HashMap::default(),
             stability_cache: HashMap::default(),
         }
+    }
+
+    /// Replaces the kernel backend (the process-wide
+    /// [`backend::active`] by default).
+    pub fn with_backend(mut self, backend: BackendHandle) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// The scene this synthesiser reads.
@@ -333,12 +360,13 @@ impl<'a> ActivationSynthesizer<'a> {
     /// Deterministic appearance vector of a content key at the current
     /// context, memoised.
     fn appearance(&mut self, key: ContentKey, width: usize, salt: u64) -> &[f32] {
+        let backend = self.backend;
         self.appearance_cache
             .entry((key, width))
             .or_insert_with(|| {
                 let mut rng = SplitMix64(key.stable_hash(salt));
                 let mut v = vec![0.0f32; width];
-                rng.fill_normals(&mut v);
+                rng.fill_normals_with(backend, &mut v);
                 v
             })
     }
@@ -459,7 +487,7 @@ impl<'a> ActivationSynthesizer<'a> {
         let noise_token = self.scene.global_token(token) as u64;
         for (g, _) in pattern.iter().enumerate().filter(|(_, &stable)| !stable) {
             let mut rng = SplitMix64(hash_words(salt ^ 0x0115E, &[noise_token, g as u64]));
-            rng.fill_normals(&mut noise);
+            rng.fill_normals_with(self.backend, &mut noise);
             for (v, &n) in out[g * GROUP..(g + 1) * GROUP].iter_mut().zip(&noise) {
                 *v += sigma * n;
             }
@@ -495,6 +523,10 @@ impl<'a> ActivationSynthesizer<'a> {
         out: &mut Matrix,
     ) {
         out.resize(tokens.len(), width);
+        self.backend.record(KernelLaunch::SynthFill {
+            rows: tokens.len(),
+            width,
+        });
         for (i, &t) in tokens.iter().enumerate() {
             let row_start = i; // rows are in `tokens` order
             self.token_row(t, layer, stage, out.row_mut(row_start));

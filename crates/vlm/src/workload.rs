@@ -198,6 +198,15 @@ impl Workload {
         )
     }
 
+    /// [`Workload::activation_synthesizer`] with an explicit kernel
+    /// backend instead of the process-wide default.
+    pub fn activation_synthesizer_on(
+        &self,
+        backend: focus_tensor::BackendHandle,
+    ) -> ActivationSynthesizer<'_> {
+        self.activation_synthesizer().with_backend(backend)
+    }
+
     /// An attention synthesiser borrowing this workload's scene, with
     /// the measured-scale head count.
     pub fn attention_synthesizer(&self) -> AttentionSynthesizer<'_> {

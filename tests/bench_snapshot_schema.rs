@@ -66,6 +66,13 @@ fn bench_snapshot_has_the_expected_shape() {
         "synthesis_only_s",
         "synthesis_batched_s",
         "synthesis_kernel_speedup",
+        "gather_phase_s",
+        "gather_phase_scalar_s",
+        "gather_kernel_speedup",
+        "gather_share",
+        "quantize_phase_s",
+        "quantize_phase_scalar_s",
+        "quantize_kernel_speedup",
         "speedup",
         "graph_vs_pipelined",
         "synthesis_share",
@@ -126,5 +133,26 @@ fn bench_snapshot_has_the_expected_shape() {
     assert!(
         field(&json, "synthesis_batched_s") <= field(&json, "synthesis_only_s"),
         "batched/scalar legs inconsistent with the recorded speedup"
+    );
+    // Re-baseline v4 (backend-dispatched stage kernels): the committed
+    // snapshot must show the dispatched gather-scoring and
+    // fake-quantise kernels at least as fast as the scalar oracle, and
+    // a gather share that is a genuine fraction of the staged walk.
+    assert!(
+        field(&json, "gather_kernel_speedup") >= 1.0,
+        "the dispatched gather-scoring leg must not be slower than the scalar oracle"
+    );
+    assert!(
+        field(&json, "gather_phase_s") <= field(&json, "gather_phase_scalar_s"),
+        "gather dispatched/scalar legs inconsistent with the recorded speedup"
+    );
+    let share = field(&json, "gather_share");
+    assert!(
+        share > 0.0 && share < 1.0,
+        "gather_share must be a fraction of the staged kernel walk, got {share}"
+    );
+    assert!(
+        field(&json, "quantize_kernel_speedup") >= 1.0,
+        "the dispatched fake-quantise leg must not be slower than the scalar oracle"
     );
 }
