@@ -124,6 +124,8 @@ impl Concentrator for CmcBaseline {
                     // compounds over the layers the token is absent
                     // (cos^1.8 ≈ per-layer drift accumulated).
                     let cos = focus_tensor::ops::cosine_similarity(acts.row(t), acts.row(prev));
+                    // focus-lint: allow(D1-libm) — the paper's CMC fidelity model, an f64
+                    // accuracy-reporting path; baselines are never bit-compared to Focus.
                     fidelity[t] = (cos.max(0.0) as f64).powf(1.8);
                 }
             }

@@ -514,7 +514,7 @@ impl<'w> LayerExecutor<'w> {
                             .collect();
                         tasks
                             .par_iter()
-                            .map(|(g, ws)| g.run(&ctx, &mut ws.lock().unwrap()))
+                            .map(|(g, ws)| g.run(&ctx, &mut lock_clean(ws)))
                             .collect::<Vec<StageOutput>>()
                     },
                     || {

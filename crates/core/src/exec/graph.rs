@@ -1213,7 +1213,7 @@ impl<'w> PipelineGraph<'w> {
 
     fn synth_task(&self, layer: usize, stage: usize, slot: usize) {
         let ws = self.exec.workspace(stage, slot);
-        self.exec.gather_stages()[stage].synth(&self.ctx(layer), &mut ws.lock().unwrap());
+        self.exec.gather_stages()[stage].synth(&self.ctx(layer), &mut lock_clean(ws));
     }
 
     fn gather_task(&self, layer: usize, stage: usize, slot: usize) {
@@ -1221,16 +1221,14 @@ impl<'w> PipelineGraph<'w> {
         let stats = match &self.temporal {
             Some(cache) => self.exec.gather_stages()[stage].gather_temporal(
                 &self.ctx(layer),
-                &mut ws.lock().unwrap(),
+                &mut lock_clean(ws),
                 cache,
                 stage,
             ),
-            None => {
-                self.exec.gather_stages()[stage].gather(&self.ctx(layer), &mut ws.lock().unwrap())
-            }
+            None => self.exec.gather_stages()[stage].gather(&self.ctx(layer), &mut lock_clean(ws)),
         };
         let stages_n = self.exec.gather_stages().len();
-        *self.gathered[layer * stages_n + stage].lock().unwrap() = Some(stats);
+        *lock_clean(&self.gathered[layer * stages_n + stage]) = Some(stats);
     }
 
     /// The pure half of the old `Fold` node: reduces the four gathers'
@@ -1244,15 +1242,13 @@ impl<'w> PipelineGraph<'w> {
         let stages_n = self.exec.gather_stages().len();
         let outputs: Vec<MatrixGatherStats> = (0..stages_n)
             .map(|s| {
-                self.gathered[layer * stages_n + s]
-                    .lock()
-                    .unwrap()
+                lock_clean(&self.gathered[layer * stages_n + s])
                     .take()
                     .expect("gather node ran")
             })
             .collect();
         fold_gathers(&mut record, outputs, input.retained.len());
-        *self.records[layer].lock().unwrap() = Some(record);
+        *lock_clean(&self.records[layer]) = Some(record);
     }
 
     /// The order-sensitive half: absorbs the layer's record into the
@@ -1262,15 +1258,13 @@ impl<'w> PipelineGraph<'w> {
     fn absorb_task(&self, layer: usize) {
         let input = self.input(layer);
         let record = if input.measured {
-            self.records[layer]
-                .lock()
-                .unwrap()
+            lock_clean(&self.records[layer])
                 .take()
                 .expect("FoldStats node ran")
         } else {
             LayerRecord::empty(input.retained_in, false, input.sec.clone())
         };
-        let mut accum = self.accum.lock().unwrap();
+        let mut accum = lock_clean(&self.accum);
         accum
             .as_mut()
             .expect("accum taken only at finish")
@@ -1282,7 +1276,7 @@ impl<'w> PipelineGraph<'w> {
         // the (expensive) lowering runs outside its lock — `Lower`
         // nodes of different layers stay concurrent.
         let (stats, prev) = {
-            let accum = self.accum.lock().unwrap();
+            let accum = lock_clean(&self.accum);
             let layer_stats = accum.as_ref().expect("accum live").layer_stats();
             (
                 layer_stats[layer].clone(),
@@ -1297,25 +1291,25 @@ impl<'w> PipelineGraph<'w> {
             &stats,
             prev.as_ref(),
         );
-        *self.lowered[layer].lock().unwrap() = Some(lowered);
+        *lock_clean(&self.lowered[layer]) = Some(lowered);
     }
 
     fn finish_task(&self) {
-        let accum = self.accum.lock().unwrap().take().expect("finish runs once");
+        let accum = lock_clean(&self.accum).take().expect("finish runs once");
         // The graph never discards work; the counter is patched from
         // the scheduler's stats at collection.
         let (run, buffers) = accum.finish_recycling(self.workload, 0);
-        *self.recycled.lock().unwrap() = Some(buffers);
+        *lock_clean(&self.recycled) = Some(buffers);
         let per_layer: Vec<LayerLowered> = self
             .lowered
             .iter()
-            .map(|slot| slot.lock().unwrap().take().expect("lower node ran"))
+            .map(|slot| lock_clean(slot).take().expect("lower node ran"))
             .collect();
         let result = self
             .pipeline
             .assemble(self.workload, self.arch, run, per_layer);
         let report = self.engine.map(|engine| engine.run(&result.work_items));
-        *self.result.lock().unwrap() = Some((result, report));
+        *lock_clean(&self.result) = Some((result, report));
     }
 
     /// Extracts the run's result without consuming the state (the

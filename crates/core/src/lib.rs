@@ -87,6 +87,12 @@
 //! assert_eq!(results.len(), 4);
 //! ```
 
+// Every unsafe operation must sit in an explicit `unsafe {}` block even
+// inside `unsafe fn`, so the `focus-lint` S1 pass (SAFETY comments on
+// every unsafe span) audits the true unsafe surface, not whole fn
+// bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod exec;
 pub mod pipeline;

@@ -1,0 +1,13 @@
+//! Fixture: a poison-unwrapping lock in exec/, split across lines the
+//! way rustfmt would actually break the chain.
+//! Expected: exactly one `L1-lock`.
+
+use std::sync::Mutex;
+
+pub fn drain(slot: &Mutex<Vec<u32>>) -> Vec<u32> {
+    std::mem::take(
+        &mut *slot
+            .lock()
+            .unwrap(),
+    )
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unsafe block with no `// SAFETY:` comment.
+//! Expected: exactly one `S1-safety`.
+
+pub fn first_byte(p: *const u8) -> u8 {
+    unsafe { p.read() }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a reference to a `#[target_feature]` fn from outside its
+//! defining dispatch module — the call may execute on a CPU the
+//! runtime check never cleared.
+//! Expected: exactly one `S1-dispatch` (the SAFETY comment satisfies
+//! `S1-safety`, isolating the containment rule).
+
+pub fn run(x: f32) -> f32 {
+    // SAFETY: wrong — feature detection belongs to the dispatch module.
+    unsafe { lanes9_fixture(x) }
+}

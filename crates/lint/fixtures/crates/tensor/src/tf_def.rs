@@ -1,0 +1,10 @@
+//! Fixture: a correctly-declared `#[target_feature]` kernel. This file
+//! itself is clean; the violation lives in the cross-file caller
+//! (`crates/core/src/tf_caller.rs`).
+
+/// # Safety
+/// Requires AVX2 at runtime.
+#[target_feature(enable = "avx2")]
+pub unsafe fn lanes9_fixture(x: f32) -> f32 {
+    x + 9.0
+}

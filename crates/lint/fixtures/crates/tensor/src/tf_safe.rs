@@ -1,0 +1,8 @@
+//! Fixture: a safe `#[target_feature]` fn — the safe signature hides
+//! the CPU-support contract from callers.
+//! Expected: exactly one `S1-dispatch`.
+
+#[target_feature(enable = "avx2")]
+fn gathered8(xs: &[f32; 8]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a fused multiply-add outside the math allowlist.
+//! Expected: exactly one `D1-fma` on the marked line.
+
+pub fn horner(x: f32, c0: f32, c1: f32) -> f32 {
+    x.mul_add(c1, c0)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a platform-libm transcendental outside the allowlist.
+//! Expected: exactly one `D1-libm`. The same call in the string and in
+//! this comment — .exp() — must NOT fire.
+
+pub fn softmax_denominator(x: f32) -> f32 {
+    let _doc = "x.exp() in a string is not code";
+    x.exp()
+}

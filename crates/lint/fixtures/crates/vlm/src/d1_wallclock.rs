@@ -1,0 +1,6 @@
+//! Fixture: a wall-clock read outside sim/bench/test code.
+//! Expected: exactly one `D1-wallclock`.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

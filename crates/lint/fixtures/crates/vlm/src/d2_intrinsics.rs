@@ -1,0 +1,6 @@
+//! Fixture: SIMD imports outside `crates/tensor/src/{math,backend}.rs`.
+//! Expected: exactly one `D2-intrinsics` (the glob import keeps the
+//! `_mm` pattern from double-firing on the same line).
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;

@@ -1,0 +1,7 @@
+//! Fixture: a reasonless waiver — it does not shield, and is itself
+//! reported.
+//! Expected: one `D1-libm` (unshielded) plus one `W1-malformed-waiver`.
+
+pub fn entropy_term(p: f64) -> f64 {
+    p.ln() // focus-lint: allow(D1-libm)
+}

@@ -1,0 +1,12 @@
+//! Fixture: a live, reasoned waiver in both positions.
+//! Expected: zero violations — the hits are shielded and both waivers
+//! are used.
+
+pub fn norm(x: f32) -> f32 {
+    x.sqrt() // focus-lint: allow(D1-libm) — IEEE 754 sqrt is correctly rounded
+}
+
+pub fn log_score(x: f64) -> f64 {
+    // focus-lint: allow(D1-libm) — f64 accuracy reporting, never bit-compared
+    x.ln()
+}

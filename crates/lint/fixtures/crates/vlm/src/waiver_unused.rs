@@ -1,0 +1,8 @@
+//! Fixture: a waiver whose violation was since fixed — it shields
+//! nothing and must be deleted.
+//! Expected: exactly one `W0-unused-waiver`.
+
+pub fn already_clean(x: f32) -> f32 {
+    // focus-lint: allow(D1-libm) — stale: the ln() call below was removed
+    x + 1.0
+}

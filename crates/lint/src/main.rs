@@ -1,0 +1,63 @@
+//! CI entry point: `cargo run -p focus-lint --release [ROOT]`.
+//!
+//! Prints `file:line: [rule] message` per violation and exits non-zero
+//! when the tree is dirty — or when zero files were scanned, so a
+//! mis-rooted invocation can never pass vacuously.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match focus_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("focus-lint: no workspace root above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let files = match focus_lint::collect_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("focus-lint: walking {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if files.is_empty() {
+        eprintln!(
+            "focus-lint: scanned 0 files under {} — wrong root?",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let violations = match focus_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("focus-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "focus-lint: {} files clean (rules: {})",
+            files.len(),
+            focus_lint::RULE_IDS.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "focus-lint: {} violation(s) in {} files",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -226,6 +226,8 @@ impl Backend for ScalarRef {
     }
 
     fn row_norm(&self, row: &[f32]) -> f32 {
+        // focus-lint: allow(D1-libm) — IEEE 754 sqrt is correctly rounded; the oracle keeps
+        // the exact frozen op order of math::l2_norms_chunked (chunked dot, then sqrt).
         math::dot_chunked_scalar(row, row).sqrt()
     }
 

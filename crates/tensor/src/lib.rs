@@ -41,6 +41,12 @@
 //!
 //! [HPCA 2026]: https://arxiv.org/abs/2512.14661
 
+// Every unsafe operation must sit in an explicit `unsafe {}` block even
+// inside `unsafe fn`, so the `focus-lint` S1 pass (SAFETY comments on
+// every unsafe span) audits the true unsafe surface, not whole fn
+// bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod backend;
 pub mod half;
 pub mod math;

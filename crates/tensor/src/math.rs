@@ -800,7 +800,9 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn radius8(k: &[u32; 8]) -> __m256 {
         let one = _mm256_set1_ps(1.0);
-        let kv = _mm256_loadu_si256(k.as_ptr() as *const __m256i);
+        // SAFETY: `k` is a `[u32; 8]` — exactly 32 readable bytes, and
+        // `loadu` has no alignment requirement.
+        let kv = unsafe { _mm256_loadu_si256(k.as_ptr() as *const __m256i) };
         let x = _mm256_cvtepi32_ps(kv); // exact: k ≤ 2²⁴ < 2³¹
         let bits = _mm256_castps_si256(x);
         let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
@@ -837,10 +839,10 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn cos8(p: &[u32; 8]) -> __m256 {
         let zero = _mm256_setzero_si256();
-        let pv = _mm256_and_si256(
-            _mm256_loadu_si256(p.as_ptr() as *const __m256i),
-            _mm256_set1_epi32(0x00FF_FFFF),
-        );
+        // SAFETY: `p` is a `[u32; 8]` — exactly 32 readable bytes, and
+        // `loadu` has no alignment requirement.
+        let raw = unsafe { _mm256_loadu_si256(p.as_ptr() as *const __m256i) };
+        let pv = _mm256_and_si256(raw, _mm256_set1_epi32(0x00FF_FFFF));
         let o = _mm256_srli_epi32(pv, 21);
         let h = _mm256_and_si256(o, _mm256_set1_epi32(1));
         let f21 = _mm256_and_si256(pv, _mm256_set1_epi32(0x001F_FFFF));
@@ -888,9 +890,14 @@ mod avx2 {
         let chunks = out.len() / 8;
         for ci in 0..chunks {
             let (k, p) = chunk_words(seed, ci * 8);
-            let r = radius8(&k);
-            let c = cos8(&p);
-            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), _mm256_mul_ps(r, c));
+            // SAFETY: `radius8`/`cos8` require AVX2 — this fn's own
+            // contract — and the store hits lanes `ci*8..ci*8+8` with
+            // `ci < out.len() / 8`, so all 8 are in bounds.
+            unsafe {
+                let r = radius8(&k);
+                let c = cos8(&p);
+                _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), _mm256_mul_ps(r, c));
+            }
         }
         // Scalar tail: bit-identical by construction, so chunk
         // boundaries are invisible in the output.
@@ -909,7 +916,9 @@ mod avx2 {
         let one = _mm256_set1_ps(1.0);
         let chunks = xs.len() / 8;
         for ci in 0..chunks {
-            let x = _mm256_loadu_ps(xs.as_ptr().add(ci * 8));
+            // SAFETY: `ci < xs.len() / 8`, so lanes `ci*8..ci*8+8` are
+            // in bounds of `xs`.
+            let x = unsafe { _mm256_loadu_ps(xs.as_ptr().add(ci * 8)) };
             let bits = _mm256_castps_si256(x);
             let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
             let e = _mm256_sub_epi32(_mm256_srli_epi32(bits, 23), _mm256_set1_epi32(127));
@@ -931,7 +940,10 @@ mod avx2 {
             let ln1p = _mm256_mul_ps(_mm256_add_ps(s, s), t);
             let ef = _mm256_cvtepi32_ps(e);
             let r = _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(LN2), ef), ln1p);
-            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), r);
+            // SAFETY: every dispatch caller passes `out` at least as
+            // long as `xs` (the shared tail below indexes it safely to
+            // `xs.len()`), so the 8 stored lanes are in bounds.
+            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), r) };
         }
         for i in chunks * 8..xs.len() {
             out[i] = fixed_ln(xs[i]);
@@ -946,8 +958,13 @@ mod avx2 {
         for ci in 0..chunks {
             let mut p = [0u32; 8];
             p.copy_from_slice(&ps[ci * 8..ci * 8 + 8]);
-            let c = cos8(&p);
-            _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), c);
+            // SAFETY: `cos8` requires AVX2 — this fn's own contract —
+            // and every dispatch caller passes `out` at least as long
+            // as `ps`, so lanes `ci*8..ci*8+8` are in bounds.
+            unsafe {
+                let c = cos8(&p);
+                _mm256_storeu_ps(out.as_mut_ptr().add(ci * 8), c);
+            }
         }
         for i in chunks * 8..ps.len() {
             out[i] = fixed_cos_phase24(ps[i]);
@@ -966,13 +983,23 @@ mod avx2 {
     pub(super) unsafe fn dot_lanes_avx2_raw(a: &[f32], b: &[f32], lanes: &mut [f32; 8]) {
         debug_assert_eq!(a.len(), b.len());
         debug_assert_eq!(a.len() % 8, 0);
-        let mut acc = _mm256_loadu_ps(lanes.as_ptr());
+        // SAFETY: `lanes` is a `[f32; 8]` — exactly one register of
+        // readable/writable lanes.
+        let mut acc = unsafe { _mm256_loadu_ps(lanes.as_ptr()) };
         for ci in 0..a.len() / 8 {
-            let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
-            let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+            // SAFETY: the caller passes equal-length slices whose
+            // length is a multiple of 8 (asserted above in debug), so
+            // lanes `ci*8..ci*8+8` are in bounds of both.
+            let (va, vb) = unsafe {
+                (
+                    _mm256_loadu_ps(a.as_ptr().add(ci * 8)),
+                    _mm256_loadu_ps(b.as_ptr().add(ci * 8)),
+                )
+            };
             acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
         }
-        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        // SAFETY: same `[f32; 8]` as the load above.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     }
 
     /// # Safety
@@ -986,14 +1013,17 @@ mod avx2 {
         let chunks = values.len() / 8;
         let ptr = values.as_mut_ptr();
         for ci in 0..chunks {
-            let x = _mm256_loadu_ps(ptr.add(ci * 8));
+            // SAFETY: `ci < values.len() / 8`, so lanes `ci*8..ci*8+8`
+            // are in bounds.
+            let x = unsafe { _mm256_loadu_ps(ptr.add(ci * 8)) };
             let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(x);
             let r = _mm256_cvtph_ps(h);
             let xi = _mm256_castps_si256(x);
             let canon =
                 _mm256_castsi256_ps(_mm256_or_si256(_mm256_and_si256(xi, sign_bit), canon_nan));
             let is_nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
-            _mm256_storeu_ps(ptr.add(ci * 8), _mm256_blendv_ps(r, canon, is_nan));
+            // SAFETY: stores exactly the 8 lanes loaded above.
+            unsafe { _mm256_storeu_ps(ptr.add(ci * 8), _mm256_blendv_ps(r, canon, is_nan)) };
         }
         for v in &mut values[chunks * 8..] {
             *v = crate::half::round_to_f16(*v);
@@ -1022,17 +1052,23 @@ mod avx2 {
         }
         let mut acc = [_mm256_setzero_ps(); 8];
         for (v, l) in acc.iter_mut().zip(lanes.iter()) {
-            *v = _mm256_loadu_ps(l.as_ptr());
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            *v = unsafe { _mm256_loadu_ps(l.as_ptr()) };
         }
         for ci in 0..a.len() / 8 {
-            let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
+            // SAFETY: `a.len()` is a multiple of 8 (debug-asserted),
+            // so lanes `ci*8..ci*8+8` are in bounds.
+            let va = unsafe { _mm256_loadu_ps(a.as_ptr().add(ci * 8)) };
             for (v, b) in acc.iter_mut().zip(bs.iter()) {
-                let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+                // SAFETY: every `bs[c]` is at least as long as `a`
+                // (debug-asserted), so the same lanes are in bounds.
+                let vb = unsafe { _mm256_loadu_ps(b.as_ptr().add(ci * 8)) };
                 *v = _mm256_add_ps(*v, _mm256_mul_ps(va, vb));
             }
         }
         for (v, l) in acc.iter().zip(lanes.iter_mut()) {
-            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), *v) };
         }
     }
 
@@ -1059,17 +1095,26 @@ mod avx2 {
         }
         let mut acc = [_mm256_setzero_ps(); 8];
         for (v, l) in acc.iter_mut().zip(lanes.iter()) {
-            *v = _mm256_loadu_ps(l.as_ptr());
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            *v = unsafe { _mm256_loadu_ps(l.as_ptr()) };
         }
         for ci in 0..len8 / 8 {
             for ((v, a), b) in acc.iter_mut().zip(pa.iter()).zip(pb.iter()) {
-                let va = _mm256_loadu_ps(a.as_ptr().add(ci * 8));
-                let vb = _mm256_loadu_ps(b.as_ptr().add(ci * 8));
+                // SAFETY: `len8` is a multiple of 8 and no slice is
+                // shorter (debug-asserted), so lanes `ci*8..ci*8+8`
+                // are in bounds of both.
+                let (va, vb) = unsafe {
+                    (
+                        _mm256_loadu_ps(a.as_ptr().add(ci * 8)),
+                        _mm256_loadu_ps(b.as_ptr().add(ci * 8)),
+                    )
+                };
                 *v = _mm256_add_ps(*v, _mm256_mul_ps(va, vb));
             }
         }
         for (v, l) in acc.iter().zip(lanes.iter_mut()) {
-            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), *v) };
         }
     }
 
@@ -1093,16 +1138,21 @@ mod avx2 {
         }
         let mut acc = [_mm256_setzero_ps(); 8];
         for (v, l) in acc.iter_mut().zip(lanes.iter()) {
-            *v = _mm256_loadu_ps(l.as_ptr());
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            *v = unsafe { _mm256_loadu_ps(l.as_ptr()) };
         }
         for ci in 0..len8 / 8 {
             for (v, row) in acc.iter_mut().zip(rows.iter()) {
-                let vr = _mm256_loadu_ps(row.as_ptr().add(ci * 8));
+                // SAFETY: `len8` is a multiple of 8 and no row is
+                // shorter (debug-asserted), so lanes `ci*8..ci*8+8`
+                // are in bounds.
+                let vr = unsafe { _mm256_loadu_ps(row.as_ptr().add(ci * 8)) };
                 *v = _mm256_add_ps(*v, _mm256_mul_ps(vr, vr));
             }
         }
         for (v, l) in acc.iter().zip(lanes.iter_mut()) {
-            _mm256_storeu_ps(l.as_mut_ptr(), *v);
+            // SAFETY: each `l` is a `[f32; 8]` — one full register.
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), *v) };
         }
     }
 
@@ -1121,12 +1171,15 @@ mod avx2 {
         let mut acc = _mm256_setzero_ps();
         let chunks = values.len() / 8;
         for ci in 0..chunks {
-            let v = _mm256_loadu_ps(values.as_ptr().add(ci * 8));
+            // SAFETY: `ci < values.len() / 8`, so lanes `ci*8..ci*8+8`
+            // are in bounds.
+            let v = unsafe { _mm256_loadu_ps(values.as_ptr().add(ci * 8)) };
             // maxps returns the SECOND operand when the first is NaN.
             acc = _mm256_max_ps(_mm256_andnot_ps(sign_mask, v), acc);
         }
         let mut lanes = [0.0f32; 8];
-        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        // SAFETY: `lanes` is a `[f32; 8]` — one full register.
+        unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
         let mut m = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
         for v in &values[chunks * 8..] {
             m = m.max(v.abs());
@@ -1156,7 +1209,9 @@ mod avx2 {
         let chunks = values.len() / 8;
         let ptr = values.as_mut_ptr();
         for ci in 0..chunks {
-            let v = _mm256_loadu_ps(ptr.add(ci * 8));
+            // SAFETY: `ci < values.len() / 8`, so lanes `ci*8..ci*8+8`
+            // are in bounds.
+            let v = unsafe { _mm256_loadu_ps(ptr.add(ci * 8)) };
             let x = _mm256_div_ps(v, vscale);
             let r = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(x);
             let d = _mm256_sub_ps(x, r);
@@ -1167,7 +1222,8 @@ mod avx2 {
             let q = _mm256_cvtepi32_ps(_mm256_cvtps_epi32(clamped));
             let is_nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
             let q = _mm256_andnot_ps(is_nan, q);
-            _mm256_storeu_ps(ptr.add(ci * 8), _mm256_mul_ps(q, vscale));
+            // SAFETY: stores exactly the 8 lanes loaded above.
+            unsafe { _mm256_storeu_ps(ptr.add(ci * 8), _mm256_mul_ps(q, vscale)) };
         }
         for v in &mut values[chunks * 8..] {
             let q = (*v / scale).round().clamp(-127.0, 127.0) as i8;

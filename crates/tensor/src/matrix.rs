@@ -286,6 +286,8 @@ impl Matrix {
             .iter()
             .map(|v| (*v as f64).powi(2))
             .sum::<f64>()
+            // focus-lint: allow(D1-libm) — IEEE 754 sqrt is correctly rounded:
+            // bit-deterministic on every conforming platform.
             .sqrt() as f32
     }
 

@@ -390,7 +390,10 @@ impl<'a> ActivationSynthesizer<'a> {
                 // sqrt-weighted mix keeps unit variance; the expected
                 // cosine between two background patches is 1 - texture.
                 let texture = self.redundancy.bg_texture_var.clamp(0.0, 1.0);
+                // focus-lint: allow(D1-libm) — IEEE 754 sqrt is correctly rounded:
+                // bit-deterministic on every conforming platform.
                 let w_scene = ((1.0 - texture) as f32).sqrt();
+                // focus-lint: allow(D1-libm) — same correctly-rounded sqrt as above.
                 let w_pos = (texture as f32).sqrt();
                 let pos_app = self.appearance(patch.primary, width, salt);
                 for (o, &a) in out.iter_mut().zip(pos_app) {
@@ -404,7 +407,10 @@ impl<'a> ActivationSynthesizer<'a> {
             ContentKey::Object { epoch, object, .. } => {
                 // Objects mix a core identity with per-cell texture.
                 const OBJECT_TEXTURE: f32 = 0.7;
+                // focus-lint: allow(D1-libm) — IEEE 754 sqrt is correctly rounded:
+                // bit-deterministic on every conforming platform.
                 let w_core = (1.0 - OBJECT_TEXTURE).sqrt();
+                // focus-lint: allow(D1-libm) — same correctly-rounded sqrt as above.
                 let w_cell = OBJECT_TEXTURE.sqrt();
                 let core_key = ContentKey::Object {
                     epoch,

@@ -1,0 +1,36 @@
+//! Tier-1 gate: the tree is `focus-lint`-clean.
+//!
+//! The repo's bit-identity guarantees (serial = pipelined = graph,
+//! scalar = simd, batch = loop) rest on source-level invariants —
+//! transcendentals only in `focus_tensor::math`, kernels contained
+//! behind `BackendHandle`, `lock_clean` in the scheduler, SAFETY
+//! comments on every unsafe span. This test makes `cargo test -q`
+//! sufficient to hold them: a violation anywhere in the workspace
+//! fails here with the same `file:line: [rule] message` report the CI
+//! binary prints.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sources = focus_lint::collect_sources(root).expect("workspace readable");
+    // An empty walk would make a "clean" verdict vacuous; the
+    // workspace has ~100 first-party files.
+    assert!(
+        sources.len() >= 50,
+        "suspiciously few sources scanned ({}) — wrong root?",
+        sources.len()
+    );
+    let violations = focus_lint::lint_workspace(root).expect("workspace readable");
+    assert!(
+        violations.is_empty(),
+        "focus-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
