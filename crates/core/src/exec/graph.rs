@@ -88,6 +88,7 @@ use focus_vlm::Workload;
 
 use crate::exec::executor::{fold_gathers, ExecMode, LayerExecutor, LayerRecord};
 use crate::exec::stage::{LayerCtx, StageScratch};
+use crate::obs::spans::{Span, SpanKind, SpanLabel};
 use crate::pipeline::lower::LayerLowered;
 use crate::pipeline::measure::{MeasureAccum, MeasureBuffers};
 use crate::pipeline::{FocusPipeline, PipelineResult, SecLayerStats};
@@ -176,6 +177,9 @@ pub struct TaskId(usize);
 struct TaskNode<'s> {
     run: Box<dyn Fn() + Send + Sync + 's>,
     deps: Vec<usize>,
+    /// Observability identity, when the caller knows the node's role
+    /// ([`crate::obs::spans`] records labelled nodes only).
+    label: Option<SpanLabel>,
 }
 
 /// A directed acyclic graph of tasks. Nodes are closures over shared
@@ -199,12 +203,35 @@ impl<'s> TaskGraph<'s> {
     /// (later nodes may only depend on earlier ones, so graphs are
     /// acyclic by construction).
     pub fn add(&mut self, deps: &[TaskId], run: impl Fn() + Send + Sync + 's) -> TaskId {
+        self.add_inner(deps, None, Box::new(run))
+    }
+
+    /// [`TaskGraph::add`] with a span label: when tracing is on, every
+    /// execution of this node records a [`crate::obs::Span`] carrying
+    /// the label's kind/layer/stage. The pipeline planner labels its
+    /// nodes; unlabelled (plain `add`) nodes run untraced.
+    pub(crate) fn add_labeled(
+        &mut self,
+        deps: &[TaskId],
+        label: SpanLabel,
+        run: impl Fn() + Send + Sync + 's,
+    ) -> TaskId {
+        self.add_inner(deps, Some(label), Box::new(run))
+    }
+
+    fn add_inner(
+        &mut self,
+        deps: &[TaskId],
+        label: Option<SpanLabel>,
+        run: Box<dyn Fn() + Send + Sync + 's>,
+    ) -> TaskId {
         for d in deps {
             assert!(d.0 < self.nodes.len(), "dependency from another graph");
         }
         self.nodes.push(TaskNode {
-            run: Box::new(run),
+            run,
             deps: deps.iter().map(|d| d.0).collect(),
+            label,
         });
         TaskId(self.nodes.len() - 1)
     }
@@ -239,6 +266,8 @@ pub struct SchedStats {
 struct FlatNode<'s> {
     run: Box<dyn Fn() + Send + Sync + 's>,
     dependents: Vec<usize>,
+    /// Observability identity (see [`TaskGraph::add_labeled`]).
+    label: Option<SpanLabel>,
 }
 
 /// One admitted graph: the job-tagged unit the core tracks from
@@ -645,6 +674,7 @@ impl<'s> Core<'s> {
             nodes.push(FlatNode {
                 run: node.run,
                 dependents: Vec::new(),
+                label: node.label,
             });
         }
         for (from, to) in edges {
@@ -763,15 +793,42 @@ impl<'s> Core<'s> {
         if job.panicked.load(Ordering::SeqCst) {
             // Skip-drain: the job already failed — release structure,
             // run nothing, so siblings proceed and waiters unblock.
-        } else if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (flat.run)())) {
-            let mut slot = lock_clean(&job.panic);
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-            drop(slot);
-            job.panicked.store(true, Ordering::SeqCst);
         } else {
-            job.executed.fetch_add(1, Ordering::SeqCst);
+            // Span recording is observation only — timestamps around
+            // the body, ring write after it — so a traced run stays
+            // bit-identical to an untraced one. The untraced cost is
+            // the one relaxed load in `spans::enabled()`.
+            let span_at = match flat.label {
+                Some(_) if crate::obs::spans::enabled() => Some(crate::obs::clock::now_micros()),
+                _ => None,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| (flat.run)()));
+            if let (Some(t_start_us), Some(label)) = (span_at, flat.label) {
+                crate::obs::spans::record(&Span {
+                    job: job.id,
+                    kind: label.kind,
+                    layer: label.layer,
+                    stage: label.stage,
+                    worker,
+                    priority: job.priority.index(),
+                    tag,
+                    t_start_us,
+                    t_end_us: crate::obs::clock::now_micros(),
+                });
+            }
+            match outcome {
+                Err(payload) => {
+                    let mut slot = lock_clean(&job.panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    job.panicked.store(true, Ordering::SeqCst);
+                }
+                Ok(()) => {
+                    job.executed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
         }
 
         let mut released = 0;
@@ -988,6 +1045,47 @@ pub(crate) enum NodeKind {
     Finish,
 }
 
+impl NodeKind {
+    /// The observability identity of this node: its public
+    /// [`SpanKind`] plus layer/stage coordinates (ring slots are a
+    /// workspace detail and stay out of spans).
+    pub(crate) fn span_label(self) -> SpanLabel {
+        match self {
+            NodeKind::Sec(layer) => SpanLabel {
+                kind: SpanKind::Sec,
+                layer: Some(layer),
+                stage: None,
+            },
+            NodeKind::Synth { layer, stage, .. } => SpanLabel {
+                kind: SpanKind::Synth,
+                layer: Some(layer),
+                stage: Some(stage),
+            },
+            NodeKind::Gather { layer, stage, .. } => SpanLabel {
+                kind: SpanKind::Gather,
+                layer: Some(layer),
+                stage: Some(stage),
+            },
+            NodeKind::FoldStats(layer) => SpanLabel {
+                kind: SpanKind::FoldStats,
+                layer: Some(layer),
+                stage: None,
+            },
+            NodeKind::Absorb(layer) => SpanLabel {
+                kind: SpanKind::Absorb,
+                layer: Some(layer),
+                stage: None,
+            },
+            NodeKind::Lower(layer) => SpanLabel {
+                kind: SpanKind::Lower,
+                layer: Some(layer),
+                stage: None,
+            },
+            NodeKind::Finish => SpanLabel::bare(SpanKind::Finish),
+        }
+    }
+}
+
 /// One pipeline run expressed as a task graph: the shared state every
 /// node reads and writes, plus the planner that wires the nodes into a
 /// [`TaskGraph`]. [`crate::exec::BatchRunner`] submits one per
@@ -1151,8 +1249,20 @@ impl<'w> PipelineGraph<'w> {
         let mut ids: Vec<TaskId> = Vec::new();
         for (deps, kind) in self.plan() {
             let deps: Vec<TaskId> = deps.iter().map(|&d| ids[d]).collect();
-            ids.push(graph.add(&deps, move || self.run_node(kind)));
+            ids.push(graph.add_labeled(&deps, kind.span_label(), move || self.run_node(kind)));
         }
+    }
+
+    /// Per-[`SpanKind`] node counts of this run's plan — what one
+    /// traced frame contributes to the span rings, for inventory
+    /// assertions (the `trace_run` bin checks recorded spans against
+    /// this).
+    pub(crate) fn span_inventory(&self) -> [(SpanKind, usize); SpanKind::ALL.len()] {
+        let mut counts = SpanKind::ALL.map(|kind| (kind, 0usize));
+        for (_, kind) in self.plan() {
+            counts[kind.span_label().kind.index()].1 += 1;
+        }
+        counts
     }
 
     /// The layer's finished [`LayerInput`] (its `Sec` node ran).

@@ -66,3 +66,16 @@ pub use stage::{
     StageWorkspace,
 };
 pub use stream::{FrameHandle, SessionStats, StreamConfig, StreamSession};
+
+/// Per-[`crate::obs::SpanKind`] node counts of one pipeline run's task
+/// graph at pipeline depth `depth` — the inventory a traced frame is
+/// expected to contribute to the span rings. The trace-smoke CI job
+/// asserts recorded span counts against this.
+pub fn node_inventory(
+    pipeline: &crate::pipeline::FocusPipeline,
+    workload: &focus_vlm::Workload,
+    arch: &focus_sim::ArchConfig,
+    depth: usize,
+) -> [(crate::obs::SpanKind, usize); crate::obs::SpanKind::ALL.len()] {
+    PipelineGraph::new(pipeline, workload, arch, depth, None).span_inventory()
+}

@@ -49,6 +49,12 @@ pub struct ServiceConfig {
     /// until space frees. A request larger than the bound is still
     /// admitted when the service is idle.
     pub max_inflight_nodes: usize,
+    /// When set, [`FocusService::new`] activates span tracing
+    /// ([`crate::obs::spans`]) with this config — the programmatic
+    /// equivalent of `FOCUS_TRACE=spans[:capacity]`, which applies
+    /// regardless of this field. `None` leaves tracing as the
+    /// environment selected it (off by default).
+    pub trace: Option<crate::obs::TraceConfig>,
 }
 
 impl ServiceConfig {
@@ -64,6 +70,7 @@ impl ServiceConfig {
         ServiceConfig {
             threads,
             max_inflight_nodes: threads * ServiceConfig::DEFAULT_NODES_PER_WORKER,
+            trace: None,
         }
     }
 }
@@ -112,7 +119,11 @@ pub struct ServiceStats {
     /// no-starvation guarantee). Read from per-class min-tag counters
     /// the scheduler maintains incrementally — O(1), off the state
     /// lock, so polling stats at kHz rates never contends with
-    /// workers.
+    /// workers. (The original PR 5 implementation *did* scan the heap
+    /// under the state lock; PR 6 replaced that with the min-tag
+    /// mirrors, and this field has been a lock-free read since.)
+    /// Published in the metrics registry as
+    /// `service.deficit.{high,normal,low}`.
     pub deficit_by_priority: [u64; Priority::LEVELS],
     /// Streaming sessions currently open against this service.
     pub sessions_open: usize,
@@ -298,6 +309,9 @@ impl FocusService {
     /// Starts a service: spawns `config.threads` workers, which park
     /// immediately and live until the service is dropped.
     pub fn new(config: ServiceConfig) -> Self {
+        if let Some(trace) = config.trace {
+            crate::obs::spans::activate(trace);
+        }
         let core = Arc::new(Core::new(config.threads, config.max_inflight_nodes));
         let workers = (0..core.threads())
             .map(|w| {
@@ -395,7 +409,9 @@ impl FocusService {
         for (deps, kind) in state.graph.plan() {
             let deps: Vec<TaskId> = deps.iter().map(|&d| ids[d]).collect();
             let node_state = Arc::clone(&state);
-            ids.push(graph.add(&deps, move || node_state.graph.run_node(kind)));
+            ids.push(graph.add_labeled(&deps, kind.span_label(), move || {
+                node_state.graph.run_node(kind)
+            }));
         }
         self.jobs_submitted.fetch_add(1, Ordering::SeqCst);
         let run = self.core.inject(graph, priority);
@@ -406,24 +422,87 @@ impl FocusService {
         }
     }
 
-    /// A point-in-time observability snapshot.
+    /// The unified metrics snapshot of this service: every counter
+    /// under `service.*` (the per-priority arrays fanned out as
+    /// `.high`/`.normal`/`.low` by [`Priority::index`] order), plus the
+    /// observability layer's own `obs.*` entries (span totals,
+    /// per-node-kind and per-kernel-family latency summaries). This is
+    /// the registry seam ROADMAP direction 4 rolls per-shard stats up
+    /// through; [`FocusService::stats`] and the bench serializer both
+    /// read it.
+    pub fn snapshot(&self) -> crate::obs::Snapshot {
+        const CLASS: [&str; Priority::LEVELS] = ["high", "normal", "low"];
+        let mut snap = crate::obs::Snapshot::new();
+        snap.set_u64("service.workers", self.core.threads() as u64);
+        snap.set_u64("service.parked", self.core.parked() as u64);
+        snap.set_u64("service.parks", self.core.parks());
+        snap.set_u64(
+            "service.jobs_submitted",
+            self.jobs_submitted.load(Ordering::SeqCst),
+        );
+        snap.set_u64("service.jobs_completed", self.core.jobs_done());
+        snap.set_u64("service.inflight_nodes", self.core.inflight() as u64);
+        snap.set_u64(
+            "service.max_inflight_nodes",
+            self.core.max_inflight() as u64,
+        );
+        let queued = self.core.queued_by_priority();
+        let served = self.core.served_by_priority();
+        let deficit = self.core.deficit_by_priority();
+        for (i, class) in CLASS.iter().enumerate() {
+            snap.set_u64(format!("service.queued.{class}"), queued[i] as u64);
+            snap.set_u64(format!("service.served.{class}"), served[i]);
+            snap.set_u64(format!("service.deficit.{class}"), deficit[i]);
+        }
+        snap.set_u64(
+            "service.sessions_open",
+            self.sessions_open.load(Ordering::SeqCst) as u64,
+        );
+        snap.set_u64(
+            "service.temporal.hits",
+            self.temporal_hits.load(Ordering::SeqCst),
+        );
+        snap.set_u64(
+            "service.temporal.misses",
+            self.temporal_misses.load(Ordering::SeqCst),
+        );
+        snap.set_u64(
+            "service.temporal.evictions",
+            self.temporal_evictions.load(Ordering::SeqCst),
+        );
+        snap.set_u64(
+            "service.temporal.gathers_skipped",
+            self.temporal_gathers_skipped.load(Ordering::SeqCst),
+        );
+        crate::obs::publish_obs(&mut snap);
+        snap
+    }
+
+    /// A point-in-time observability snapshot, read through the
+    /// unified registry ([`FocusService::snapshot`]) — the typed view
+    /// and the registry can never disagree.
     pub fn stats(&self) -> ServiceStats {
+        let snap = self.snapshot();
+        let per_class = |prefix: &str| {
+            ["high", "normal", "low"].map(|class| snap.u64(&format!("{prefix}.{class}")))
+        };
+        let queued = per_class("service.queued");
         ServiceStats {
-            workers: self.core.threads(),
-            parked: self.core.parked(),
-            parks: self.core.parks(),
-            jobs_submitted: self.jobs_submitted.load(Ordering::SeqCst),
-            jobs_completed: self.core.jobs_done(),
-            inflight_nodes: self.core.inflight(),
-            max_inflight_nodes: self.core.max_inflight(),
-            queued_by_priority: self.core.queued_by_priority(),
-            served_by_priority: self.core.served_by_priority(),
-            deficit_by_priority: self.core.deficit_by_priority(),
-            sessions_open: self.sessions_open.load(Ordering::SeqCst),
-            temporal_hits: self.temporal_hits.load(Ordering::SeqCst),
-            temporal_misses: self.temporal_misses.load(Ordering::SeqCst),
-            temporal_evictions: self.temporal_evictions.load(Ordering::SeqCst),
-            temporal_gathers_skipped: self.temporal_gathers_skipped.load(Ordering::SeqCst),
+            workers: snap.u64("service.workers") as usize,
+            parked: snap.u64("service.parked") as usize,
+            parks: snap.u64("service.parks"),
+            jobs_submitted: snap.u64("service.jobs_submitted"),
+            jobs_completed: snap.u64("service.jobs_completed"),
+            inflight_nodes: snap.u64("service.inflight_nodes") as usize,
+            max_inflight_nodes: snap.u64("service.max_inflight_nodes") as usize,
+            queued_by_priority: queued.map(|q| q as usize),
+            served_by_priority: per_class("service.served"),
+            deficit_by_priority: per_class("service.deficit"),
+            sessions_open: snap.u64("service.sessions_open") as usize,
+            temporal_hits: snap.u64("service.temporal.hits"),
+            temporal_misses: snap.u64("service.temporal.misses"),
+            temporal_evictions: snap.u64("service.temporal.evictions"),
+            temporal_gathers_skipped: snap.u64("service.temporal.gathers_skipped"),
         }
     }
 
@@ -460,6 +539,12 @@ impl Drop for FocusService {
         for handle in lock_clean(&self.workers).drain(..) {
             let _ = handle.join();
         }
+        // With every worker joined, the rings are quiescent: flush the
+        // Chrome trace if `FOCUS_TRACE_OUT` asks for one. (A process
+        // with several services exports on each teardown; the last
+        // write wins with a superset of the earlier spans, since
+        // draining is non-destructive.)
+        crate::obs::chrome_trace::export_if_configured();
     }
 }
 
@@ -488,6 +573,7 @@ mod tests {
         let service = FocusService::new(ServiceConfig {
             threads: 2,
             max_inflight_nodes: 4096,
+            trace: None,
         });
         // Mixed priorities, three distinct architectures, one pool.
         let jobs = [

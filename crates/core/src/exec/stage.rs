@@ -17,7 +17,7 @@
 //! ([`GatherStage::run_fresh`] keeps that reference path alive, and
 //! `tests/batch_determinism.rs` asserts the equivalence).
 
-use focus_tensor::backend::{self, BackendHandle};
+use focus_tensor::backend::BackendHandle;
 use focus_tensor::quant::DataType;
 use focus_tensor::Matrix;
 use focus_vlm::attention::AttentionSynthesizer;
@@ -105,7 +105,7 @@ impl<'w> StageWorkspace<'w> {
     /// A workspace for one stage of `workload`'s stage graph, on the
     /// process-wide active kernel backend.
     pub fn new(workload: &'w Workload) -> Self {
-        StageWorkspace::new_on(workload, backend::active())
+        StageWorkspace::new_on(workload, crate::obs::kernel_backend())
     }
 
     /// [`StageWorkspace::new`] on an explicit kernel backend.
@@ -118,7 +118,7 @@ impl<'w> StageWorkspace<'w> {
     /// scratch must have been built for the same frame grid (the
     /// session enforces geometry compatibility at `push_frame`).
     pub fn with_scratch(workload: &'w Workload, scratch: StageScratch) -> Self {
-        StageWorkspace::with_scratch_on(workload, scratch, backend::active())
+        StageWorkspace::with_scratch_on(workload, scratch, crate::obs::kernel_backend())
     }
 
     /// [`StageWorkspace::with_scratch`] on an explicit kernel backend:
@@ -268,7 +268,7 @@ impl GatherStage {
     /// temporal twin (one frame-stride away in the packed stream) from
     /// most keys and destroy the match rate.
     pub fn new(config: &FocusConfig, stage: Stage, dtype: DataType) -> Self {
-        GatherStage::new_on(config, stage, dtype, backend::active())
+        GatherStage::new_on(config, stage, dtype, crate::obs::kernel_backend())
     }
 
     /// [`GatherStage::new`] on an explicit kernel backend: every hot

@@ -271,22 +271,45 @@ impl<'s> StreamSession<'s> {
         self.plan.as_ref().map(|plan| plan.geometry())
     }
 
-    /// Session statistics (window occupancy, warm-reuse and temporal
-    /// counters).
-    pub fn stats(&self) -> SessionStats {
+    /// The unified metrics snapshot of this session: every counter
+    /// under `session.*`, through the same registry seam as
+    /// [`FocusService::snapshot`] (ROADMAP direction 4's per-shard
+    /// rollups concatenate these with a shard prefix).
+    pub fn snapshot(&self) -> crate::obs::Snapshot {
         let t = self.temporal_totals();
+        let mut snap = crate::obs::Snapshot::new();
+        snap.set_u64("session.frames_pushed", self.frames_pushed);
+        snap.set_u64("session.frames_retired", self.frames_retired);
+        snap.set_u64("session.frames_inflight", self.inflight.len() as u64);
+        snap.set_u64("session.window", self.config.window as u64);
+        snap.set_u64("session.warm_reuses", self.warm_reuses);
+        snap.set_u64("session.warm_rederives", self.warm_rederives);
+        snap.set_u64("session.plan_cache_hits", self.plan_cache_hits);
+        snap.set_u64("session.temporal.hits", t.hits);
+        snap.set_u64("session.temporal.misses", t.misses);
+        snap.set_u64("session.temporal.evictions", t.evictions);
+        snap.set_u64("session.temporal.gathers_skipped", t.gathers_skipped);
+        snap
+    }
+
+    /// Session statistics (window occupancy, warm-reuse and temporal
+    /// counters), read through the unified registry
+    /// ([`StreamSession::snapshot`]) so the typed view and the
+    /// registry can never disagree.
+    pub fn stats(&self) -> SessionStats {
+        let snap = self.snapshot();
         SessionStats {
-            frames_pushed: self.frames_pushed,
-            frames_retired: self.frames_retired,
-            frames_inflight: self.inflight.len(),
-            window: self.config.window,
-            warm_reuses: self.warm_reuses,
-            warm_rederives: self.warm_rederives,
-            plan_cache_hits: self.plan_cache_hits,
-            temporal_hits: t.hits,
-            temporal_misses: t.misses,
-            temporal_evictions: t.evictions,
-            gathers_skipped: t.gathers_skipped,
+            frames_pushed: snap.u64("session.frames_pushed"),
+            frames_retired: snap.u64("session.frames_retired"),
+            frames_inflight: snap.u64("session.frames_inflight") as usize,
+            window: snap.u64("session.window") as usize,
+            warm_reuses: snap.u64("session.warm_reuses"),
+            warm_rederives: snap.u64("session.warm_rederives"),
+            plan_cache_hits: snap.u64("session.plan_cache_hits"),
+            temporal_hits: snap.u64("session.temporal.hits"),
+            temporal_misses: snap.u64("session.temporal.misses"),
+            temporal_evictions: snap.u64("session.temporal.evictions"),
+            gathers_skipped: snap.u64("session.temporal.gathers_skipped"),
         }
     }
 

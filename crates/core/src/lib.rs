@@ -43,6 +43,11 @@
 //!   table applied at paper scale, one layer at a time so the graph
 //!   schedule streams it), `stats` (the per-layer records and
 //!   [`pipeline::PipelineResult`]);
+//! * [`obs`] — the observability layer: per-node span tracing into
+//!   lock-free rings (`FOCUS_TRACE=spans`), Chrome-trace export
+//!   (`FOCUS_TRACE_OUT=path`), per-phase and per-kernel latency
+//!   histograms, and the unified metrics registry every `stats()`
+//!   surface reads through;
 //! * [`unit`] — the hardware inventory (area shares, overlap
 //!   guarantees).
 //!
@@ -95,6 +100,7 @@
 
 pub mod config;
 pub mod exec;
+pub mod obs;
 pub mod pipeline;
 pub mod sec;
 pub mod session;

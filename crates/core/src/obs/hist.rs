@@ -1,0 +1,196 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! One [`Histogram`] is 64 power-of-two buckets of atomic counters:
+//! recording is two relaxed `fetch_add`s plus a `fetch_max` (no
+//! allocation, no lock — safe to leave in a hot path), and the
+//! quantile accessors ([`Histogram::p50`], [`Histogram::p99`])
+//! resolve to the **upper bound** of the bucket the quantile falls in,
+//! so a reported p99 is a guaranteed "99% of samples were at most
+//! this" with log2 resolution. [`Histogram::max`] is exact.
+//!
+//! The observability layer keeps one histogram per scheduler node kind
+//! ([`super::spans`]) and one per kernel family
+//! ([`super::kernels`]); both surface through the metrics registry and
+//! the `trace_run` bin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: `u64` values have at most 64 significant bits, so
+/// bucket `b` holds samples in `[2^(b-1), 2^b)` (bucket 0 holds 0).
+const BUCKETS: usize = 64;
+
+/// A lock-free log2 histogram of `u64` samples (microseconds, by
+/// convention here — the accessors carry no unit of their own).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for means).
+    pub sum: u64,
+    /// Upper-bound 50th percentile.
+    pub p50: u64,
+    /// Upper-bound 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+/// The bucket a sample falls in: 0 for 0, else `64 - leading_zeros`,
+/// i.e. the position of the highest set bit plus one.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The upper bound of bucket `b` (the value reported for quantiles
+/// that resolve there).
+fn bucket_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        // `record` clamps to bucket 63, so the shift never overflows.
+        1u64 << b.min(63)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (usable as a `static` via `Default`).
+    pub const fn new() -> Self {
+        // `AtomicU64::new(0)` is const; arrays of atomics are built
+        // element-wise because atomics are not `Copy`.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free, allocation-free.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value).min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound quantile `q` in `[0, 1]`: the smallest bucket bound
+    /// at or below which at least `q` of the samples fall. 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Never report past the exact maximum.
+                return bucket_bound(b).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Upper-bound median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Upper-bound 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The current summary in one read pass.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: self.p50(),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn quantiles_bound_from_above_and_max_is_exact() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 5, 9, 17, 33, 100, 900, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 1000);
+        // p50 resolves in the bucket of the 5th sample (9 → [8,16)),
+        // reported as its upper bound 16.
+        assert_eq!(h.p50(), 16);
+        // p99 of 10 samples is the 10th: bucket of 1000 is [512,1024),
+        // bound 1024, clamped to the exact max.
+        assert_eq!(h.p99(), 1000);
+        // Every sample is <= its reported quantile bound.
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

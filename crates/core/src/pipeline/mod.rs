@@ -34,7 +34,7 @@ pub(crate) mod stats;
 pub use stats::{LayerStats, PipelineResult, SecLayerStats};
 
 use focus_sim::ArchConfig;
-use focus_tensor::backend::{self, BackendHandle};
+use focus_tensor::backend::BackendHandle;
 use focus_tensor::quant::DataType;
 use focus_vlm::accuracy::AccuracyModel;
 use focus_vlm::Workload;
@@ -76,7 +76,7 @@ impl FocusPipeline {
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
             exec_mode: ExecMode::env_or_default(),
-            backend: backend::active(),
+            backend: crate::obs::kernel_backend(),
         }
     }
 
@@ -89,7 +89,7 @@ impl FocusPipeline {
             accuracy: AccuracyModel::default(),
             dtype: DataType::Fp16,
             exec_mode: ExecMode::env_or_default(),
-            backend: backend::active(),
+            backend: crate::obs::kernel_backend(),
         }
     }
 

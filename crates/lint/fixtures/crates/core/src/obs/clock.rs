@@ -1,0 +1,7 @@
+//! Fixture: the one allowlisted clock seam. A wall-clock read here is
+//! exactly what the D1 allowlist carves out.
+//! Expected: no violations.
+
+pub fn now_micros() -> u64 {
+    std::time::Instant::now().elapsed().as_micros() as u64
+}

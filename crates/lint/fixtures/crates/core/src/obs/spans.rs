@@ -1,0 +1,9 @@
+//! Fixture: a wall-clock read inside the observability layer but
+//! **outside** the single allowlisted clock seam (`obs/clock.rs`).
+//! The D1 allowlist covers `crates/core/src/obs/clock.rs` only — a
+//! stray `Instant::now` in `obs/spans.rs` must still trip.
+//! Expected: exactly one `D1-wallclock`.
+
+pub fn span_stamp() -> u64 {
+    std::time::Instant::now().elapsed().as_micros() as u64
+}

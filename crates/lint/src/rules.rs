@@ -94,10 +94,14 @@ fn is_test_path(rel: &str) -> bool {
 }
 
 /// D1 allowlist: the deterministic-math home (`math.rs`, `half.rs`),
-/// the hardware simulator (models time by design), and bench/test code.
+/// the hardware simulator (models time by design), the observability
+/// layer's **single** clock seam (`obs/clock.rs` only — the rest of
+/// `obs/`, spans and histograms included, must route timestamps
+/// through it and stays subject to the rule), and bench/test code.
 fn d1_allowed(rel: &str) -> bool {
     rel == "crates/tensor/src/math.rs"
         || rel == "crates/tensor/src/half.rs"
+        || rel == "crates/core/src/obs/clock.rs"
         || rel.starts_with("crates/sim/")
         || is_test_path(rel)
 }
@@ -483,10 +487,8 @@ fn apply_waivers(inputs: &[Input], raw: Vec<Violation>) -> Vec<Violation> {
     let mut out = Vec::new();
     for v in raw {
         let shielded = waivers.iter_mut().any(|(file, w)| {
-            let hit = *file == v.file
-                && w.target == v.line
-                && w.reason_ok
-                && w.rules.contains(&v.rule);
+            let hit =
+                *file == v.file && w.target == v.line && w.reason_ok && w.rules.contains(&v.rule);
             if hit {
                 w.used = true;
             }
@@ -560,6 +562,26 @@ mod tests {
         assert_eq!(rules_of(&v), ["D1-fma", "D1-wallclock"]);
         assert_eq!(v[0].line, 1);
         assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn d1_wallclock_allowlists_only_the_obs_clock_seam() {
+        let src = "fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+        // The single seam is exempt…
+        assert!(lint_one("crates/core/src/obs/clock.rs", src).is_empty());
+        // …and nothing else in the obs module is.
+        assert_eq!(
+            rules_of(&lint_one("crates/core/src/obs/spans.rs", src)),
+            ["D1-wallclock"]
+        );
+        assert_eq!(
+            rules_of(&lint_one("crates/core/src/obs/hist.rs", src)),
+            ["D1-wallclock"]
+        );
+        assert_eq!(
+            rules_of(&lint_one("crates/core/src/obs/mod.rs", src)),
+            ["D1-wallclock"]
+        );
     }
 
     #[test]

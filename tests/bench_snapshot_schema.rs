@@ -46,6 +46,7 @@ fn bench_snapshot_has_the_expected_shape() {
         "serial_resynthesis_s",
         "pipelined_batched_s",
         "graph_batched_s",
+        "graph_traced_s",
         "service_staggered_s",
         "service_jobs_per_s",
         "service_workers",
@@ -84,6 +85,17 @@ fn bench_snapshot_has_the_expected_shape() {
         );
     }
     assert_eq!(field(&json, "cells"), 9.0, "the Fig. 9 grid has 9 cells");
+    // PR 10 (observability): span tracing promises to be cheap as well
+    // as bit-invisible. `obs_overhead_pct` may legitimately be slightly
+    // negative (machine noise on the traced-vs-untraced pair), so it
+    // lives outside the positive-keys loop — but a committed snapshot
+    // showing >= 2% overhead means the disabled-path/ring design
+    // regressed.
+    let obs = field(&json, "obs_overhead_pct");
+    assert!(
+        obs < 2.0,
+        "span tracing overhead must stay under 2% of the graph leg, got {obs}%"
+    );
     assert!(
         field(&json, "threads") >= 2.0,
         "the snapshot must be taken with >= 2 workers (the overlap under test)"

@@ -85,6 +85,7 @@ proptest! {
         let service = FocusService::new(ServiceConfig {
             threads,
             max_inflight_nodes: 4096,
+            trace: None,
         });
         let mut sessions: Vec<StreamSession<'_>> = (0..frame_counts.len())
             .map(|_| {
@@ -144,6 +145,7 @@ fn warm_scratch_recycles_across_frames() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let mut session = StreamSession::open(
         &service,
@@ -212,6 +214,7 @@ fn geometry_divergence_rederives_warm_state() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let mut session = StreamSession::open(
         &service,
@@ -268,6 +271,7 @@ fn stride_divergence_rederives_and_drops_the_pool() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let mut session = StreamSession::open(
         &service,
@@ -357,6 +361,7 @@ proptest! {
         let service = FocusService::new(ServiceConfig {
             threads: 2,
             max_inflight_nodes: 4096,
+            trace: None,
         });
 
         // Leg 1: cache on, correlation 0.
@@ -416,6 +421,7 @@ fn correlated_stream_carries_rows_and_skips_gathers() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let stream = SceneStream {
         seed: 42,
@@ -468,6 +474,7 @@ fn temporal_cache_memory_stays_bounded() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let cfg = TemporalCacheConfig {
         capacity: 16,
@@ -524,6 +531,7 @@ fn returning_to_a_seen_geometry_hits_the_plan_cache() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let mut session = StreamSession::open(
         &service,
@@ -570,6 +578,7 @@ fn high_flood_does_not_starve_a_low_job() {
     let service = FocusService::new(ServiceConfig {
         threads: 2,
         max_inflight_nodes: 4096,
+        trace: None,
     });
     let job = |seed: u64| BatchJob {
         pipeline: graph_pipeline(),
